@@ -1,0 +1,78 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every benchmark prints the table/series it regenerates (run with ``-s``
+to see them) and times its central operation with pytest-benchmark.
+Worlds are session-scoped: generation cost must not pollute timings.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.models import Manuscript, ManuscriptAuthor
+from repro.scholarly.registry import ScholarlyHub
+from repro.world.config import WorldConfig
+from repro.world.generator import generate_world
+
+
+@pytest.fixture(scope="session")
+def bench_world():
+    """The default benchmark world (~300 scholars)."""
+    return generate_world(WorldConfig(author_count=300, seed=42))
+
+
+@pytest.fixture(scope="session")
+def big_world():
+    """A larger world for the Fig. 1 shape (more yearly signal)."""
+    return generate_world(WorldConfig(author_count=800, seed=42))
+
+
+@pytest.fixture()
+def bench_hub(bench_world):
+    return ScholarlyHub.deploy(bench_world)
+
+
+def sample_manuscripts(world, count=8, keyword_count=3):
+    """Deterministic manuscripts authored by unambiguous world scholars.
+
+    Returns ``(manuscript, author)`` pairs — the author object gives the
+    evaluation its topic ids and world id.
+    """
+    pairs = []
+    for author in world.authors.values():
+        if len(pairs) >= count:
+            break
+        if len(world.authors_by_name(author.name)) > 1:
+            continue
+        if len(author.topic_expertise) < 2:
+            continue
+        topics = sorted(author.topic_expertise)[:keyword_count]
+        keywords = tuple(world.ontology.topic(t).label for t in topics)
+        affiliation = author.affiliations[-1]
+        journals = world.journal_venues()
+        manuscript = Manuscript(
+            title=f"A Study of {keywords[0]}",
+            keywords=keywords,
+            authors=(
+                ManuscriptAuthor(
+                    name=author.name,
+                    affiliation=affiliation.institution,
+                    country=affiliation.country,
+                ),
+            ),
+            target_venue=journals[0].name if journals else "",
+        )
+        pairs.append((manuscript, author))
+    return pairs
+
+
+def print_table(title, headers, rows):
+    """Uniform fixed-width table printer for all benchmark reports."""
+    widths = [
+        max(len(str(h)), *(len(str(row[i])) for row in rows)) if rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    print(f"\n=== {title} ===")
+    print("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        print("  ".join(str(cell).ljust(w) for cell, w in zip(row, widths)))

@@ -1,0 +1,103 @@
+"""ABL-EXPANSION — expansion depth and threshold ablation (paper §2.1).
+
+The expansion step has two knobs the paper leaves implicit: traversal
+depth and the similarity threshold the editor can set on sc.  Sweep
+both and measure what they buy:
+
+- candidate-pool size (the "wider range of related reviewers" claim);
+- recommendation quality against the oracle (does a wider net help or
+  drown the ranking in weak matches?).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.evaluation import CandidateResolver, evaluate_recommendation
+from repro.core.config import FilterConfig, PipelineConfig
+from repro.core.pipeline import Minaret
+from repro.ontology.expansion import ExpansionConfig
+from repro.scholarly.registry import ScholarlyHub
+from benchmarks.conftest import print_table, sample_manuscripts
+
+K = 10
+DEPTHS = (0, 1, 2, 3)
+THRESHOLDS = (0.9, 0.7, 0.5, 0.3)
+
+
+def run_config(world, expansion):
+    hub = ScholarlyHub.deploy(world)
+    resolver = CandidateResolver(hub)
+    config = PipelineConfig(
+        expansion=expansion,
+        filters=FilterConfig(min_keyword_score=min(0.5, expansion.min_score)),
+    )
+    pools, expanded_counts, ndcgs = [], [], []
+    for manuscript, author in sample_manuscripts(world, count=5):
+        result = Minaret(hub, config=config).recommend(manuscript)
+        topics = sorted(author.topic_expertise)[:3]
+        scores = evaluate_recommendation(
+            world,
+            resolver,
+            [s.candidate.candidate_id for s in result.ranked[:K]],
+            topics,
+            [author.author_id],
+            k=K,
+        )
+        pools.append(len(result.candidates))
+        expanded_counts.append(len(result.expanded_keywords))
+        ndcgs.append(scores.ndcg)
+    count = len(pools)
+    return (
+        sum(expanded_counts) / count,
+        sum(pools) / count,
+        sum(ndcgs) / count,
+    )
+
+
+def test_bench_ablation_expansion_depth(benchmark, bench_world):
+    def sweep():
+        return {
+            depth: run_config(
+                bench_world, ExpansionConfig(max_depth=depth, min_score=0.3)
+            )
+            for depth in DEPTHS
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table(
+        "ABL-EXPANSION: traversal depth (threshold fixed at 0.3)",
+        ("depth", "expanded keywords", "pool size", "nDCG@10"),
+        [
+            (depth, f"{kws:.1f}", f"{pool:.1f}", f"{ndcg:.3f}")
+            for depth, (kws, pool, ndcg) in results.items()
+        ],
+    )
+    keyword_counts = [kws for kws, __, __n in results.values()]
+    assert keyword_counts == sorted(keyword_counts), "depth must widen keywords"
+    # Depth>0 must widen the pool over raw matching.
+    assert results[2][1] > results[0][1]
+
+
+def test_bench_ablation_expansion_threshold(benchmark, bench_world):
+    def sweep():
+        return {
+            threshold: run_config(
+                bench_world, ExpansionConfig(max_depth=2, min_score=threshold)
+            )
+            for threshold in THRESHOLDS
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table(
+        "ABL-EXPANSION: sc threshold (depth fixed at 2)",
+        ("min sc", "expanded keywords", "pool size", "nDCG@10"),
+        [
+            (threshold, f"{kws:.1f}", f"{pool:.1f}", f"{ndcg:.3f}")
+            for threshold, (kws, pool, ndcg) in results.items()
+        ],
+    )
+    keyword_counts = [kws for kws, __, __n in results.values()]
+    assert keyword_counts == sorted(keyword_counts), (
+        "lower thresholds must admit more keywords"
+    )

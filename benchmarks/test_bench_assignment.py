@@ -1,0 +1,98 @@
+"""EXP-ASSIGN — batch paper-reviewer assignment (paper §3 extension).
+
+The paper's conference-integration remark implies the batch problem its
+references [2, 3] study: assign reviewers across many submissions under
+load constraints.  Built from real MINARET recommendation runs over a
+batch of manuscripts:
+
+- greedy vs flow-optimal vs random on total suitability, per-paper
+  fairness (minimum paper score) and unfilled slots;
+- the optimal solver must dominate, greedy must approximate it closely.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.assignment import (
+    assess_assignment,
+    greedy_assignment,
+    optimal_assignment,
+    problem_from_results,
+    random_assignment,
+)
+from repro.core.pipeline import Minaret
+from repro.scholarly.registry import ScholarlyHub
+from benchmarks.conftest import print_table, sample_manuscripts
+
+PAPERS = 8
+REVIEWERS_PER_PAPER = 3
+MAX_LOAD = 2
+
+
+@pytest.fixture(scope="module")
+def problem(bench_world):
+    hub = ScholarlyHub.deploy(bench_world)
+    minaret = Minaret(hub)
+    results = [
+        (f"paper-{i}", minaret.recommend(manuscript))
+        for i, (manuscript, __) in enumerate(
+            sample_manuscripts(bench_world, count=PAPERS)
+        )
+    ]
+    return problem_from_results(
+        results,
+        reviewers_per_paper=REVIEWERS_PER_PAPER,
+        max_load=MAX_LOAD,
+        top_k=15,
+    )
+
+
+def test_bench_assignment_solvers(benchmark, problem):
+    def solve_all():
+        return {
+            "greedy": assess_assignment(problem, greedy_assignment(problem)),
+            "optimal": assess_assignment(problem, optimal_assignment(problem)),
+            "random": assess_assignment(problem, random_assignment(problem, 0)),
+        }
+
+    results = benchmark.pedantic(solve_all, rounds=3, iterations=1)
+    rows = [
+        (
+            name,
+            f"{quality.total_score:.3f}",
+            f"{quality.min_paper_score:.3f}",
+            quality.unfilled_slots,
+            quality.max_load,
+            f"{quality.load_stddev:.2f}",
+        )
+        for name, quality in results.items()
+    ]
+    print_table(
+        f"EXP-ASSIGN: {PAPERS} papers x {REVIEWERS_PER_PAPER} reviewers, "
+        f"load cap {MAX_LOAD}",
+        ("solver", "total score", "min paper", "unfilled", "max load", "load stddev"),
+        rows,
+    )
+
+    optimal = results["optimal"]
+    greedy = results["greedy"]
+    random_quality = results["random"]
+    assert optimal.unfilled_slots <= greedy.unfilled_slots
+    assert optimal.unfilled_slots <= random_quality.unfilled_slots
+    if optimal.unfilled_slots == greedy.unfilled_slots:
+        assert optimal.total_score >= greedy.total_score - 1e-6
+    assert optimal.total_score >= random_quality.total_score - 1e-6
+    assert optimal.max_load <= MAX_LOAD
+
+
+def test_bench_assignment_optimal_scaling(benchmark, problem):
+    """Flow-solver latency on the full instance (the expensive solver)."""
+    assignment = benchmark(optimal_assignment, problem)
+    quality = assess_assignment(problem, assignment)
+    print(
+        f"\nEXP-ASSIGN: optimal solver on "
+        f"{len(problem.papers())} papers x {len(problem.reviewers())} reviewers "
+        f"-> total {quality.total_score:.3f}, {quality.unfilled_slots} unfilled"
+    )
+    assert quality.max_load <= MAX_LOAD

@@ -1,0 +1,83 @@
+"""EXP-EXPANSION — semantic keyword expansion (paper §2.1).
+
+Regenerates: the paper's worked example ("RDF" → "Semantic Web",
+"Linked Open Data", "SPARQL" with similarity scores sc ∈ [0,1]), the
+expansion table for the demo manuscript keywords, and a recall check of
+expansion against the ontology's own neighbourhood ground truth.
+Times: expansion throughput on the curated and a large synthetic
+ontology.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ontology.builder import SyntheticOntologyConfig, build_synthetic_ontology
+from repro.ontology.data import build_seed_ontology
+from repro.ontology.expansion import ExpansionConfig, KeywordExpander
+from benchmarks.conftest import print_table
+
+DEMO_KEYWORDS = ["RDF", "Query Processing", "Big Data"]
+
+
+def test_bench_expansion_paper_example(benchmark):
+    expander = KeywordExpander(build_seed_ontology())
+    results = benchmark(expander.expand, ["RDF"])
+
+    print_table(
+        "EXP-EXPANSION: expanding 'RDF' (paper §2.1 example)",
+        ("keyword", "sc", "depth"),
+        [(e.keyword, f"{e.score:.2f}", e.depth) for e in results],
+    )
+    labels = {e.keyword for e in results}
+    assert {"Semantic Web", "Linked Open Data", "SPARQL"} <= labels
+    assert all(0.0 <= e.score <= 1.0 for e in results)
+
+
+def test_bench_expansion_demo_keywords(benchmark):
+    expander = KeywordExpander(build_seed_ontology())
+    results = benchmark(expander.expand, DEMO_KEYWORDS)
+    print(f"\nEXP-EXPANSION: {len(DEMO_KEYWORDS)} demo keywords expand to "
+          f"{len(results)} scored keywords")
+    assert len(results) > 3 * len(DEMO_KEYWORDS)
+
+
+def test_bench_expansion_neighbourhood_recall(benchmark):
+    """Depth-2 expansion must recover the full 1-hop neighbourhood."""
+    ontology = build_seed_ontology()
+    expander = KeywordExpander(ontology)
+    config = ExpansionConfig(max_depth=2, min_score=0.0,
+                             max_results_per_keyword=1000)
+
+    def recall_over_sample():
+        topics = sorted(t.topic_id for t in ontology.topics())[:50]
+        total, recovered = 0, 0
+        for topic_id in topics:
+            neighbours = {t.topic_id for t, __ in ontology.neighbors(topic_id)}
+            if not neighbours:
+                continue
+            label = ontology.topic(topic_id).label
+            expanded = {e.topic_id for e in expander.expand([label], config)}
+            total += len(neighbours)
+            recovered += len(neighbours & expanded)
+        return recovered, total
+
+    recovered, total = benchmark.pedantic(recall_over_sample, rounds=1, iterations=1)
+    recall = recovered / total
+    print(f"\nEXP-EXPANSION: 1-hop neighbourhood recall at depth 2 = "
+          f"{recall:.3f} ({recovered}/{total})")
+    assert recall == 1.0
+
+
+def test_bench_expansion_synthetic_scale(benchmark):
+    """Expansion latency on a CSO-scale (10k topic) synthetic ontology."""
+    ontology = build_synthetic_ontology(
+        SyntheticOntologyConfig(topic_count=10_000, max_depth=6, branching=8, seed=1)
+    )
+    assert len(ontology) >= 9_000, "builder must reach CSO scale"
+    label = ontology.topic(f"topic-{len(ontology) // 2}").label
+    expander = KeywordExpander(ontology)
+
+    results = benchmark(expander.expand, [label])
+    print(f"\nEXP-EXPANSION: 10k-topic ontology, {len(results)} expansions")
+    assert results

@@ -1,0 +1,67 @@
+"""FIG1 — DBLP new records per year by publication type (paper Fig. 1).
+
+The paper motivates the reviewer-selection problem with DBLP's growth
+curve: records per year rise steeply, journal articles alone reaching
+~120K/year by 2018 out of >3.8M total records.  Our synthetic world is
+smaller, but the *shape* must hold: strong monotone-ish growth, with
+both journal and conference output rising.
+
+Regenerates: the records-per-year-by-type table, queried through the
+simulated DBLP statistics endpoint (as a real client would).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scholarly.registry import ScholarlyHub
+from benchmarks.conftest import print_table
+
+
+@pytest.fixture(scope="module")
+def stats(big_world):
+    hub = ScholarlyHub.deploy(big_world)
+    return hub.dblp.records_per_year()
+
+
+def test_bench_fig1_records_per_year(benchmark, big_world, stats):
+    hub = ScholarlyHub.deploy(big_world)
+    result = benchmark(hub.dblp.records_per_year)
+    assert result == stats
+
+    rows = [
+        (year, by_type.get("journal", 0), by_type.get("conference", 0),
+         by_type.get("journal", 0) + by_type.get("conference", 0))
+        for year, by_type in sorted(stats.items())
+    ]
+    print_table(
+        "FIG1: DBLP new records per year",
+        ("year", "journal", "conference", "total"),
+        rows,
+    )
+
+    # Shape assertions: growth, as in the paper's figure.
+    years = sorted(stats)
+    thirds = len(years) // 3
+    early = sum(sum(stats[y].values()) for y in years[:thirds])
+    late = sum(sum(stats[y].values()) for y in years[-thirds:])
+    assert late > 2 * early, "records per year must grow steeply"
+    # Journal output specifically grows (the paper's 120K/yr claim).
+    early_journals = sum(stats[y].get("journal", 0) for y in years[:thirds])
+    late_journals = sum(stats[y].get("journal", 0) for y in years[-thirds:])
+    assert late_journals > early_journals
+
+
+def test_bench_fig1_total_volume(benchmark, big_world):
+    """The total-records claim (paper: >3.8M indexed publications)."""
+
+    def total_records():
+        return sum(
+            sum(by_type.values())
+            for by_type in big_world.dblp_records_per_year().values()
+        )
+
+    total = benchmark(total_records)
+    assert total == len(big_world.publications)
+    print(f"\nFIG1: total indexed records = {total} "
+          f"(paper: 3.8M at real-world scale)")

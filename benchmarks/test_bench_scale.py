@@ -1,0 +1,92 @@
+"""EXP-SCALE — on-the-fly feasibility: latency vs world size and caching.
+
+The paper's framework extracts everything on-the-fly so that results are
+always fresh.  This experiment quantifies what that costs and what the
+(freshness-sacrificing) response cache buys back:
+
+- simulated network latency and request count of one recommendation,
+  as the scholar population grows;
+- the same run under increasing cache TTLs, measuring hit rate and
+  residual latency (TTL 0 = the paper's pure mode).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import Minaret
+from repro.scholarly.registry import ScholarlyHub
+from repro.world.config import WorldConfig
+from repro.world.generator import generate_world
+from benchmarks.conftest import print_table, sample_manuscripts
+
+WORLD_SIZES = (100, 300, 600)
+CACHE_TTLS = (0.0, 300.0, None)  # on-the-fly, 5-minute, immortal
+
+
+def one_run(world, cache_ttl=0.0, repeats=1):
+    hub = ScholarlyHub.deploy(world, cache_ttl=cache_ttl)
+    manuscript, __ = sample_manuscripts(world, count=1)[0]
+    minaret = Minaret(hub)
+    result = None
+    for __r in range(repeats):
+        result = minaret.recommend(manuscript)
+    return hub, result
+
+
+def test_bench_scale_world_size(benchmark):
+    def sweep():
+        rows = []
+        for size in WORLD_SIZES:
+            world = generate_world(WorldConfig(author_count=size, seed=42))
+            hub, result = one_run(world)
+            rows.append(
+                (
+                    size,
+                    hub.total_requests(),
+                    f"{hub.total_latency():.1f}s",
+                    len(result.candidates),
+                    len(result.ranked),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table(
+        "EXP-SCALE: one recommendation vs world size (TTL 0 = on-the-fly)",
+        ("scholars", "requests", "sim latency", "candidates", "recommended"),
+        rows,
+    )
+    # Requests are bounded by max_candidates, not world size: the pipeline
+    # must not degrade to crawling the whole world.
+    request_counts = [int(r[1]) for r in rows]
+    assert max(request_counts) < 3.0 * min(request_counts)
+
+
+def test_bench_scale_cache_ttl(benchmark, bench_world):
+    def sweep():
+        rows = []
+        for ttl in CACHE_TTLS:
+            hub, __ = one_run(bench_world, cache_ttl=ttl, repeats=3)
+            label = "0 (on-the-fly)" if ttl == 0 else (str(ttl) if ttl else "inf")
+            rows.append(
+                (
+                    label,
+                    hub.total_requests(),
+                    f"{hub.crawler.cache_hit_rate():.2f}",
+                    f"{hub.total_latency():.1f}s",
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table(
+        "EXP-SCALE: 3 repeated recommendations vs cache TTL",
+        ("cache TTL", "requests", "hit rate", "sim latency"),
+        rows,
+    )
+    requests = [int(r[1]) for r in rows]
+    # Longer TTLs must strictly reduce network traffic.
+    assert requests[0] > requests[-1]
+    # The immortal cache must serve the repeat runs almost entirely.
+    assert float(rows[-1][2]) > 0.5

@@ -1,0 +1,94 @@
+"""Storage micro-benchmarks: the substrate under the services.
+
+Not a paper figure — infrastructure characterization: how fast the
+document store indexes and serves, what WAL durability costs per write,
+and how quickly a journaled store recovers.  These numbers bound how
+large a simulated scholarly world stays interactive.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage.documents import DocumentStore
+from repro.storage.inverted import InvertedIndex
+from repro.storage.persistence import JournaledStore
+
+DOCS = 2000
+
+
+def seed_payloads(count=DOCS):
+    return [
+        {
+            "name": f"scholar-{i}",
+            "country": f"country-{i % 20}",
+            "interests": [f"topic-{i % 37}", f"topic-{(i * 7) % 37}"],
+            "h_index": i % 60,
+        }
+        for i in range(count)
+    ]
+
+
+def test_bench_store_insert_with_indexes(benchmark):
+    payloads = seed_payloads()
+
+    def build():
+        store = DocumentStore()
+        store.create_index("country", lambda d: d["country"])
+        store.create_index("interests", lambda d: d["interests"])
+        for payload in payloads:
+            store.insert(payload)
+        return store
+
+    store = benchmark(build)
+    assert len(store) == DOCS
+    print(f"\nstorage: {DOCS} inserts with 2 secondary indexes per round")
+
+
+def test_bench_index_lookup(benchmark):
+    store = DocumentStore()
+    store.create_index("country", lambda d: d["country"])
+    for payload in seed_payloads():
+        store.insert(payload)
+
+    result = benchmark(store.lookup_ids, "country", "country-7")
+    assert len(result) == DOCS // 20
+
+
+def test_bench_inverted_search(benchmark):
+    index = InvertedIndex()
+    for i, payload in enumerate(seed_payloads()):
+        index.add(f"d{i}", {t: 1.0 for t in payload["interests"]})
+
+    result = benchmark(index.search, ["topic-5", "topic-11"], limit=50)
+    assert result
+
+
+def test_bench_wal_write_throughput(benchmark, tmp_path_factory):
+    payloads = seed_payloads(500)
+
+    def journaled_inserts():
+        directory = tmp_path_factory.mktemp("wal-bench")
+        with JournaledStore.open(directory) as store:
+            for payload in payloads:
+                store.insert(payload)
+        return directory
+
+    directory = benchmark.pedantic(journaled_inserts, rounds=3, iterations=1)
+    assert (directory / "wal.jsonl").stat().st_size > 0
+    print(f"\nstorage: 500 WAL-durable inserts per round")
+
+
+def test_bench_recovery_time(benchmark, tmp_path):
+    directory = tmp_path / "recovery"
+    with JournaledStore.open(directory) as store:
+        for payload in seed_payloads():
+            store.insert(payload)
+
+    def recover():
+        with JournaledStore.open(directory) as reopened:
+            return len(reopened)
+
+    count = benchmark(recover)
+    assert count == DOCS
+    print(f"\nstorage: recovery replays {DOCS} WAL entries per round")

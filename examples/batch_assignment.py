@@ -1,0 +1,116 @@
+"""Special-issue mode: assign reviewers across a whole batch (§3).
+
+A guest editor handles eight submissions for a special issue.  Running
+MINARET per manuscript is not enough: the best reviewers would be
+recommended for *every* paper, and nobody accepts five assignments.
+This example runs the pipeline per paper, assembles the batch
+assignment problem (3 reviewers per paper, at most 2 papers each), and
+compares the greedy heuristic with the exact min-cost-flow solver —
+then sanity-checks the winning assignment through the review-process
+simulator.
+
+Run:  python examples/batch_assignment.py
+"""
+
+from repro import Minaret, ScholarlyHub, WorldConfig, generate_world
+from repro.assignment import (
+    assess_assignment,
+    greedy_assignment,
+    optimal_assignment,
+    problem_from_results,
+)
+from repro.baselines.evaluation import CandidateResolver
+from repro.core.models import Manuscript, ManuscriptAuthor
+from repro.simulation import ReviewProcessSimulator
+
+
+def batch_manuscripts(world, count=8):
+    pairs = []
+    for author in world.authors.values():
+        if len(pairs) >= count:
+            break
+        if len(world.authors_by_name(author.name)) > 1:
+            continue
+        topics = sorted(author.topic_expertise)[:3]
+        keywords = tuple(world.ontology.topic(t).label for t in topics)
+        pairs.append(
+            (
+                Manuscript(
+                    title=f"Special Issue Paper on {keywords[0]}",
+                    keywords=keywords,
+                    authors=(
+                        ManuscriptAuthor(
+                            author.name, author.affiliations[-1].institution
+                        ),
+                    ),
+                ),
+                author,
+            )
+        )
+    return pairs
+
+
+def main() -> None:
+    world = generate_world(WorldConfig(author_count=300, seed=42))
+    hub = ScholarlyHub.deploy(world)
+    minaret = Minaret(hub)
+
+    pairs = batch_manuscripts(world)
+    print(f"Running the pipeline for {len(pairs)} submissions ...")
+    results = [
+        (f"paper-{i}", minaret.recommend(manuscript))
+        for i, (manuscript, __) in enumerate(pairs)
+    ]
+    problem = problem_from_results(
+        results, reviewers_per_paper=3, max_load=2, top_k=15
+    )
+    print(
+        f"Assignment instance: {len(problem.papers())} papers, "
+        f"{len(problem.reviewers())} distinct candidate reviewers, "
+        f"demand {problem.demand()} slots, capacity {problem.capacity()}.\n"
+    )
+
+    greedy = greedy_assignment(problem)
+    optimal = optimal_assignment(problem)
+    for name, assignment in (("greedy", greedy), ("optimal", optimal)):
+        quality = assess_assignment(problem, assignment)
+        print(
+            f"{name:8s} total={quality.total_score:.3f} "
+            f"min-paper={quality.min_paper_score:.3f} "
+            f"unfilled={quality.unfilled_slots} "
+            f"max-load={quality.max_load}"
+        )
+
+    print("\nOptimal assignment:")
+    for paper_id in problem.papers():
+        reviewers = optimal.reviewers_of(paper_id)
+        print(f"  {paper_id}: {', '.join(reviewers)}")
+
+    # Would these assignments actually come back on time?  Ask the
+    # review-process simulator (it sees the hidden responsiveness the
+    # pipeline can only estimate).
+    resolver = CandidateResolver(hub)
+    simulator = ReviewProcessSimulator(world, seed=11)
+    print("\nSimulated review process per paper "
+          "(assigned reviewers first, ranked list as backup):")
+    for (paper_id, result), (manuscript, author) in zip(results, pairs):
+        assigned = optimal.reviewers_of(paper_id)
+        backups = [
+            s.candidate.candidate_id
+            for s in result.ranked
+            if s.candidate.candidate_id not in assigned
+        ]
+        ranked = resolver.world_ids(assigned + backups)
+        topics = sorted(author.topic_expertise)[:3]
+        process = simulator.run(ranked, topics)
+        status = (
+            f"{process.turnaround_days:.0f} days"
+            if process.completed
+            else f"only {len(process.accepted())}/3 reviews"
+        )
+        print(f"  {paper_id}: {status}, "
+              f"quality {process.mean_review_quality():.2f}")
+
+
+if __name__ == "__main__":
+    main()

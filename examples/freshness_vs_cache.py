@@ -1,0 +1,85 @@
+"""On-the-fly freshness vs caching: the core engineering trade-off.
+
+MINARET's signature design choice (abstract, §1) is extracting
+everything on-the-fly so recommendations always reflect the current
+state of the scholarly web.  This example measures what that costs on
+the simulated web — requests, simulated network latency, rate-limit
+hits — and what a response cache recovers when an editorial board runs
+several related searches in one session.
+
+Run:  python examples/freshness_vs_cache.py
+"""
+
+from repro import Manuscript, ManuscriptAuthor, Minaret, ScholarlyHub, WorldConfig, generate_world
+
+
+def make_session_manuscripts(world, count=4):
+    """Several submissions in overlapping areas — one editorial sitting."""
+    manuscripts = []
+    authors = [
+        a
+        for a in world.authors.values()
+        if len(world.authors_by_name(a.name)) == 1
+    ][:count]
+    for author in authors:
+        keywords = tuple(
+            world.ontology.topic(t).label
+            for t in sorted(author.topic_expertise)[:3]
+        )
+        manuscripts.append(
+            Manuscript(
+                title=f"Session Paper on {keywords[0]}",
+                keywords=keywords,
+                authors=(
+                    ManuscriptAuthor(
+                        author.name, author.affiliations[-1].institution
+                    ),
+                ),
+                target_venue=world.journal_venues()[0].name,
+            )
+        )
+    return manuscripts
+
+
+def run_session(world, cache_ttl):
+    hub = ScholarlyHub.deploy(world, cache_ttl=cache_ttl)
+    minaret = Minaret(hub)
+    for manuscript in make_session_manuscripts(world):
+        minaret.recommend(manuscript)
+    rate_limited = sum(s.rate_limited for s in hub.http.stats.values())
+    return {
+        "requests": hub.total_requests(),
+        "latency": hub.total_latency(),
+        "hit_rate": hub.crawler.cache_hit_rate(),
+        "rate_limited": rate_limited,
+    }
+
+
+def main() -> None:
+    world = generate_world(WorldConfig(author_count=300, seed=42))
+
+    print(f"{'mode':24s} {'requests':>9s} {'sim latency':>12s} "
+          f"{'cache hits':>11s} {'429s':>5s}")
+    for label, ttl in (
+        ("on-the-fly (paper)", 0.0),
+        ("60s cache", 60.0),
+        ("1h cache", 3600.0),
+        ("immortal snapshot", None),
+    ):
+        stats = run_session(world, ttl)
+        print(
+            f"{label:24s} {stats['requests']:>9d} "
+            f"{stats['latency']:>11.1f}s "
+            f"{stats['hit_rate']:>10.0%} "
+            f"{stats['rate_limited']:>5d}"
+        )
+
+    print(
+        "\nThe paper's pure on-the-fly mode pays the full network bill on"
+        "\nevery search; even a short-TTL cache recovers most of it within"
+        "\nan editorial session, at the price of bounded staleness."
+    )
+
+
+if __name__ == "__main__":
+    main()

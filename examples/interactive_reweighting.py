@@ -1,0 +1,83 @@
+"""Interactive reweighting and OWA fusion — the Fig. 5 knobs, offline.
+
+The demo's closing beat: "MINARET allows the user to configure the
+weights of the different components".  Crucially, turning those knobs
+re-ranks the *already extracted* candidates — no re-crawl, instant
+feedback.  This example runs one extraction and then explores four
+scoring philosophies over it, including the OWA fusion of the paper's
+reference [4] (Nguyen et al. 2018).
+
+Run:  python examples/interactive_reweighting.py
+"""
+
+from repro import (
+    Manuscript,
+    ManuscriptAuthor,
+    Minaret,
+    RankingWeights,
+    ScholarlyHub,
+    WorldConfig,
+    generate_world,
+)
+from repro.core.config import AggregationMethod
+
+
+def main() -> None:
+    world = generate_world(WorldConfig(author_count=300, seed=42))
+    hub = ScholarlyHub.deploy(world)
+    author = next(
+        a for a in world.authors.values() if len(world.authors_by_name(a.name)) == 1
+    )
+    keywords = tuple(
+        world.ontology.topic(t).label for t in sorted(author.topic_expertise)[:3]
+    )
+    manuscript = Manuscript(
+        title=f"Reweighting Study on {keywords[0]}",
+        keywords=keywords,
+        authors=(
+            ManuscriptAuthor(author.name, author.affiliations[-1].institution),
+        ),
+        target_venue=world.journal_venues()[0].name,
+    )
+
+    minaret = Minaret(hub)
+    print("Extracting candidates once (the expensive on-the-fly part) ...")
+    base = minaret.recommend(manuscript)
+    requests_after_extraction = hub.total_requests()
+    print(f"  {requests_after_extraction} service requests, "
+          f"{len(base.ranked)} eligible reviewers\n")
+
+    philosophies = {
+        "paper default": dict(),
+        "topic purist": dict(
+            weights=RankingWeights(0.8, 0.05, 0.1, 0.05, 0.0)
+        ),
+        "turnaround hawk": dict(
+            weights=RankingWeights(0.3, 0.05, 0.1, 0.2, 0.05, timeliness=0.3)
+        ),
+        "OWA all-rounder (ref. [4])": dict(
+            aggregation=AggregationMethod.OWA,
+            owa_weights=(0.1, 0.1, 0.2, 0.2, 0.2, 0.2),
+        ),
+    }
+
+    top_lists = {}
+    for label, overrides in philosophies.items():
+        reranked = minaret.rerank(base, **overrides)
+        top_lists[label] = [s.name for s in reranked.top(5)]
+
+    width = max(len(label) for label in philosophies)
+    print(f"{'rank':>4s}  " + "  ".join(f"{label:<24s}" for label in philosophies))
+    for rank in range(5):
+        cells = [f"{top_lists[label][rank]:<24s}" for label in philosophies]
+        print(f"{rank + 1:>4d}  " + "  ".join(cells))
+
+    assert hub.total_requests() == requests_after_extraction
+    print(
+        "\nAll four rankings came from the same extraction — zero additional "
+        "service requests."
+    )
+
+
+if __name__ == "__main__":
+    main()

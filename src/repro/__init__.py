@@ -1,0 +1,63 @@
+"""MINARET reproduction: a recommendation framework for scientific reviewers.
+
+Reproduction of Moawad, Maher, Awad, Sakr — *MINARET: A Recommendation
+Framework for Scientific Reviewers*, EDBT 2019 (demonstration), built on
+fully simulated substrates: six scholarly source services, a CSO-style
+topic ontology, a synthetic scholarly world with ground truth, and a
+simulated web layer.  See DESIGN.md for the system inventory and
+EXPERIMENTS.md for the reproduced figures and experiments.
+
+Quickstart
+----------
+>>> from repro import (
+...     Manuscript, ManuscriptAuthor, Minaret, ScholarlyHub,
+...     WorldConfig, generate_world,
+... )
+>>> world = generate_world(WorldConfig(author_count=200))
+>>> hub = ScholarlyHub.deploy(world)
+>>> minaret = Minaret(hub)
+"""
+
+from repro.core import (
+    AffiliationCoiLevel,
+    CoiConfig,
+    ExpertiseConstraints,
+    FilterConfig,
+    ImpactMetric,
+    Manuscript,
+    ManuscriptAuthor,
+    Minaret,
+    PipelineConfig,
+    RankingWeights,
+    RecommendationResult,
+    ScoredCandidate,
+)
+from repro.ontology import KeywordExpander, TopicOntology, build_seed_ontology
+from repro.scholarly import ScholarlyHub, SourceName
+from repro.world import GroundTruthOracle, WorldConfig, generate_world
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AffiliationCoiLevel",
+    "CoiConfig",
+    "ExpertiseConstraints",
+    "FilterConfig",
+    "GroundTruthOracle",
+    "ImpactMetric",
+    "KeywordExpander",
+    "Manuscript",
+    "ManuscriptAuthor",
+    "Minaret",
+    "PipelineConfig",
+    "RankingWeights",
+    "RecommendationResult",
+    "ScholarlyHub",
+    "ScoredCandidate",
+    "SourceName",
+    "TopicOntology",
+    "WorldConfig",
+    "build_seed_ontology",
+    "generate_world",
+    "__version__",
+]

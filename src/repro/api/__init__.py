@@ -1,0 +1,31 @@
+"""REST-style API layer (paper §3: "available ... as RESTful APIs").
+
+A transport-free request/response framework: :class:`~repro.api.router.Router`
+dispatches ``(method, path)`` to handlers,
+:class:`~repro.api.handlers.MinaretApi` exposes the recommendation
+workflow as JSON endpoints, and :mod:`repro.api.serialization` converts
+between JSON payloads and the framework's domain objects.
+
+No socket is opened anywhere — callers invoke
+``api.handle("POST", "/api/v1/recommend", body)`` directly, which is
+also exactly what the tests and the CLI do.
+"""
+
+from repro.api.handlers import MinaretApi
+from repro.api.router import ApiError, ApiRequest, ApiResponse, Router
+from repro.api.serialization import (
+    manuscript_from_payload,
+    result_to_payload,
+    scored_candidate_to_payload,
+)
+
+__all__ = [
+    "ApiError",
+    "ApiRequest",
+    "ApiResponse",
+    "MinaretApi",
+    "Router",
+    "manuscript_from_payload",
+    "result_to_payload",
+    "scored_candidate_to_payload",
+]

@@ -1,0 +1,274 @@
+"""The MINARET REST API endpoints (paper §3).
+
+Endpoints
+---------
+``GET  /api/v1/health``
+    Liveness and version.
+``GET  /api/v1/sources``
+    Registered scholarly sources with per-host request statistics.
+``POST /api/v1/expand``
+    Semantic keyword expansion: ``{keywords, max_depth?, min_score?}``.
+``POST /api/v1/verify-authors``
+    Identity verification for an author list (the Fig. 4 step).
+``POST /api/v1/recommend``
+    The full workflow: ``{manuscript: {...}, config?: {...}, top_k?}``.
+``POST /api/v1/assign``
+    Batch mode (§3): run the workflow for several manuscripts and solve
+    the cross-paper assignment under load constraints:
+    ``{manuscripts: [{paper_id, manuscript}], reviewers_per_paper?,
+    max_load?, solver?, config?}``.
+"""
+
+from __future__ import annotations
+
+from repro.api.router import ApiError, ApiRequest, ApiResponse, Router
+from repro.api.serialization import (
+    config_from_payload,
+    manuscript_from_payload,
+    result_to_payload,
+)
+from repro.core.errors import AmbiguousIdentityError, IdentityVerificationError
+from repro.core.identity import IdentityVerifier
+from repro.core.models import ManuscriptAuthor
+from repro.core.pipeline import Minaret
+from repro.ontology.expansion import ExpansionConfig, KeywordExpander
+from repro.ontology.graph import TopicOntology
+
+
+class MinaretApi:
+    """The API facade over one deployment of the framework.
+
+    ``sources`` is the usual six-client bundle (a ``ScholarlyHub``);
+    one :class:`Minaret` pipeline is built per ``/recommend`` call so
+    that per-request config overrides apply cleanly.
+    """
+
+    def __init__(self, sources, ontology: TopicOntology | None = None, resolver=None):
+        from repro.ontology.data import build_seed_ontology
+
+        self._sources = sources
+        self._ontology = ontology or build_seed_ontology()
+        self._resolver = resolver
+        self._router = Router()
+        self._router.add("GET", "/api/v1/health", self._health)
+        self._router.add("GET", "/api/v1/sources", self._source_stats)
+        self._router.add("GET", "/api/v1/trace", self._trace)
+        self._router.add("POST", "/api/v1/expand", self._expand)
+        self._router.add("POST", "/api/v1/verify-authors", self._verify_authors)
+        self._router.add("POST", "/api/v1/recommend", self._recommend)
+        self._router.add("POST", "/api/v1/assign", self._assign)
+
+    def handle(self, method: str, path: str, body: dict | None = None) -> ApiResponse:
+        """Entry point: dispatch one API call."""
+        return self._router.dispatch(method, path, body)
+
+    def routes(self) -> list[tuple[str, str]]:
+        """All exposed ``(method, path)`` pairs."""
+        return self._router.routes()
+
+    # ------------------------------------------------------------------
+    # Handlers
+    # ------------------------------------------------------------------
+
+    def _health(self, request: ApiRequest) -> dict:
+        from repro import __version__
+
+        return {"status": "ok", "version": __version__}
+
+    def _source_stats(self, request: ApiRequest) -> dict:
+        http = getattr(self._sources, "http", None)
+        if http is None:
+            return {"sources": []}
+        return {
+            "sources": [
+                {
+                    "host": host,
+                    "requests": stats.requests,
+                    "rate_limited": stats.rate_limited,
+                    "faults": stats.faults,
+                    "total_latency": round(stats.total_latency, 4),
+                }
+                for host, stats in sorted(http.stats.items())
+            ]
+        }
+
+    def _trace(self, request: ApiRequest) -> dict:
+        http = getattr(self._sources, "http", None)
+        if http is None:
+            return {"traces": [], "enabled": False}
+        traces = http.traces()
+        return {
+            "enabled": bool(getattr(http, "tracing_enabled", False)),
+            "traces": [
+                {
+                    "host": trace.host,
+                    "path": trace.path,
+                    "params": dict(trace.params),
+                    "status": trace.status,
+                    "latency": round(trace.latency, 4),
+                    "at": round(trace.at, 4),
+                }
+                for trace in traces
+            ],
+        }
+
+    def _expand(self, request: ApiRequest) -> dict:
+        keywords = request.require("keywords")
+        if not isinstance(keywords, list) or not keywords:
+            raise ApiError(400, "keywords must be a non-empty list")
+        config = ExpansionConfig(
+            max_depth=int(request.body.get("max_depth", 2)),
+            min_score=float(request.body.get("min_score", 0.5)),
+        )
+        expander = KeywordExpander(self._ontology, config)
+        expansions = expander.expand([str(k) for k in keywords])
+        return {
+            "expansions": [
+                {
+                    "keyword": e.keyword,
+                    "score": e.score,
+                    "seed": e.seed,
+                    "depth": e.depth,
+                }
+                for e in expansions
+            ]
+        }
+
+    def _verify_authors(self, request: ApiRequest) -> dict:
+        authors_payload = request.require("authors")
+        if not isinstance(authors_payload, list) or not authors_payload:
+            raise ApiError(400, "authors must be a non-empty list")
+        verifier = IdentityVerifier(self._sources, resolver=self._resolver)
+        verified = []
+        for author_payload in authors_payload:
+            author = ManuscriptAuthor(
+                name=str(author_payload["name"]),
+                affiliation=str(author_payload.get("affiliation", "")),
+                country=str(author_payload.get("country", "")),
+            )
+            try:
+                result = verifier.verify(author)
+            except AmbiguousIdentityError as exc:
+                raise ApiError(409, str(exc)) from exc
+            except IdentityVerificationError as exc:
+                raise ApiError(404, str(exc)) from exc
+            verified.append(
+                {
+                    "name": author.name,
+                    "canonical_name": result.profile.canonical_name,
+                    "ambiguous": result.ambiguous,
+                    "matches": [
+                        {
+                            "source": match.source.value,
+                            "source_author_id": match.source_author_id,
+                            "evidence": match.evidence,
+                            "confidence": match.confidence,
+                        }
+                        for match in result.candidates_considered
+                    ],
+                    "source_ids": {
+                        source.value: source_id
+                        for source, source_id in result.profile.source_ids
+                    },
+                }
+            )
+        return {"verified": verified}
+
+    def _recommend(self, request: ApiRequest) -> dict:
+        manuscript = manuscript_from_payload(request.require("manuscript"))
+        config = config_from_payload(request.body.get("config", {}))
+        top_k = request.body.get("top_k")
+        if top_k is not None:
+            top_k = int(top_k)
+            if top_k < 1:
+                raise ApiError(400, "top_k must be >= 1")
+        pipeline = Minaret(
+            self._sources,
+            ontology=self._ontology,
+            config=config,
+            resolver=self._resolver,
+        )
+        try:
+            result = pipeline.recommend(manuscript)
+        except AmbiguousIdentityError as exc:
+            raise ApiError(409, str(exc)) from exc
+        except IdentityVerificationError as exc:
+            raise ApiError(404, str(exc)) from exc
+        return result_to_payload(result, top_k=top_k)
+
+    def _assign(self, request: ApiRequest) -> dict:
+        from repro.assignment import (
+            assess_assignment,
+            greedy_assignment,
+            optimal_assignment,
+            problem_from_results,
+            random_assignment,
+        )
+
+        manuscripts_payload = request.require("manuscripts")
+        if not isinstance(manuscripts_payload, list) or not manuscripts_payload:
+            raise ApiError(400, "manuscripts must be a non-empty list")
+        solver_name = str(request.body.get("solver", "optimal"))
+        solvers = {
+            "optimal": optimal_assignment,
+            "greedy": greedy_assignment,
+            "random": lambda p: random_assignment(p, seed=0),
+        }
+        if solver_name not in solvers:
+            raise ApiError(
+                400, f"unknown solver {solver_name!r}; use one of {sorted(solvers)}"
+            )
+        config = config_from_payload(request.body.get("config", {}))
+        pipeline = Minaret(
+            self._sources,
+            ontology=self._ontology,
+            config=config,
+            resolver=self._resolver,
+        )
+        results = []
+        names: dict[str, str] = {}
+        for entry in manuscripts_payload:
+            paper_id = str(entry.get("paper_id", ""))
+            if not paper_id:
+                raise ApiError(400, "each batch entry needs a paper_id")
+            manuscript = manuscript_from_payload(entry.get("manuscript", {}))
+            try:
+                result = pipeline.recommend(manuscript)
+            except AmbiguousIdentityError as exc:
+                raise ApiError(409, str(exc)) from exc
+            except IdentityVerificationError as exc:
+                raise ApiError(404, str(exc)) from exc
+            for scored in result.ranked:
+                names[scored.candidate.candidate_id] = scored.name
+            results.append((paper_id, result))
+        try:
+            problem = problem_from_results(
+                results,
+                reviewers_per_paper=int(
+                    request.body.get("reviewers_per_paper", 3)
+                ),
+                max_load=int(request.body.get("max_load", 2)),
+                top_k=request.body.get("top_k"),
+            )
+        except ValueError as exc:
+            raise ApiError(400, str(exc)) from exc
+        assignment = solvers[solver_name](problem)
+        quality = assess_assignment(problem, assignment)
+        return {
+            "solver": solver_name,
+            "assignments": {
+                paper_id: [
+                    {"candidate_id": reviewer, "name": names.get(reviewer, reviewer)}
+                    for reviewer in assignment.reviewers_of(paper_id)
+                ]
+                for paper_id in problem.papers()
+            },
+            "quality": {
+                "total_score": quality.total_score,
+                "mean_paper_score": quality.mean_paper_score,
+                "min_paper_score": quality.min_paper_score,
+                "unfilled_slots": quality.unfilled_slots,
+                "max_load": quality.max_load,
+                "load_stddev": quality.load_stddev,
+            },
+        }

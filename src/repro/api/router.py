@@ -1,0 +1,127 @@
+"""Minimal method+path router with JSON semantics.
+
+Deliberately small: exact-path and single-``{param}`` segment matching,
+typed errors mapping to HTTP status codes, and a uniform response
+envelope.  Enough to express the paper's REST API without dragging in a
+web framework the offline environment does not have.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ApiRequest:
+    """One API call: method, path, parsed body, and path parameters."""
+
+    method: str
+    path: str
+    body: dict = field(default_factory=dict)
+    path_params: dict[str, str] = field(default_factory=dict)
+
+    def require(self, field_name: str) -> object:
+        """Fetch a required body field or raise a 400 :class:`ApiError`."""
+        if field_name not in self.body:
+            raise ApiError(400, f"missing required field {field_name!r}")
+        return self.body[field_name]
+
+
+@dataclass(frozen=True)
+class ApiResponse:
+    """The uniform response envelope."""
+
+    status: int
+    body: dict
+
+    @property
+    def ok(self) -> bool:
+        """Whether the status is a 2xx."""
+        return 200 <= self.status < 300
+
+
+class ApiError(Exception):
+    """A handler-raised error carrying its HTTP status."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+Handler = Callable[[ApiRequest], dict]
+
+
+class Router:
+    """Routes ``(method, path)`` to handlers.
+
+    Path templates may contain ``{param}`` segments, e.g.
+    ``/api/v1/candidates/{id}``; matched values land in
+    ``request.path_params``.
+    """
+
+    def __init__(self):
+        self._routes: list[tuple[str, list[str], Handler]] = []
+
+    def add(self, method: str, template: str, handler: Handler) -> None:
+        """Register a handler for a method and path template."""
+        method = method.upper()
+        segments = _split(template)
+        for existing_method, existing_segments, __ in self._routes:
+            if existing_method == method and existing_segments == segments:
+                raise ValueError(f"duplicate route {method} {template}")
+        self._routes.append((method, segments, handler))
+
+    def dispatch(self, method: str, path: str, body: dict | None = None) -> ApiResponse:
+        """Resolve and invoke the handler; errors become JSON envelopes."""
+        method = method.upper()
+        path_segments = _split(path)
+        path_exists = False
+        for route_method, template_segments, handler in self._routes:
+            params = _match(template_segments, path_segments)
+            if params is None:
+                continue
+            path_exists = True
+            if route_method != method:
+                continue
+            request = ApiRequest(
+                method=method, path=path, body=body or {}, path_params=params
+            )
+            return self._invoke(handler, request)
+        if path_exists:
+            return ApiResponse(405, {"error": f"method {method} not allowed"})
+        return ApiResponse(404, {"error": f"no route for {path!r}"})
+
+    @staticmethod
+    def _invoke(handler: Handler, request: ApiRequest) -> ApiResponse:
+        try:
+            result = handler(request)
+        except ApiError as exc:
+            return ApiResponse(exc.status, {"error": exc.message})
+        except (ValueError, KeyError, TypeError) as exc:
+            return ApiResponse(400, {"error": str(exc)})
+        return ApiResponse(200, result)
+
+    def routes(self) -> list[tuple[str, str]]:
+        """All registered ``(method, template)`` pairs."""
+        return [
+            (method, "/" + "/".join(segments))
+            for method, segments, __ in self._routes
+        ]
+
+
+def _split(path: str) -> list[str]:
+    return [segment for segment in path.split("/") if segment]
+
+
+def _match(template: list[str], path: list[str]) -> dict[str, str] | None:
+    if len(template) != len(path):
+        return None
+    params: dict[str, str] = {}
+    for expected, actual in zip(template, path):
+        if expected.startswith("{") and expected.endswith("}"):
+            params[expected[1:-1]] = actual
+        elif expected != actual:
+            return None
+    return params

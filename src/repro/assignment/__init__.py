@@ -1,0 +1,45 @@
+"""Batch paper-reviewer assignment (paper §3, extension).
+
+The demo paper notes MINARET "can be also integrated with conference
+management systems to automate the paper-reviewer assignment" — the
+setting of its references [2, 3, 8] (topic-based reviewer assignment).
+Per-manuscript recommendation is not enough there: assignments across a
+whole batch must respect *load* (no reviewer swamped) and *coverage*
+(every paper gets its quota), which couples the manuscripts together.
+
+This package turns a batch of MINARET recommendation results into an
+:class:`~repro.assignment.models.AssignmentProblem` and solves it:
+
+- :func:`~repro.assignment.solvers.greedy_assignment` — highest score
+  first, respecting caps (the fast heuristic);
+- :func:`~repro.assignment.solvers.optimal_assignment` — exact
+  maximum-total-score assignment via min-cost max-flow (networkx);
+- :func:`~repro.assignment.solvers.random_assignment` — the floor.
+
+Quality is reported as total score, per-paper minimum (fairness), and
+load distribution.
+"""
+
+from repro.assignment.models import (
+    Assignment,
+    AssignmentProblem,
+    AssignmentQuality,
+    assess_assignment,
+)
+from repro.assignment.builder import problem_from_results
+from repro.assignment.solvers import (
+    greedy_assignment,
+    optimal_assignment,
+    random_assignment,
+)
+
+__all__ = [
+    "Assignment",
+    "AssignmentProblem",
+    "AssignmentQuality",
+    "assess_assignment",
+    "greedy_assignment",
+    "optimal_assignment",
+    "problem_from_results",
+    "random_assignment",
+]

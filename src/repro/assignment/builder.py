@@ -1,0 +1,52 @@
+"""Building assignment problems from MINARET recommendation results.
+
+The coupling point between per-manuscript recommendation and batch
+assignment: each manuscript's ranked, COI-screened candidate list
+becomes one row of the score matrix, keyed by candidate id so the same
+reviewer is recognized across manuscripts.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.assignment.models import AssignmentProblem
+from repro.core.models import RecommendationResult
+
+
+def problem_from_results(
+    results: Sequence[tuple[str, RecommendationResult]],
+    reviewers_per_paper: int = 3,
+    max_load: int = 2,
+    top_k: int | None = None,
+) -> AssignmentProblem:
+    """Assemble an :class:`AssignmentProblem` from recommendation runs.
+
+    Parameters
+    ----------
+    results:
+        ``(paper_id, RecommendationResult)`` pairs — one pipeline run
+        per manuscript in the batch.
+    reviewers_per_paper / max_load:
+        The batch constraints.
+    top_k:
+        Optionally restrict each paper's candidates to its ``top_k``
+        ranked reviewers (smaller, denser instances).
+
+    Duplicate paper ids are rejected; the candidate's pipeline
+    ``total_score`` is the suitability score.
+    """
+    scores: dict[str, dict[str, float]] = {}
+    for paper_id, result in results:
+        if paper_id in scores:
+            raise ValueError(f"duplicate paper id {paper_id!r}")
+        ranked = result.ranked if top_k is None else result.top(top_k)
+        scores[paper_id] = {
+            scored.candidate.candidate_id: scored.total_score
+            for scored in ranked
+        }
+    return AssignmentProblem(
+        scores=scores,
+        reviewers_per_paper=reviewers_per_paper,
+        max_load=max_load,
+    )

@@ -1,0 +1,91 @@
+"""Scoring recommendations against the world's ground truth.
+
+The pipeline only ever sees source-level ids (Scholar users, Publons
+reviewer ids).  To score a run, those must be resolved back to world
+author ids — an operation only the *evaluation harness* may perform
+(the recommenders themselves never touch the world object).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.metrics import ndcg_at_k, precision_at_k, recall_at_k
+from repro.world.model import GroundTruthOracle, ScholarlyWorld
+
+
+class CandidateResolver:
+    """Maps source-level candidate ids back to world author ids.
+
+    Built from the hub's services, which know which world author each of
+    their profiles was minted for.
+    """
+
+    def __init__(self, hub):
+        self._by_source_id: dict[str, str] = {}
+        for author_id in hub.world.authors:
+            scholar_user = hub.scholar_service.user_of(author_id)
+            if scholar_user is not None:
+                self._by_source_id[scholar_user] = author_id
+            publons_id = hub.publons_service.reviewer_id_of(author_id)
+            if publons_id is not None:
+                self._by_source_id[publons_id] = author_id
+
+    def world_id(self, candidate_id: str) -> str | None:
+        """The world author id behind a candidate id, if known."""
+        return self._by_source_id.get(candidate_id)
+
+    def world_ids(self, candidate_ids: list[str]) -> list[str]:
+        """Resolve a ranked id list, dropping unresolvable entries."""
+        resolved = []
+        for candidate_id in candidate_ids:
+            world_id = self.world_id(candidate_id)
+            if world_id is not None:
+                resolved.append(world_id)
+        return resolved
+
+
+@dataclass(frozen=True)
+class QualityScores:
+    """One run's quality against the oracle."""
+
+    precision: float
+    recall: float
+    ndcg: float
+    mean_utility: float
+
+
+def evaluate_recommendation(
+    world: ScholarlyWorld,
+    resolver: CandidateResolver,
+    candidate_ids: list[str],
+    topic_ids: list[str],
+    manuscript_author_ids: list[str],
+    k: int = 10,
+    oracle_pool: int = 10,
+) -> QualityScores:
+    """Score one ranked recommendation list against the oracle.
+
+    ``oracle_pool`` controls how many oracle-best reviewers count as
+    "relevant" for precision/recall; nDCG uses every author's graded
+    utility as gain, so it rewards near-misses that binary precision
+    does not.
+    """
+    oracle = GroundTruthOracle(world)
+    ideal = oracle.ideal_reviewers(
+        topic_ids, manuscript_author_ids, k=oracle_pool
+    )
+    relevant = set(ideal)
+    recommended = resolver.world_ids(candidate_ids)
+    gains = {
+        author_id: oracle.reviewer_utility(author_id, topic_ids)
+        for author_id in world.authors
+        if author_id not in set(manuscript_author_ids)
+    }
+    utilities = [gains.get(a, 0.0) for a in recommended[:k]]
+    return QualityScores(
+        precision=precision_at_k(recommended, relevant, k),
+        recall=recall_at_k(recommended, relevant, k),
+        ndcg=ndcg_at_k(recommended, gains, k),
+        mean_utility=(sum(utilities) / len(utilities)) if utilities else 0.0,
+    )

@@ -1,0 +1,122 @@
+"""The comparison recommenders.
+
+Every recommender runs the *same* pipeline infrastructure — the same
+simulated sources, the same candidate retrieval budget — differing only
+in the algorithmic choice under study, so that EXP-QUALITY measures the
+algorithm and not the plumbing.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+
+from repro.core.config import PipelineConfig, RankingWeights
+from repro.core.models import Manuscript, RecommendationResult
+from repro.core.pipeline import Minaret
+from repro.ontology.expansion import ExpansionConfig
+from repro.ontology.graph import TopicOntology
+
+
+@dataclass
+class BaselineResult:
+    """A recommender's output: ordered candidate ids + the full result."""
+
+    name: str
+    candidate_ids: list[str]
+    result: RecommendationResult
+
+
+class Recommender:
+    """Base class: wraps a configured :class:`Minaret` pipeline."""
+
+    name = "minaret"
+
+    def __init__(
+        self,
+        sources,
+        ontology: TopicOntology | None = None,
+        config: PipelineConfig | None = None,
+        resolver=None,
+    ):
+        self._config = self._adapt_config(config or PipelineConfig())
+        self._pipeline = Minaret(
+            sources, ontology=ontology, config=self._config, resolver=resolver
+        )
+
+    def _adapt_config(self, config: PipelineConfig) -> PipelineConfig:
+        """Hook: subclasses reshape the configuration."""
+        return config
+
+    def recommend(self, manuscript: Manuscript, k: int = 10) -> BaselineResult:
+        """Run the pipeline and return the ordered top-``k`` ids."""
+        result = self._pipeline.recommend(manuscript)
+        ordered = self._order(result)
+        return BaselineResult(
+            name=self.name, candidate_ids=ordered[:k], result=result
+        )
+
+    def _order(self, result: RecommendationResult) -> list[str]:
+        """Hook: subclasses reorder the pipeline output."""
+        return [s.candidate.candidate_id for s in result.ranked]
+
+
+class MinaretRecommender(Recommender):
+    """The full system, unchanged — the paper's configuration."""
+
+    name = "minaret"
+
+
+class NoExpansionRecommender(Recommender):
+    """Raw keyword matching: semantic expansion disabled (depth 0).
+
+    This is lexical profile matching in the style of TPMS — only
+    scholars registering the *exact* manuscript keywords are ever
+    retrieved, which is precisely what §2.1's expansion step exists to
+    fix.
+    """
+
+    name = "no-expansion"
+
+    def _adapt_config(self, config: PipelineConfig) -> PipelineConfig:
+        return replace(config, expansion=ExpansionConfig(max_depth=0))
+
+
+class CitationOnlyRecommender(Recommender):
+    """Rank purely by scientific impact.
+
+    The "invite the most famous person" strategy the introduction argues
+    against: topically adjacent at best, often unavailable.
+    """
+
+    name = "citation-only"
+
+    def _adapt_config(self, config: PipelineConfig) -> PipelineConfig:
+        impact_only = RankingWeights(
+            topic_coverage=0.0,
+            scientific_impact=1.0,
+            recency=0.0,
+            review_experience=0.0,
+            outlet_familiarity=0.0,
+        )
+        return replace(config, weights=impact_only)
+
+
+class RandomRecommender(Recommender):
+    """Random order over the same filtered candidate pool.
+
+    Keeps retrieval and filtering identical (COI screening stays — a
+    random *conflicted* reviewer would be an unfair strawman) and only
+    randomizes the ranking, isolating the value of the scoring model.
+    """
+
+    name = "random"
+
+    def __init__(self, sources, ontology=None, config=None, resolver=None, seed=0):
+        super().__init__(sources, ontology=ontology, config=config, resolver=resolver)
+        self._rng = random.Random(seed)
+
+    def _order(self, result: RecommendationResult) -> list[str]:
+        ids = [s.candidate.candidate_id for s in result.ranked]
+        self._rng.shuffle(ids)
+        return ids

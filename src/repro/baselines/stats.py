@@ -1,0 +1,94 @@
+"""Small statistics helpers for experiment reporting.
+
+Benchmarks report means over manuscript samples; without uncertainty
+estimates, shape claims ("A beats B") are just two numbers.  These
+helpers provide seeded bootstrap confidence intervals and paired
+comparisons, pure Python + ``random`` (numpy would work too, but the
+sample sizes here are tiny).
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MeanWithCi:
+    """A sample mean with a bootstrap confidence interval."""
+
+    mean: float
+    low: float
+    high: float
+    confidence: float
+
+    def __str__(self) -> str:
+        return f"{self.mean:.3f} [{self.low:.3f}, {self.high:.3f}]"
+
+
+def bootstrap_mean_ci(
+    values: Sequence[float],
+    confidence: float = 0.95,
+    resamples: int = 2000,
+    seed: int = 0,
+) -> MeanWithCi:
+    """Percentile-bootstrap CI of the mean.
+
+    A single observation yields a degenerate interval at that value;
+    empty input is rejected.
+    """
+    if not values:
+        raise ValueError("cannot bootstrap an empty sample")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    mean = sum(values) / len(values)
+    if len(values) == 1:
+        return MeanWithCi(mean, mean, mean, confidence)
+    rng = random.Random(seed)
+    means = []
+    count = len(values)
+    for __ in range(resamples):
+        resample = [values[rng.randrange(count)] for __i in range(count)]
+        means.append(sum(resample) / count)
+    means.sort()
+    alpha = (1.0 - confidence) / 2.0
+    low_index = int(alpha * resamples)
+    high_index = min(resamples - 1, int((1.0 - alpha) * resamples))
+    return MeanWithCi(
+        mean=mean,
+        low=means[low_index],
+        high=means[high_index],
+        confidence=confidence,
+    )
+
+
+def paired_bootstrap_pvalue(
+    a: Sequence[float],
+    b: Sequence[float],
+    resamples: int = 2000,
+    seed: int = 0,
+) -> float:
+    """One-sided paired bootstrap p-value for "mean(a) > mean(b)".
+
+    Resamples the per-item differences and reports the fraction of
+    resampled mean differences that are <= 0 (so small values support
+    the hypothesis).  Requires equal-length paired samples.
+    """
+    if len(a) != len(b):
+        raise ValueError("paired samples must have equal length")
+    if not a:
+        raise ValueError("cannot bootstrap empty samples")
+    differences = [x - y for x, y in zip(a, b)]
+    if len(differences) == 1:
+        return 0.0 if differences[0] > 0 else 1.0
+    rng = random.Random(seed)
+    count = len(differences)
+    not_greater = 0
+    for __ in range(resamples):
+        resample_mean = (
+            sum(differences[rng.randrange(count)] for __i in range(count)) / count
+        )
+        if resample_mean <= 0:
+            not_greater += 1
+    return not_greater / resamples

@@ -1,0 +1,193 @@
+"""Conflict-of-interest detection (§2.2).
+
+A candidate conflicts with a manuscript when, against *any* of its
+verified authors, there exists:
+
+- a previous co-authorship — detected as a non-empty intersection of
+  publication-id sets (the merged profiles aggregate every source's
+  publication list, so this is the union view of the record), optionally
+  restricted to a recency window; or
+- a shared affiliation — the same institution with overlapping periods
+  (university level) or, when the editor tightens the rule, the same
+  country (country level).
+
+Undated affiliations (a Scholar profile's single free-text line) are
+interpreted as *current*: they are assumed to cover the last
+``UNDATED_SPAN_YEARS`` years.  Treating them as covering all time would
+flag essentially everyone who ever passed through a big university;
+treating them as empty would miss the most common real conflict.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import AffiliationCoiLevel, CoiConfig
+from repro.core.models import Candidate, CoiVerdict, VerifiedAuthor
+from repro.scholarly.records import Affiliation
+
+#: How many years back an undated affiliation is assumed to extend.
+UNDATED_SPAN_YEARS = 3
+
+
+class CoiDetector:
+    """Screens candidates against the verified author list."""
+
+    def __init__(self, config: CoiConfig | None = None, current_year: int = 2019):
+        self._config = config or CoiConfig()
+        self._current_year = current_year
+
+    def check(
+        self,
+        candidate: Candidate,
+        authors: list[VerifiedAuthor],
+        publication_years: dict[str, int] | None = None,
+    ) -> CoiVerdict:
+        """Screen one candidate; returns the verdict with all reasons.
+
+        ``publication_years`` maps publication id → year and is needed
+        only when a co-authorship lookback window is configured (the
+        pipeline builds it from the candidates' publication lists).
+        """
+        reasons: list[str] = []
+        for author in authors:
+            reasons.extend(self._coauthorship_reasons(candidate, author, publication_years))
+            reasons.extend(self._affiliation_reasons(candidate, author))
+            reasons.extend(self._mentorship_reasons(candidate, author))
+            if self._is_same_person(candidate, author):
+                reasons.append(
+                    f"candidate appears to be manuscript author "
+                    f"{author.submitted.name!r}"
+                )
+        return CoiVerdict(has_conflict=bool(reasons), reasons=tuple(reasons))
+
+    # ------------------------------------------------------------------
+    # Rules
+    # ------------------------------------------------------------------
+
+    def _coauthorship_reasons(
+        self,
+        candidate: Candidate,
+        author: VerifiedAuthor,
+        publication_years: dict[str, int] | None,
+    ) -> list[str]:
+        if not self._config.check_coauthorship:
+            return []
+        shared = set(candidate.profile.publication_ids) & set(
+            author.profile.publication_ids
+        )
+        if not shared:
+            return []
+        lookback = self._config.coauthorship_lookback_years
+        if lookback is not None and publication_years is not None:
+            cutoff = self._current_year - lookback
+            shared = {
+                pub_id
+                for pub_id in shared
+                if publication_years.get(pub_id, self._current_year) >= cutoff
+            }
+            if not shared:
+                return []
+        return [
+            f"co-authored {len(shared)} publication(s) with "
+            f"{author.submitted.name!r}"
+        ]
+
+    def _affiliation_reasons(
+        self, candidate: Candidate, author: VerifiedAuthor
+    ) -> list[str]:
+        level = self._config.affiliation_level
+        if level is AffiliationCoiLevel.NONE:
+            return []
+        reasons = []
+        author_affiliations = list(author.profile.affiliations)
+        if author.submitted.affiliation:
+            # The submission form's current affiliation is evidence too.
+            author_affiliations.append(
+                Affiliation(
+                    institution=author.submitted.affiliation,
+                    country=author.submitted.country,
+                    start_year=0,
+                    end_year=None,
+                )
+            )
+        for cand_aff in candidate.profile.affiliations:
+            for auth_aff in author_affiliations:
+                if not self._periods_overlap(cand_aff, auth_aff):
+                    continue
+                if cand_aff.institution and cand_aff.institution == auth_aff.institution:
+                    reasons.append(
+                        f"shared affiliation {cand_aff.institution!r} with "
+                        f"{author.submitted.name!r}"
+                    )
+                elif (
+                    level is AffiliationCoiLevel.COUNTRY
+                    and cand_aff.country
+                    and cand_aff.country == auth_aff.country
+                ):
+                    reasons.append(
+                        f"shared country {cand_aff.country!r} with "
+                        f"{author.submitted.name!r}"
+                    )
+        return list(dict.fromkeys(reasons))
+
+    def _mentorship_reasons(
+        self, candidate: Candidate, author: VerifiedAuthor
+    ) -> list[str]:
+        """Flag likely advisor/advisee pairs (permanent COI).
+
+        Evidence: a shared publication falling within the configured
+        window of the *junior* party's first publication, where the
+        *senior* party's record begins at least the configured gap
+        earlier.  Publication years come from the two parties' DBLP
+        pages; without them (no DBLP link) the rule stays silent.
+        """
+        if not self._config.check_mentorship:
+            return []
+        candidate_years = {
+            p["id"]: p["year"] for p in candidate.dblp_publications
+        }
+        author_years = {p["id"]: p["year"] for p in author.dblp_publications}
+        if not candidate_years or not author_years:
+            return []
+        shared = set(candidate_years) & set(author_years)
+        if not shared:
+            return []
+        candidate_first = min(candidate_years.values())
+        author_first = min(author_years.values())
+        gap = abs(candidate_first - author_first)
+        if gap < self._config.mentorship_seniority_gap:
+            return []
+        junior_first = max(candidate_first, author_first)
+        window_end = junior_first + self._config.mentorship_window_years
+        early_shared = [
+            pub_id for pub_id in shared if candidate_years[pub_id] <= window_end
+        ]
+        if not early_shared:
+            return []
+        role = "advisee" if candidate_first > author_first else "advisor"
+        return [
+            f"likely {role} relationship with {author.submitted.name!r} "
+            f"({len(early_shared)} early-career shared publication(s))"
+        ]
+
+    def _is_same_person(self, candidate: Candidate, author: VerifiedAuthor) -> bool:
+        """A manuscript author retrieved as their own reviewer."""
+        candidate_ids = dict(candidate.profile.source_ids)
+        author_ids = dict(author.profile.source_ids)
+        for source, source_id in candidate_ids.items():
+            if author_ids.get(source) == source_id:
+                return True
+        return False
+
+    def _periods_overlap(self, a: Affiliation, b: Affiliation) -> bool:
+        return self._concretize(a).overlaps(self._concretize(b))
+
+    def _concretize(self, affiliation: Affiliation) -> Affiliation:
+        """Give undated affiliations a concrete recent period."""
+        if affiliation.start_year > 0:
+            return affiliation
+        return Affiliation(
+            institution=affiliation.institution,
+            country=affiliation.country,
+            start_year=self._current_year - UNDATED_SPAN_YEARS,
+            end_year=affiliation.end_year,
+        )

@@ -1,0 +1,301 @@
+"""Information extraction phase (§2.1): candidates and their profiles.
+
+Candidate retrieval follows the paper exactly: the manuscript keywords
+are semantically expanded, then each expanded keyword is used to query
+the services that index research interests (Google Scholar and Publons)
+for scholars registering it.  Every retrieved scholar accumulates the
+expansion scores ``sc`` of the keywords that matched them; the best
+``max_candidates`` by aggregate match are kept and their full profiles
+are assembled across the remaining sources.
+
+All of this happens through the simulated HTTP layer — profile assembly
+is where the bulk of the pipeline's on-the-fly request volume goes,
+which is what :class:`~repro.core.config.PipelineConfig.max_candidates`
+exists to bound.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import PipelineConfig
+from repro.core.models import Candidate
+from repro.ontology.expansion import ExpandedKeyword
+from repro.scholarly.merge import merge_source_profiles
+from repro.scholarly.records import SourceProfile
+from repro.text.normalize import canonical_person_name, normalize_keyword
+from repro.web.crawler import CrawlError
+
+
+class CandidateExtractor:
+    """Retrieves candidate reviewers and assembles their profiles.
+
+    ``sources`` is any object exposing the six typed clients as
+    attributes (``ScholarlyHub`` qualifies).
+    """
+
+    def __init__(self, sources, config: PipelineConfig | None = None):
+        self._sources = sources
+        self._config = config or PipelineConfig()
+        #: Candidates dropped because a source stayed down through every
+        #: retry while assembling their profile.
+        self.assembly_failures = 0
+        #: Interest queries abandoned because a source stayed down —
+        #: that expanded keyword contributed no candidates this run.
+        self.retrieval_failures = 0
+
+    # ------------------------------------------------------------------
+    # Retrieval
+    # ------------------------------------------------------------------
+
+    def retrieve_candidate_ids(
+        self, expanded: list[ExpandedKeyword]
+    ) -> tuple[dict[str, dict[str, float]], dict[str, dict[str, float]]]:
+        """Query the interest indexes for every expanded keyword.
+
+        Returns two maps — Scholar users and Publons reviewers — each of
+        the form ``source_id -> {normalized keyword: best sc}``.
+        """
+        limit = self._config.per_keyword_retrieval_limit
+        scholar_matches: dict[str, dict[str, float]] = {}
+        publons_matches: dict[str, dict[str, float]] = {}
+        for expansion in expanded:
+            keyword = normalize_keyword(expansion.keyword)
+            # Each interest query degrades independently: a source outage
+            # costs one expanded keyword's contribution, never the run.
+            try:
+                users = self._sources.scholar.scholars_by_interest(
+                    expansion.keyword, limit=limit
+                )
+            except CrawlError:
+                self.retrieval_failures += 1
+                users = []
+            for user in users:
+                bucket = scholar_matches.setdefault(user, {})
+                bucket[keyword] = max(bucket.get(keyword, 0.0), expansion.score)
+            try:
+                reviewers = self._sources.publons.reviewers_by_interest(
+                    expansion.keyword, limit=limit
+                )
+            except CrawlError:
+                self.retrieval_failures += 1
+                reviewers = []
+            for reviewer in reviewers:
+                bucket = publons_matches.setdefault(reviewer, {})
+                bucket[keyword] = max(bucket.get(keyword, 0.0), expansion.score)
+        return scholar_matches, publons_matches
+
+    def extract_candidates(
+        self, expanded: list[ExpandedKeyword]
+    ) -> list[Candidate]:
+        """The full extraction step: retrieve, cap, assemble, dedupe.
+
+        Scholar-retrieved candidates are assembled first (Scholar is the
+        richer anchor); Publons-only candidates are added afterwards,
+        skipping anyone whose name already appeared — the name is the
+        only cross-service key available at this stage, exactly as in
+        the real system.
+        """
+        scholar_matches, publons_matches = self.retrieve_candidate_ids(expanded)
+        ranked_scholar = self._rank_matches(scholar_matches)
+        ranked_publons = self._rank_matches(publons_matches)
+        budget = self._config.max_candidates
+        candidates: list[Candidate] = []
+        seen_names: set[str] = set()
+        for user, matched in ranked_scholar:
+            if len(candidates) >= budget:
+                break
+            try:
+                candidate = self._assemble_from_scholar(user, matched)
+            except CrawlError:
+                # A source stayed down through every retry.  Losing one
+                # candidate beats aborting the whole recommendation; the
+                # skip is visible in the extraction phase's items_out.
+                self.assembly_failures += 1
+                continue
+            if candidate is None:
+                continue
+            key = canonical_person_name(candidate.name)
+            if key in seen_names:
+                continue
+            seen_names.add(key)
+            candidates.append(candidate)
+        for reviewer, matched in ranked_publons:
+            if len(candidates) >= budget:
+                break
+            try:
+                summary = self._sources.publons.reviewer_summary(reviewer)
+                if summary is None:
+                    continue
+                key = canonical_person_name(summary["name"])
+                if key in seen_names:
+                    continue
+                candidate = self._assemble_from_publons(reviewer, summary, matched)
+            except CrawlError:
+                self.assembly_failures += 1
+                continue
+            if candidate is None:
+                continue
+            seen_names.add(key)
+            candidates.append(candidate)
+        return candidates
+
+    @staticmethod
+    def _rank_matches(
+        matches: dict[str, dict[str, float]]
+    ) -> list[tuple[str, dict[str, float]]]:
+        """Order retrieved ids by aggregate matched-``sc``, best first."""
+        return sorted(
+            matches.items(),
+            key=lambda item: (-sum(item[1].values()), item[0]),
+        )
+
+    # ------------------------------------------------------------------
+    # Profile assembly
+    # ------------------------------------------------------------------
+
+    def _assemble_from_scholar(
+        self, user: str, matched: dict[str, float]
+    ) -> Candidate | None:
+        scholar_profile = self._sources.scholar.profile(user)
+        if scholar_profile is None:
+            return None
+        profiles: list[SourceProfile] = [scholar_profile]
+        known_pubs = set(scholar_profile.publication_ids)
+        name = scholar_profile.name
+        dblp_profile, dblp_pubs = self._link_dblp(name, known_pubs)
+        if dblp_profile is not None:
+            profiles.append(dblp_profile)
+            known_pubs |= set(dblp_profile.publication_ids)
+        orcid_profile = self._link_orcid(name, known_pubs)
+        if orcid_profile is not None:
+            profiles.append(orcid_profile)
+        publons_summary = self._link_publons_summary(name)
+        if publons_summary is not None:
+            profiles.append(_publons_summary_to_profile(publons_summary))
+        if self._config.use_all_sources:
+            profiles.extend(self._link_extra_sources(name, known_pubs))
+        candidate = Candidate(
+            candidate_id=user,
+            name=name,
+            profile=merge_source_profiles(profiles),
+            matched_keywords=dict(matched),
+            keyword_match_score=max(matched.values(), default=0.0),
+            scholar_publications=self._sources.scholar.publications(user),
+            dblp_publications=dblp_pubs,
+        )
+        _apply_publons_summary(candidate, publons_summary)
+        return candidate
+
+    def _assemble_from_publons(
+        self, reviewer: str, summary: dict, matched: dict[str, float]
+    ) -> Candidate | None:
+        profiles: list[SourceProfile] = [_publons_summary_to_profile(summary)]
+        name = summary["name"]
+        dblp_profile, dblp_pubs = self._link_dblp(name, set())
+        known_pubs = set()
+        if dblp_profile is not None:
+            profiles.append(dblp_profile)
+            known_pubs = set(dblp_profile.publication_ids)
+        orcid_profile = self._link_orcid(name, known_pubs)
+        if orcid_profile is not None:
+            profiles.append(orcid_profile)
+        candidate = Candidate(
+            candidate_id=reviewer,
+            name=name,
+            profile=merge_source_profiles(profiles),
+            matched_keywords=dict(matched),
+            keyword_match_score=max(matched.values(), default=0.0),
+            dblp_publications=dblp_pubs,
+        )
+        _apply_publons_summary(candidate, summary)
+        return candidate
+
+    # ------------------------------------------------------------------
+    # Per-source linking (candidate flavour: cheap, name-anchored)
+    # ------------------------------------------------------------------
+
+    def _link_dblp(
+        self, name: str, known_pubs: set[str]
+    ) -> tuple[SourceProfile | None, list[dict]]:
+        hits = self._sources.dblp.search_author(name)
+        if not hits:
+            return None, []
+        chosen_pid = None
+        if len(hits) == 1:
+            chosen_pid = hits[0]["pid"]
+        else:
+            # Homonyms: pick the page with the best publication overlap.
+            best_overlap = 0
+            for hit in hits:
+                profile = self._sources.dblp.author_profile(hit["pid"])
+                if profile is None:
+                    continue
+                overlap = len(known_pubs & set(profile.publication_ids))
+                if overlap > best_overlap:
+                    best_overlap = overlap
+                    chosen_pid = hit["pid"]
+            if chosen_pid is None:
+                return None, []
+        profile = self._sources.dblp.author_profile(chosen_pid)
+        if profile is None:
+            return None, []
+        pubs = self._sources.dblp.author_publications(chosen_pid)
+        return profile, pubs
+
+    def _link_orcid(self, name: str, known_pubs: set[str]) -> SourceProfile | None:
+        hits = self._sources.orcid.search(name)
+        if not hits:
+            return None
+        if len(hits) == 1:
+            return self._sources.orcid.record(hits[0]["orcid"])
+        best: tuple[int, SourceProfile] | None = None
+        for hit in hits[:5]:
+            record = self._sources.orcid.record(hit["orcid"])
+            if record is None:
+                continue
+            overlap = len(known_pubs & set(record.publication_ids))
+            if overlap > 0 and (best is None or overlap > best[0]):
+                best = (overlap, record)
+        return best[1] if best else None
+
+    def _link_publons_summary(self, name: str) -> dict | None:
+        hits = self._sources.publons.search_reviewer(name)
+        if not hits:
+            return None
+        return self._sources.publons.reviewer_summary(hits[0]["reviewer_id"])
+
+    def _link_extra_sources(
+        self, name: str, known_pubs: set[str]
+    ) -> list[SourceProfile]:
+        extra: list[SourceProfile] = []
+        acm_hits = self._sources.acm.search_author(name)
+        if len(acm_hits) == 1:
+            profile = self._sources.acm.profile(acm_hits[0]["profile_id"])
+            if profile is not None:
+                extra.append(profile)
+        rid_hits = self._sources.rid.search(name)
+        if len(rid_hits) == 1:
+            profile = self._sources.rid.profile(rid_hits[0]["rid"])
+            if profile is not None:
+                extra.append(profile)
+        return extra
+
+
+def _publons_summary_to_profile(summary: dict) -> SourceProfile:
+    """Repackage a Publons summary payload as a :class:`SourceProfile`."""
+    from repro.scholarly.records import SourceName
+
+    return SourceProfile(
+        source=SourceName.PUBLONS,
+        source_author_id=summary["reviewer_id"],
+        name=summary["name"],
+        interests=tuple(summary.get("interests", ())),
+    )
+
+
+def _apply_publons_summary(candidate: Candidate, summary: dict | None) -> None:
+    """Stamp the review-history fields onto a candidate."""
+    if summary is None:
+        return
+    candidate.review_count = int(summary.get("review_count", 0))
+    candidate.on_time_rate = summary.get("on_time_rate")
+    candidate.venues_reviewed = list(summary.get("venues_reviewed", ()))

@@ -1,0 +1,117 @@
+"""Filtering phase (§2.2): COI, keyword threshold, expertise constraints.
+
+Order matters for explainability, not correctness — every rule is
+evaluated for every candidate so that the editor sees *all* the reasons
+a candidate was dropped, the way the demo UI explains its decisions.
+"""
+
+from __future__ import annotations
+
+from repro.core.coi import CoiDetector
+from repro.core.config import FilterConfig
+from repro.core.models import Candidate, FilterDecision, VerifiedAuthor
+from repro.storage.query import And, Predicate, Range
+from repro.text.normalize import canonical_person_name
+
+
+class FilterPhase:
+    """Applies the three §2.2 filters and records every decision."""
+
+    def __init__(self, config: FilterConfig | None = None, current_year: int = 2019):
+        self._config = config or FilterConfig()
+        self._coi = CoiDetector(self._config.coi, current_year=current_year)
+        self._constraint_predicate = _compile_constraints(self._config)
+        self._pc_names = {
+            canonical_person_name(name) for name in self._config.pc_members
+        }
+
+    def apply(
+        self,
+        candidates: list[Candidate],
+        authors: list[VerifiedAuthor],
+    ) -> tuple[list[Candidate], list[FilterDecision]]:
+        """Filter candidates; returns (kept, all decisions)."""
+        publication_years = _collect_publication_years(candidates)
+        kept: list[Candidate] = []
+        decisions: list[FilterDecision] = []
+        for candidate in candidates:
+            reasons: list[str] = []
+            verdict = self._coi.check(candidate, authors, publication_years)
+            if verdict.has_conflict:
+                reasons.extend(f"COI: {r}" for r in verdict.reasons)
+            if candidate.keyword_match_score < self._config.min_keyword_score:
+                reasons.append(
+                    "keyword match score "
+                    f"{candidate.keyword_match_score:.2f} below threshold "
+                    f"{self._config.min_keyword_score:.2f}"
+                )
+            reasons.extend(self._constraint_reasons(candidate))
+            if self._pc_names:
+                if canonical_person_name(candidate.name) not in self._pc_names:
+                    reasons.append("not a programme committee member")
+            decision = FilterDecision(
+                candidate_id=candidate.candidate_id,
+                kept=not reasons,
+                reasons=tuple(reasons),
+            )
+            decisions.append(decision)
+            if decision.kept:
+                kept.append(candidate)
+        return kept, decisions
+
+    def _constraint_reasons(self, candidate: Candidate) -> list[str]:
+        if self._constraint_predicate is None:
+            return []
+        payload = {
+            "citations": candidate.profile.metrics.citations,
+            "h_index": candidate.profile.metrics.h_index,
+            "review_count": candidate.review_count,
+        }
+        if self._constraint_predicate.matches(payload):
+            return []
+        constraints = self._config.constraints
+        reasons = []
+        checks = (
+            ("citations", constraints.min_citations, constraints.max_citations),
+            ("h_index", constraints.min_h_index, constraints.max_h_index),
+            ("review_count", constraints.min_reviews, constraints.max_reviews),
+        )
+        for field_name, low, high in checks:
+            value = payload[field_name]
+            if low is not None and value < low:
+                reasons.append(f"{field_name} {value} below minimum {low}")
+            if high is not None and value > high:
+                reasons.append(f"{field_name} {value} above maximum {high}")
+        return reasons
+
+
+def _compile_constraints(config: FilterConfig) -> Predicate | None:
+    """Compile the editor's expertise constraints to a storage predicate."""
+    constraints = config.constraints
+    if constraints.is_trivial():
+        return None
+    predicates: list[Predicate] = []
+    if constraints.min_citations is not None or constraints.max_citations is not None:
+        predicates.append(
+            Range("citations", constraints.min_citations, constraints.max_citations)
+        )
+    if constraints.min_h_index is not None or constraints.max_h_index is not None:
+        predicates.append(
+            Range("h_index", constraints.min_h_index, constraints.max_h_index)
+        )
+    if constraints.min_reviews is not None or constraints.max_reviews is not None:
+        predicates.append(
+            Range("review_count", constraints.min_reviews, constraints.max_reviews)
+        )
+    return And(predicates)
+
+
+def _collect_publication_years(candidates: list[Candidate]) -> dict[str, int]:
+    """Publication-id → year map from everything the candidates exposed."""
+    years: dict[str, int] = {}
+    for candidate in candidates:
+        for pub in candidate.dblp_publications:
+            years[pub["id"]] = pub["year"]
+        for pub in candidate.scholar_publications:
+            years.setdefault(pub["id"], pub["year"])
+    return years

@@ -1,0 +1,109 @@
+"""Deterministic synthetic ontology generator for scale experiments.
+
+The curated seed (≈300 topics) matches the demo's scale; the EXP-SCALE
+and ABL-EXPANSION experiments additionally need ontologies of arbitrary
+size with CSO-like shape: a broad shallow hierarchy (CSO is ~4 levels
+deep on average), lateral ``related`` edges concentrated among siblings,
+and a sprinkling of synonyms.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.ontology.graph import Relation, TopicOntology
+
+
+@dataclass(frozen=True)
+class SyntheticOntologyConfig:
+    """Shape parameters for :func:`build_synthetic_ontology`.
+
+    Attributes
+    ----------
+    topic_count:
+        Total number of topics to generate (>= 1).
+    branching:
+        Mean number of children per internal topic.
+    max_depth:
+        Maximum hierarchy depth (root = 0).
+    related_probability:
+        Probability that a topic gains one lateral ``related`` edge to a
+        random topic at the same depth.
+    synonym_probability:
+        Probability that a topic gains an alternative label.
+    seed:
+        RNG seed; identical configs generate identical ontologies.
+    """
+
+    topic_count: int = 1000
+    branching: int = 6
+    max_depth: int = 4
+    related_probability: float = 0.3
+    synonym_probability: float = 0.15
+    seed: int = 7
+
+    def __post_init__(self):
+        if self.topic_count < 1:
+            raise ValueError(f"topic_count must be >= 1, got {self.topic_count}")
+        if self.branching < 1:
+            raise ValueError(f"branching must be >= 1, got {self.branching}")
+        if self.max_depth < 0:
+            raise ValueError(f"max_depth must be >= 0, got {self.max_depth}")
+
+
+def build_synthetic_ontology(
+    config: SyntheticOntologyConfig | None = None,
+) -> TopicOntology:
+    """Generate a synthetic CSO-shaped ontology.
+
+    Topics are named ``topic-<n>``; generation proceeds breadth-first so
+    the hierarchy is as balanced as the branching factor allows, then
+    lateral ``related`` edges and synonyms are sampled.
+    """
+    config = config or SyntheticOntologyConfig()
+    rng = random.Random(config.seed)
+    ontology = TopicOntology()
+    ontology.add_topic("topic-0", "Topic 0")
+    depth_of: dict[str, int] = {"topic-0": 0}
+    frontier = ["topic-0"]
+    next_id = 1
+    while next_id < config.topic_count and frontier:
+        parent = frontier.pop(0)
+        parent_depth = depth_of[parent]
+        if parent_depth >= config.max_depth:
+            continue
+        child_count = max(1, round(rng.gauss(config.branching, 1.5)))
+        for __ in range(child_count):
+            if next_id >= config.topic_count:
+                break
+            child = f"topic-{next_id}"
+            ontology.add_topic(child, f"Topic {next_id}")
+            ontology.add_edge(child, Relation.BROADER, parent)
+            depth_of[child] = parent_depth + 1
+            frontier.append(child)
+            next_id += 1
+    _add_lateral_edges(ontology, depth_of, config, rng)
+    return ontology
+
+
+def _add_lateral_edges(
+    ontology: TopicOntology,
+    depth_of: dict[str, int],
+    config: SyntheticOntologyConfig,
+    rng: random.Random,
+) -> None:
+    """Sample ``related`` edges between same-depth topics."""
+    by_depth: dict[int, list[str]] = {}
+    for topic_id, depth in depth_of.items():
+        by_depth.setdefault(depth, []).append(topic_id)
+    for topic_id, depth in depth_of.items():
+        if rng.random() >= config.related_probability:
+            continue
+        peers = [t for t in by_depth[depth] if t != topic_id]
+        if not peers:
+            continue
+        other = rng.choice(peers)
+        existing = {t.topic_id for t in ontology.related(topic_id, Relation.RELATED)}
+        if other not in existing:
+            ontology.add_edge(topic_id, Relation.RELATED, other)

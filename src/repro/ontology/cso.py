@@ -1,0 +1,176 @@
+"""Reader/writer for the Computer Science Ontology CSV format.
+
+The paper's expansion module uses the CSO
+(https://cso.kmi.open.ac.uk/downloads), distributed as CSV triples::
+
+    "<https://cso.kmi.open.ac.uk/topics/semantic_web>","<http://cso.kmi.open.ac.uk/schema/cso#superTopicOf>","<https://cso.kmi.open.ac.uk/topics/linked_data>"
+
+This module parses that exact shape into a
+:class:`~repro.ontology.graph.TopicOntology`, so a deployment with the
+real (non-redistributable) CSO dump can swap it in for the curated seed
+with one call.  The relation mapping follows the CSO schema:
+
+=====================================  ==========================
+CSO predicate                          ontology relation
+=====================================  ==========================
+``cso#superTopicOf``                   target BROADER source
+``cso#relatedEquivalent``              SAME_AS
+``cso#preferentialEquivalent``         SAME_AS
+``cso#contributesTo``                  RELATED
+``rdf-schema#label``                   preferred label
+(anything else, e.g. owl#sameAs        ignored (external links)
+to DBpedia)
+=====================================  ==========================
+
+Topic labels default to the URL slug with underscores as spaces when no
+explicit label triple is present.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+
+from repro.ontology.graph import Relation, TopicOntology
+
+_SUPER_TOPIC = "#superTopicOf"
+_RELATED_EQUIVALENT = "#relatedEquivalent"
+_PREFERENTIAL_EQUIVALENT = "#preferentialEquivalent"
+_CONTRIBUTES_TO = "#contributesTo"
+_LABEL = "#label"
+_TOPIC_MARKER = "/topics/"
+
+
+def parse_cso_csv(text: str) -> TopicOntology:
+    """Parse CSO CSV triple text into a :class:`TopicOntology`.
+
+    Tolerates angle brackets, quoting, blank lines and unknown
+    predicates.  Raises ``ValueError`` on rows that are not triples.
+    """
+    topics: set[str] = set()
+    labels: dict[str, str] = {}
+    edges: list[tuple[str, Relation, str]] = []
+    reader = csv.reader(io.StringIO(text))
+    for row_number, row in enumerate(reader, start=1):
+        if not row or all(not cell.strip() for cell in row):
+            continue
+        if len(row) != 3:
+            raise ValueError(
+                f"CSO CSV row {row_number} has {len(row)} fields, expected 3"
+            )
+        subject, predicate, target = (_strip_term(cell) for cell in row)
+        subject_slug = _topic_slug(subject)
+        if subject_slug is None:
+            continue
+        topics.add(subject_slug)
+        if predicate.endswith(_LABEL):
+            labels[subject_slug] = target
+            continue
+        target_slug = _topic_slug(target)
+        if target_slug is None:
+            continue
+        topics.add(target_slug)
+        if predicate.endswith(_SUPER_TOPIC):
+            # subject is the super (broader) topic of target.
+            edges.append((target_slug, Relation.BROADER, subject_slug))
+        elif predicate.endswith((_RELATED_EQUIVALENT, _PREFERENTIAL_EQUIVALENT)):
+            edges.append((subject_slug, Relation.SAME_AS, target_slug))
+        elif predicate.endswith(_CONTRIBUTES_TO):
+            edges.append((subject_slug, Relation.RELATED, target_slug))
+        # Unknown predicates (owl#sameAs to DBpedia etc.) are ignored.
+    ontology = TopicOntology()
+    for slug in sorted(topics):
+        ontology.add_topic(slug, labels.get(slug, slug.replace("-", " ")))
+    seen: set[tuple[str, Relation, str]] = set()
+    for source, relation, target in edges:
+        if source == target:
+            continue
+        key = (source, relation, target)
+        mirror = (target, relation.inverse(), source)
+        if key in seen or mirror in seen:
+            continue
+        seen.add(key)
+        ontology.add_edge(source, relation, target)
+    return ontology
+
+
+def load_cso_csv(path: str | Path) -> TopicOntology:
+    """Parse a CSO CSV file from disk."""
+    return parse_cso_csv(Path(path).read_text(encoding="utf-8"))
+
+
+def write_cso_csv(ontology: TopicOntology, path: str | Path) -> None:
+    """Export an ontology in CSO CSV form (round-trips with the parser).
+
+    Labels that differ from the slug-derived default are emitted as
+    ``rdf-schema#label`` triples; alternative labels are not expressible
+    in the CSO triple format and are dropped.
+    """
+    rows: list[tuple[str, str, str]] = []
+    for topic in sorted(ontology.topics(), key=lambda t: t.topic_id):
+        default_label = topic.topic_id.replace("-", " ")
+        if topic.label != default_label:
+            rows.append(
+                (
+                    _topic_url(topic.topic_id),
+                    "<http://www.w3.org/2000/01/rdf-schema#label>",
+                    topic.label,
+                )
+            )
+    emitted: set[tuple[str, str, str]] = set()
+    for edge in ontology.edges():
+        if edge.relation is Relation.BROADER:
+            key = (edge.target, "superTopicOf", edge.source)
+            if key in emitted:
+                continue
+            emitted.add(key)
+            rows.append(
+                (
+                    _topic_url(edge.target),
+                    "<http://cso.kmi.open.ac.uk/schema/cso#superTopicOf>",
+                    _topic_url(edge.source),
+                )
+            )
+        elif edge.relation in (Relation.RELATED, Relation.SAME_AS):
+            pair = tuple(sorted((edge.source, edge.target)))
+            predicate = (
+                "contributesTo"
+                if edge.relation is Relation.RELATED
+                else "relatedEquivalent"
+            )
+            key = (pair[0], predicate, pair[1])
+            if key in emitted:
+                continue
+            emitted.add(key)
+            rows.append(
+                (
+                    _topic_url(pair[0]),
+                    f"<http://cso.kmi.open.ac.uk/schema/cso#{predicate}>",
+                    _topic_url(pair[1]),
+                )
+            )
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle, quoting=csv.QUOTE_ALL)
+        writer.writerows(rows)
+
+
+def _strip_term(cell: str) -> str:
+    term = cell.strip()
+    if term.startswith("<") and term.endswith(">"):
+        term = term[1:-1]
+    return term
+
+
+def _topic_slug(term: str) -> str | None:
+    """Extract the topic slug from a CSO topic URL, else ``None``."""
+    if _TOPIC_MARKER not in term:
+        return None
+    slug = term.rsplit(_TOPIC_MARKER, 1)[1].strip("/")
+    if not slug:
+        return None
+    return slug.replace("_", "-").lower()
+
+
+def _topic_url(slug: str) -> str:
+    return f"<https://cso.kmi.open.ac.uk/topics/{slug.replace('-', '_')}>"

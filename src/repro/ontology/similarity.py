@@ -1,0 +1,105 @@
+"""Topic-to-topic similarity measures over the ontology.
+
+Keyword expansion (paper §2.1) attaches a similarity score ``sc ∈ [0, 1]``
+to every expanded keyword.  The expansion engine derives ``sc`` from
+relation-decayed paths (see :mod:`repro.ontology.expansion`); this module
+supplies the classical graph similarities used to sanity-check those
+scores and to compare topics that expansion never visited together.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.ontology.graph import Relation, TopicOntology
+from repro.text.normalize import slugify
+
+
+def shortest_relation_path(
+    ontology: TopicOntology, source: str, target: str
+) -> list[str] | None:
+    """Shortest undirected path between two topics, as a list of ids.
+
+    Returns ``None`` when the topics are disconnected.  BFS over all
+    relation types, treating the graph as undirected (each stored edge
+    already has its inverse materialized).
+    """
+    source, target = slugify(source), slugify(target)
+    ontology.topic(source)
+    ontology.topic(target)
+    if source == target:
+        return [source]
+    queue = deque([source])
+    parents: dict[str, str] = {source: source}
+    while queue:
+        current = queue.popleft()
+        for neighbor, __ in ontology.neighbors(current):
+            if neighbor.topic_id in parents:
+                continue
+            parents[neighbor.topic_id] = current
+            if neighbor.topic_id == target:
+                return _reconstruct(parents, source, target)
+            queue.append(neighbor.topic_id)
+    return None
+
+
+def _reconstruct(parents: dict[str, str], source: str, target: str) -> list[str]:
+    path = [target]
+    while path[-1] != source:
+        path.append(parents[path[-1]])
+    path.reverse()
+    return path
+
+
+def path_similarity(ontology: TopicOntology, source: str, target: str) -> float:
+    """Leacock–Chodorow-style path similarity ``1 / (1 + hops)``.
+
+    1.0 for identical topics, decreasing with path length, 0.0 when
+    disconnected.
+    """
+    path = shortest_relation_path(ontology, source, target)
+    if path is None:
+        return 0.0
+    return 1.0 / len(path)
+
+
+def lowest_common_ancestor_depth(
+    ontology: TopicOntology, source: str, target: str
+) -> int | None:
+    """Depth of the lowest common ancestor along canonical broader chains.
+
+    Returns ``None`` when the chains share no topic.  Depth of a root
+    is 0; each topic counts itself as an ancestor.
+    """
+    chain_a = [slugify(source)] + [t.topic_id for t in ontology.broader_chain(source)]
+    chain_b = [slugify(target)] + [t.topic_id for t in ontology.broader_chain(target)]
+    ancestors_b = set(chain_b)
+    for ancestor in chain_a:
+        if ancestor in ancestors_b:
+            return ontology.depth(ancestor)
+    return None
+
+
+def wu_palmer_similarity(
+    ontology: TopicOntology, source: str, target: str
+) -> float:
+    """Wu–Palmer similarity ``2·depth(lca) / (depth(a) + depth(b))``.
+
+    Uses canonical broader chains (see
+    :meth:`~repro.ontology.graph.TopicOntology.broader_chain`).  Two
+    roots with no common ancestor score 0.0; a topic with itself scores
+    1.0.  When both topics are roots and identical the identity branch
+    applies first.
+    """
+    source, target = slugify(source), slugify(target)
+    if source == target:
+        ontology.topic(source)
+        return 1.0
+    lca_depth = lowest_common_ancestor_depth(ontology, source, target)
+    if lca_depth is None:
+        return 0.0
+    depth_a = ontology.depth(source)
+    depth_b = ontology.depth(target)
+    if depth_a + depth_b == 0:
+        return 0.0
+    return 2.0 * lca_depth / (depth_a + depth_b)

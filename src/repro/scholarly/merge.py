@@ -1,0 +1,132 @@
+"""Cross-source profile merging.
+
+Once identity verification has decided that a set of per-source profiles
+all denote the same scholar, this module fuses them into one
+:class:`~repro.scholarly.records.MergedProfile`.  Fusion is *source
+aware* — each field is taken from the service that is authoritative for
+it, mirroring how the paper's extraction phase integrates "the valuable
+information available on the modern scholarly Websites":
+
+========================  =====================================================
+Field                      Priority
+========================  =====================================================
+affiliations               ORCID (dated employment records) > any other source
+metrics                    Google Scholar > ACM DL > ResearcherID
+interests                  union, Google Scholar first, then Publons
+publications               union across all sources
+name                       the longest variant (most complete form)
+========================  =====================================================
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.scholarly.records import (
+    Affiliation,
+    MergedProfile,
+    Metrics,
+    SourceName,
+    SourceProfile,
+)
+
+_METRICS_PRIORITY = (
+    SourceName.GOOGLE_SCHOLAR,
+    SourceName.ACM_DL,
+    SourceName.RESEARCHER_ID,
+)
+
+_INTEREST_PRIORITY = (
+    SourceName.GOOGLE_SCHOLAR,
+    SourceName.PUBLONS,
+)
+
+
+def merge_source_profiles(profiles: Sequence[SourceProfile]) -> MergedProfile:
+    """Fuse per-source profiles of one scholar into a merged profile.
+
+    Raises ``ValueError`` on an empty input or when two profiles claim
+    the same source (one scholar cannot have two DBLP pages — if they
+    appear to, identity verification made a mistake upstream and merging
+    would silently hide it).
+    """
+    if not profiles:
+        raise ValueError("cannot merge zero profiles")
+    seen_sources: set[SourceName] = set()
+    for profile in profiles:
+        if profile.source in seen_sources:
+            raise ValueError(
+                f"two profiles from {profile.source.value}; "
+                "identity resolution upstream is inconsistent"
+            )
+        seen_sources.add(profile.source)
+    by_source = {p.source: p for p in profiles}
+    canonical_name = max((p.name for p in profiles), key=len)
+    aliases = tuple(
+        dict.fromkeys(p.name for p in profiles if p.name != canonical_name)
+    )
+    source_ids = tuple(
+        sorted(
+            ((p.source, p.source_author_id) for p in profiles),
+            key=lambda pair: pair[0].value,
+        )
+    )
+    return MergedProfile(
+        canonical_name=canonical_name,
+        source_ids=source_ids,
+        affiliations=_merge_affiliations(by_source, profiles),
+        interests=_merge_interests(by_source, profiles),
+        metrics=_merge_metrics(by_source),
+        publication_ids=_merge_publications(profiles),
+        review_ids=tuple(
+            dict.fromkeys(rid for p in profiles for rid in p.review_ids)
+        ),
+        aliases=aliases,
+    )
+
+
+def _merge_affiliations(
+    by_source: dict[SourceName, SourceProfile],
+    profiles: Sequence[SourceProfile],
+) -> tuple[Affiliation, ...]:
+    orcid = by_source.get(SourceName.ORCID)
+    if orcid is not None and orcid.affiliations:
+        return orcid.affiliations
+    merged: list[Affiliation] = []
+    seen: set[tuple] = set()
+    for profile in profiles:
+        for affiliation in profile.affiliations:
+            key = (affiliation.institution, affiliation.start_year, affiliation.end_year)
+            if key not in seen:
+                seen.add(key)
+                merged.append(affiliation)
+    return tuple(merged)
+
+
+def _merge_interests(
+    by_source: dict[SourceName, SourceProfile],
+    profiles: Sequence[SourceProfile],
+) -> tuple[str, ...]:
+    ordered: list[str] = []
+    for source in _INTEREST_PRIORITY:
+        profile = by_source.get(source)
+        if profile is not None:
+            ordered.extend(profile.interests)
+    for profile in profiles:
+        if profile.source not in _INTEREST_PRIORITY:
+            ordered.extend(profile.interests)
+    return tuple(dict.fromkeys(ordered))
+
+
+def _merge_metrics(by_source: dict[SourceName, SourceProfile]) -> Metrics:
+    for source in _METRICS_PRIORITY:
+        profile = by_source.get(source)
+        if profile is not None and profile.metrics is not None:
+            return profile.metrics
+    return Metrics()
+
+
+def _merge_publications(profiles: Sequence[SourceProfile]) -> tuple[str, ...]:
+    return tuple(
+        dict.fromkeys(pid for p in profiles for pid in p.publication_ids)
+    )

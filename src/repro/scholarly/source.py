@@ -1,0 +1,126 @@
+"""Shared plumbing for the six simulated scholarly services.
+
+Each service pairs two classes:
+
+- a ``*Service`` — the *server side*: a projection of the synthetic world
+  into the service's own document stores and indexes, exposed as HTTP
+  endpoints on a host name.  Services only contain what their real
+  counterpart publishes (DBLP has no citation counts; Publons has the
+  review history nobody else has; ORCID has the authoritative
+  affiliation timeline).
+- a ``*Client`` — the *scraper side*: typed methods over a
+  :class:`~repro.web.crawler.Crawler`, returning
+  :class:`~repro.scholarly.records.SourceProfile` objects and friends.
+
+The pipeline never touches a service directly; everything flows through
+the simulated HTTP layer so that latency, rate limits and failures are
+exercised on every experiment.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from collections.abc import Callable
+
+from repro.scholarly.records import SourceName
+from repro.web.crawler import Crawler
+from repro.web.http import HttpRequest, NotFoundError
+from repro.world.model import ScholarlyWorld, WorldAuthor
+
+Handler = Callable[[HttpRequest], object]
+
+
+def stable_source_id(source: SourceName, author_id: str, prefix: str = "") -> str:
+    """Mint the deterministic opaque id a source uses for an author.
+
+    Real services do not share id spaces; hashing the world id with the
+    source name gives each service its own stable, opaque identifiers
+    while keeping generation reproducible.
+    """
+    digest = hashlib.sha1(f"{source.value}:{author_id}".encode()).hexdigest()[:12]
+    return f"{prefix}{digest}"
+
+
+def noisy_interests(
+    world: ScholarlyWorld,
+    author: WorldAuthor,
+    source: SourceName,
+    noise: float,
+) -> tuple[str, ...]:
+    """The interest keywords an author registers on a given source.
+
+    Sources reflect true topics imperfectly: with probability ``noise``
+    per topic, the registered keyword is an ontology *neighbour* of the
+    true topic instead of the topic itself.  The per-(author, source)
+    RNG seed makes the noise reproducible and source-dependent — two
+    sources can disagree about the same scholar, as in reality.
+    """
+    rng = random.Random(f"{source.value}:{author.author_id}:interests")
+    ontology = world.ontology
+    interests: list[str] = []
+    for topic_id in sorted(author.topic_expertise):
+        chosen = topic_id
+        if rng.random() < noise:
+            neighbors = [t.topic_id for t, __ in ontology.neighbors(topic_id)]
+            if neighbors:
+                chosen = rng.choice(neighbors)
+        label = ontology.topic(chosen).label
+        if label not in interests:
+            interests.append(label)
+    return tuple(interests)
+
+
+class SourceService:
+    """Base class: routes ``/path`` to ``handle_<path>`` style handlers.
+
+    Subclasses set :attr:`source` and :attr:`host`, build their stores in
+    ``__init__`` and register handlers with :meth:`route`.
+    """
+
+    source: SourceName
+    host: str
+
+    def __init__(self):
+        self._routes: dict[str, Handler] = {}
+
+    def route(self, path: str, handler: Handler) -> None:
+        """Register ``handler`` for an exact request path."""
+        if path in self._routes:
+            raise ValueError(f"duplicate route {path!r} on {self.host}")
+        self._routes[path] = handler
+
+    def endpoint(self, request: HttpRequest) -> object:
+        """The callable registered with the simulated HTTP client."""
+        handler = self._routes.get(request.path)
+        if handler is None:
+            raise NotFoundError(request, f"no route {request.path!r}")
+        return handler(request)
+
+    def paths(self) -> list[str]:
+        """All routable paths (for documentation and tests)."""
+        return sorted(self._routes)
+
+
+class SourceClient:
+    """Base class for typed scraper clients; holds host + crawler."""
+
+    source: SourceName
+
+    def __init__(self, crawler: Crawler, host: str):
+        self._crawler = crawler
+        self._host = host
+
+    @property
+    def host(self) -> str:
+        """The host this client scrapes."""
+        return self._host
+
+    def _get(self, path: str, params: dict | None = None) -> object:
+        """Fetch a payload; propagates crawl errors."""
+        return self._crawler.fetch(self._host, path, params).payload
+
+    def _get_or_none(self, path: str, params: dict | None = None) -> object | None:
+        """Fetch a payload, mapping 404 (no profile) to ``None``."""
+        response = self._crawler.fetch_or_none(self._host, path, params)
+        return None if response is None else response.payload

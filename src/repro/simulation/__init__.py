@@ -1,0 +1,31 @@
+"""Review-process simulation: what a ranking costs in calendar time.
+
+The paper's introduction argues that inviting the wrong reviewers does
+not just lower review quality — it *delays decisions*: a busy
+high-profile reviewer "might not reply to the invitation in a timely
+manner, simply reject it or accept the invite and send the review very
+late".  A recommendation list is therefore only as good as the review
+process it produces.
+
+This package simulates that process against the synthetic world's
+hidden variables: invitations go out in rank order, each invitee
+accepts/declines/ignores according to their true responsiveness and
+topical fit, accepted reviews arrive after a responsiveness-dependent
+delay, and the editor re-invites down the list until the quota is met.
+The EXP-TURNAROUND experiment runs different ranking configurations
+through it and compares decision turnaround and review quality.
+"""
+
+from repro.simulation.process import (
+    InvitationOutcome,
+    ProcessConfig,
+    ProcessResult,
+    ReviewProcessSimulator,
+)
+
+__all__ = [
+    "InvitationOutcome",
+    "ProcessConfig",
+    "ProcessResult",
+    "ReviewProcessSimulator",
+]

@@ -1,0 +1,206 @@
+"""The invitation/response/review simulator.
+
+Model
+-----
+The editor needs ``reviews_needed`` completed reviews and works down a
+ranked list of world author ids in waves:
+
+1. A wave invites as many candidates as there are unfilled slots.
+2. Each invitee responds according to their hidden state:
+
+   - **accept** with probability
+     ``accept_base · (0.3 + 0.7·responsiveness) · (0.4 + 0.6·relevance)``
+     — responsive scholars accept more, and scholars accept papers in
+     their area far more readily;
+   - otherwise **decline** after a few days, or **ignore** the
+     invitation entirely (probability scales with unresponsiveness), in
+     which case the editor only moves on after ``ignore_timeout_days``.
+
+3. An accepted review completes after
+   ``review_days ≈ N(base_review_days − responsiveness·speedup, σ)``
+   days, floored at 5; its quality is
+   ``review_quality · (0.5 + 0.5·relevance)``.
+4. The process ends when the quota is met (turnaround = the day the
+   last review arrives) or the list is exhausted.
+
+Everything is seeded: the same ranking always yields the same process.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.world.model import GroundTruthOracle, ScholarlyWorld
+
+
+class Response(str, Enum):
+    """How an invitee reacted."""
+
+    ACCEPTED = "accepted"
+    DECLINED = "declined"
+    IGNORED = "ignored"
+
+
+@dataclass(frozen=True)
+class ProcessConfig:
+    """Tunables of the simulated review process."""
+
+    reviews_needed: int = 3
+    accept_base: float = 0.9
+    decline_response_days: float = 4.0
+    ignore_timeout_days: float = 14.0
+    base_review_days: float = 55.0
+    review_speedup_days: float = 35.0
+    review_days_sigma: float = 8.0
+
+    def __post_init__(self):
+        if self.reviews_needed < 1:
+            raise ValueError(f"reviews_needed must be >= 1, got {self.reviews_needed}")
+        if not 0.0 < self.accept_base <= 1.0:
+            raise ValueError(f"accept_base must be in (0, 1], got {self.accept_base}")
+
+
+@dataclass(frozen=True)
+class InvitationOutcome:
+    """One invitation's fate."""
+
+    author_id: str
+    invited_on_day: float
+    response: Response
+    responded_on_day: float
+    review_completed_on_day: float | None = None
+    review_quality: float | None = None
+
+
+@dataclass
+class ProcessResult:
+    """The whole process for one manuscript."""
+
+    outcomes: list[InvitationOutcome] = field(default_factory=list)
+    completed: bool = False
+    turnaround_days: float = 0.0
+
+    def invitations_sent(self) -> int:
+        """Total invitations that went out."""
+        return len(self.outcomes)
+
+    def accepted(self) -> list[InvitationOutcome]:
+        """Outcomes that produced a review."""
+        return [o for o in self.outcomes if o.response is Response.ACCEPTED]
+
+    def mean_review_quality(self) -> float:
+        """Mean quality over the completed reviews (0.0 when none)."""
+        reviews = self.accepted()
+        if not reviews:
+            return 0.0
+        return sum(o.review_quality for o in reviews) / len(reviews)
+
+
+class ReviewProcessSimulator:
+    """Simulates the review process for ranked reviewer lists."""
+
+    def __init__(
+        self,
+        world: ScholarlyWorld,
+        config: ProcessConfig | None = None,
+        seed: int = 0,
+    ):
+        self._world = world
+        self._oracle = GroundTruthOracle(world)
+        self._config = config or ProcessConfig()
+        self._seed = seed
+
+    def run(
+        self, ranked_author_ids: list[str], topic_ids: list[str]
+    ) -> ProcessResult:
+        """Simulate the process for one manuscript.
+
+        ``ranked_author_ids`` is the recommendation list resolved to
+        world ids (best first); ``topic_ids`` the manuscript's topics.
+        """
+        config = self._config
+        rng = random.Random(
+            f"{self._seed}:{','.join(ranked_author_ids[:5])}:{','.join(topic_ids)}"
+        )
+        result = ProcessResult()
+        queue = list(ranked_author_ids)
+        day = 0.0
+        accepted_count = 0
+        last_review_day = 0.0
+        while accepted_count < config.reviews_needed and queue:
+            slots = config.reviews_needed - accepted_count
+            wave, queue = queue[:slots], queue[slots:]
+            wave_wait = 0.0
+            for author_id in wave:
+                outcome = self._invite(author_id, topic_ids, day, rng)
+                result.outcomes.append(outcome)
+                if outcome.response is Response.ACCEPTED:
+                    accepted_count += 1
+                    last_review_day = max(
+                        last_review_day, outcome.review_completed_on_day
+                    )
+                else:
+                    wave_wait = max(wave_wait, outcome.responded_on_day - day)
+            # The editor re-invites once the slowest non-acceptance of
+            # the wave has resolved (declines answer fast; ignores cost
+            # the full timeout).
+            if accepted_count < config.reviews_needed:
+                day += wave_wait if wave_wait > 0 else config.decline_response_days
+        result.completed = accepted_count >= config.reviews_needed
+        result.turnaround_days = round(
+            last_review_day if result.completed else day, 2
+        )
+        return result
+
+    def _invite(
+        self,
+        author_id: str,
+        topic_ids: list[str],
+        day: float,
+        rng: random.Random,
+    ) -> InvitationOutcome:
+        author = self._world.authors[author_id]
+        relevance = self._oracle.topic_relevance(author_id, topic_ids)
+        config = self._config
+        accept_probability = (
+            config.accept_base
+            * (0.3 + 0.7 * author.responsiveness)
+            * (0.4 + 0.6 * relevance)
+        )
+        if rng.random() < accept_probability:
+            review_days = max(
+                5.0,
+                rng.gauss(
+                    config.base_review_days
+                    - config.review_speedup_days * author.responsiveness,
+                    config.review_days_sigma,
+                ),
+            )
+            quality = author.review_quality * (0.5 + 0.5 * relevance)
+            responded = day + rng.uniform(1.0, 5.0)
+            return InvitationOutcome(
+                author_id=author_id,
+                invited_on_day=day,
+                response=Response.ACCEPTED,
+                responded_on_day=round(responded, 2),
+                review_completed_on_day=round(responded + review_days, 2),
+                review_quality=round(quality, 4),
+            )
+        ignore_probability = 0.7 * (1.0 - author.responsiveness)
+        if rng.random() < ignore_probability:
+            return InvitationOutcome(
+                author_id=author_id,
+                invited_on_day=day,
+                response=Response.IGNORED,
+                responded_on_day=round(day + config.ignore_timeout_days, 2),
+            )
+        return InvitationOutcome(
+            author_id=author_id,
+            invited_on_day=day,
+            response=Response.DECLINED,
+            responded_on_day=round(
+                day + rng.uniform(1.0, config.decline_response_days), 2
+            ),
+        )

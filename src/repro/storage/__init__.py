@@ -1,0 +1,58 @@
+"""Storage substrate: the database layer behind the simulated sources.
+
+Each scholarly service in :mod:`repro.scholarly` (DBLP, Google Scholar,
+Publons, ...) is backed by the same storage primitives a real service
+would run on:
+
+- :class:`~repro.storage.documents.DocumentStore` — a schemaless document
+  store with unique ids, optimistic versioning and hash-based secondary
+  indexes;
+- :class:`~repro.storage.inverted.InvertedIndex` — a weighted inverted
+  index used for interest-keyword → scholar retrieval (the heart of the
+  candidate-reviewer search);
+- :mod:`repro.storage.query` — a tiny composable predicate language with
+  index-aware evaluation.
+
+Keeping this layer explicit (rather than ad-hoc dicts inside each source)
+is what makes the per-source query accounting in the EXP-SCALE experiment
+meaningful.
+"""
+
+from repro.storage.documents import Document, DocumentStore
+from repro.storage.errors import (
+    DocumentNotFoundError,
+    DuplicateDocumentError,
+    IndexError_,
+    StorageError,
+    VersionConflictError,
+)
+from repro.storage.inverted import InvertedIndex, Posting
+from repro.storage.ordered import OrderedIndex, OrderedIndexManager
+from repro.storage.persistence import JournaledStore, PersistentStoreError
+from repro.storage.query import And, Contains, Eq, Gte, In, Lte, Not, Or, Predicate, Range
+
+__all__ = [
+    "And",
+    "Contains",
+    "Document",
+    "DocumentNotFoundError",
+    "DocumentStore",
+    "DuplicateDocumentError",
+    "Eq",
+    "Gte",
+    "In",
+    "IndexError_",
+    "InvertedIndex",
+    "JournaledStore",
+    "Lte",
+    "OrderedIndex",
+    "OrderedIndexManager",
+    "PersistentStoreError",
+    "Not",
+    "Or",
+    "Posting",
+    "Predicate",
+    "Range",
+    "StorageError",
+    "VersionConflictError",
+]

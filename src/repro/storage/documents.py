@@ -1,0 +1,275 @@
+"""A schemaless in-memory document store with secondary indexes.
+
+The store keeps JSON-like dict documents under string ids, supports
+optimistic concurrency through per-document version counters, and
+maintains hash-based secondary indexes over arbitrary extractor
+functions.  All the simulated scholarly services are built on it.
+
+Design notes
+------------
+- Documents are deep-copied on the way in and out so that callers can
+  never mutate stored state by aliasing — the same isolation property a
+  networked document database provides.
+- Secondary indexes map an extracted key to the *set* of document ids;
+  extractors may return a single key, an iterable of keys (multi-valued
+  index, e.g. one entry per interest keyword) or ``None`` (unindexed).
+- Statistics counters (reads/writes/scans) feed the EXP-SCALE benchmark.
+"""
+
+from __future__ import annotations
+
+import copy
+import itertools
+from collections.abc import Callable, Hashable, Iterable, Iterator
+from dataclasses import dataclass, field
+
+from repro.storage.errors import (
+    DocumentNotFoundError,
+    DuplicateDocumentError,
+    IndexError_,
+    VersionConflictError,
+)
+
+IndexKey = Hashable
+Extractor = Callable[[dict], object]
+
+
+@dataclass(frozen=True)
+class Document:
+    """A stored document snapshot: id, payload and version."""
+
+    doc_id: str
+    payload: dict
+    version: int
+
+
+@dataclass
+class StoreStats:
+    """Operation counters, reset with :meth:`DocumentStore.reset_stats`."""
+
+    inserts: int = 0
+    reads: int = 0
+    updates: int = 0
+    deletes: int = 0
+    index_lookups: int = 0
+    scans: int = 0
+
+    def total_operations(self) -> int:
+        """Sum of all counters."""
+        return (
+            self.inserts
+            + self.reads
+            + self.updates
+            + self.deletes
+            + self.index_lookups
+            + self.scans
+        )
+
+
+class DocumentStore:
+    """In-memory document store with versioning and secondary indexes.
+
+    Example
+    -------
+    >>> store = DocumentStore(name="scholars")
+    >>> store.create_index("by_country", lambda d: d.get("country"))
+    >>> doc = store.insert({"name": "Ada", "country": "UK"})
+    >>> [d.payload["name"] for d in store.lookup("by_country", "UK")]
+    ['Ada']
+    """
+
+    def __init__(self, name: str = "store"):
+        self.name = name
+        self._documents: dict[str, dict] = {}
+        self._versions: dict[str, int] = {}
+        self._indexes: dict[str, dict[IndexKey, set[str]]] = {}
+        self._extractors: dict[str, Extractor] = {}
+        self._id_counter = itertools.count(1)
+        self.stats = StoreStats()
+
+    # ------------------------------------------------------------------
+    # Basic CRUD
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def __contains__(self, doc_id: str) -> bool:
+        return doc_id in self._documents
+
+    def insert(self, payload: dict, doc_id: str | None = None) -> Document:
+        """Insert ``payload`` and return the stored :class:`Document`.
+
+        A fresh id of the form ``"<store-name>:<n>"`` is minted when
+        ``doc_id`` is not given.  Raises
+        :class:`~repro.storage.errors.DuplicateDocumentError` on id reuse.
+        """
+        if doc_id is None:
+            doc_id = f"{self.name}:{next(self._id_counter)}"
+        if doc_id in self._documents:
+            raise DuplicateDocumentError(doc_id)
+        stored = copy.deepcopy(payload)
+        self._documents[doc_id] = stored
+        self._versions[doc_id] = 1
+        self._index_document(doc_id, stored)
+        self.stats.inserts += 1
+        return Document(doc_id=doc_id, payload=copy.deepcopy(stored), version=1)
+
+    def get(self, doc_id: str) -> Document:
+        """Fetch a document snapshot by id or raise ``DocumentNotFoundError``."""
+        try:
+            payload = self._documents[doc_id]
+        except KeyError:
+            raise DocumentNotFoundError(doc_id) from None
+        self.stats.reads += 1
+        return Document(
+            doc_id=doc_id,
+            payload=copy.deepcopy(payload),
+            version=self._versions[doc_id],
+        )
+
+    def get_or_none(self, doc_id: str) -> Document | None:
+        """Fetch a document, returning ``None`` when absent."""
+        if doc_id not in self._documents:
+            return None
+        return self.get(doc_id)
+
+    def update(
+        self, doc_id: str, payload: dict, expected_version: int | None = None
+    ) -> Document:
+        """Replace a document's payload, bumping its version.
+
+        When ``expected_version`` is given the update is a compare-and-swap
+        and raises :class:`VersionConflictError` on staleness — the same
+        protocol the crawler uses to merge concurrently refreshed profiles.
+        """
+        if doc_id not in self._documents:
+            raise DocumentNotFoundError(doc_id)
+        current_version = self._versions[doc_id]
+        if expected_version is not None and expected_version != current_version:
+            raise VersionConflictError(doc_id, expected_version, current_version)
+        self._unindex_document(doc_id, self._documents[doc_id])
+        stored = copy.deepcopy(payload)
+        self._documents[doc_id] = stored
+        self._versions[doc_id] = current_version + 1
+        self._index_document(doc_id, stored)
+        self.stats.updates += 1
+        return Document(
+            doc_id=doc_id, payload=copy.deepcopy(stored), version=current_version + 1
+        )
+
+    def delete(self, doc_id: str) -> None:
+        """Remove a document; raises ``DocumentNotFoundError`` when absent."""
+        if doc_id not in self._documents:
+            raise DocumentNotFoundError(doc_id)
+        self._unindex_document(doc_id, self._documents[doc_id])
+        del self._documents[doc_id]
+        del self._versions[doc_id]
+        self.stats.deletes += 1
+
+    def ids(self) -> list[str]:
+        """All document ids, in insertion order."""
+        return list(self._documents)
+
+    def scan(self) -> Iterator[Document]:
+        """Iterate over snapshots of every document (a full table scan)."""
+        self.stats.scans += 1
+        for doc_id in list(self._documents):
+            yield Document(
+                doc_id=doc_id,
+                payload=copy.deepcopy(self._documents[doc_id]),
+                version=self._versions[doc_id],
+            )
+
+    # ------------------------------------------------------------------
+    # Secondary indexes
+    # ------------------------------------------------------------------
+
+    def create_index(self, index_name: str, extractor: Extractor) -> None:
+        """Register a secondary index and backfill it over existing docs.
+
+        ``extractor(payload)`` may return a hashable key, an iterable of
+        hashable keys, or ``None`` to leave the document out of the index.
+        """
+        if index_name in self._indexes:
+            raise IndexError_(f"index already exists: {index_name!r}")
+        self._indexes[index_name] = {}
+        self._extractors[index_name] = extractor
+        for doc_id, payload in self._documents.items():
+            self._index_one(index_name, doc_id, payload)
+
+    def drop_index(self, index_name: str) -> None:
+        """Remove a secondary index."""
+        if index_name not in self._indexes:
+            raise IndexError_(f"no such index: {index_name!r}")
+        del self._indexes[index_name]
+        del self._extractors[index_name]
+
+    def index_names(self) -> list[str]:
+        """Names of all registered indexes."""
+        return list(self._indexes)
+
+    def lookup(self, index_name: str, key: IndexKey) -> list[Document]:
+        """Fetch all documents whose indexed key equals ``key``."""
+        return [self.get(doc_id) for doc_id in self.lookup_ids(index_name, key)]
+
+    def lookup_ids(self, index_name: str, key: IndexKey) -> list[str]:
+        """Like :meth:`lookup` but returns only ids (cheaper)."""
+        if index_name not in self._indexes:
+            raise IndexError_(f"no such index: {index_name!r}")
+        self.stats.index_lookups += 1
+        return sorted(self._indexes[index_name].get(key, set()))
+
+    def index_keys(self, index_name: str) -> list[IndexKey]:
+        """All distinct keys currently present in an index."""
+        if index_name not in self._indexes:
+            raise IndexError_(f"no such index: {index_name!r}")
+        return list(self._indexes[index_name])
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    def reset_stats(self) -> None:
+        """Zero all operation counters."""
+        self.stats = StoreStats()
+
+    def clear(self) -> None:
+        """Remove every document but keep index definitions."""
+        self._documents.clear()
+        self._versions.clear()
+        for index in self._indexes.values():
+            index.clear()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _index_document(self, doc_id: str, payload: dict) -> None:
+        for index_name in self._indexes:
+            self._index_one(index_name, doc_id, payload)
+
+    def _index_one(self, index_name: str, doc_id: str, payload: dict) -> None:
+        for key in self._extracted_keys(index_name, payload):
+            self._indexes[index_name].setdefault(key, set()).add(doc_id)
+
+    def _unindex_document(self, doc_id: str, payload: dict) -> None:
+        for index_name in self._indexes:
+            index = self._indexes[index_name]
+            for key in self._extracted_keys(index_name, payload):
+                bucket = index.get(key)
+                if bucket is None:
+                    continue
+                bucket.discard(doc_id)
+                if not bucket:
+                    del index[key]
+
+    def _extracted_keys(self, index_name: str, payload: dict) -> list[IndexKey]:
+        extracted = self._extractors[index_name](payload)
+        if extracted is None:
+            return []
+        if isinstance(extracted, (str, bytes)):
+            return [extracted]
+        if isinstance(extracted, Iterable):
+            return list(extracted)
+        return [extracted]

@@ -1,0 +1,165 @@
+"""A weighted inverted index for keyword → scholar retrieval.
+
+The candidate-reviewer search (paper §2.1) asks each scholarly service
+for "scholars who register keyword K as a research interest".  A real
+service answers that from an inverted index; so do we.  Postings carry a
+weight (how strongly the scholar is associated with the keyword) so that
+retrieval can be ranked and so the expansion scores ``sc`` can be folded
+into the match score.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from collections import defaultdict
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Posting:
+    """One entry of a posting list: a document id and its term weight."""
+
+    doc_id: str
+    weight: float = 1.0
+
+
+class InvertedIndex:
+    """Term → posting-list index with ranked and boolean retrieval.
+
+    Example
+    -------
+    >>> index = InvertedIndex()
+    >>> index.add("alice", {"rdf": 2.0, "sparql": 1.0})
+    >>> index.add("bob", {"rdf": 1.0})
+    >>> [p.doc_id for p in index.search(["rdf"])]
+    ['alice', 'bob']
+    """
+
+    def __init__(self):
+        self._postings: dict[str, dict[str, float]] = defaultdict(dict)
+        self._document_terms: dict[str, set[str]] = defaultdict(set)
+
+    def __len__(self) -> int:
+        """Number of indexed documents."""
+        return len(self._document_terms)
+
+    def __contains__(self, doc_id: str) -> bool:
+        return doc_id in self._document_terms
+
+    @property
+    def term_count(self) -> int:
+        """Number of distinct terms."""
+        return len(self._postings)
+
+    def add(self, doc_id: str, term_weights: Mapping[str, float]) -> None:
+        """Index ``doc_id`` under every term in ``term_weights``.
+
+        Re-adding a term for the same document overwrites its weight.
+        Non-positive weights are rejected: a zero weight is
+        indistinguishable from absence and would corrupt ranked retrieval.
+        """
+        for term, weight in term_weights.items():
+            if weight <= 0:
+                raise ValueError(
+                    f"posting weight must be positive, got {weight!r} for {term!r}"
+                )
+            self._postings[term][doc_id] = float(weight)
+            self._document_terms[doc_id].add(term)
+
+    def remove(self, doc_id: str) -> None:
+        """Drop every posting of ``doc_id``; silently ignores unknown ids."""
+        terms = self._document_terms.pop(doc_id, set())
+        for term in terms:
+            bucket = self._postings.get(term)
+            if bucket is None:
+                continue
+            bucket.pop(doc_id, None)
+            if not bucket:
+                del self._postings[term]
+
+    def terms_of(self, doc_id: str) -> set[str]:
+        """The set of terms under which ``doc_id`` is indexed."""
+        return set(self._document_terms.get(doc_id, set()))
+
+    def postings(self, term: str) -> list[Posting]:
+        """The posting list of ``term``, sorted by descending weight."""
+        bucket = self._postings.get(term, {})
+        entries = [Posting(doc_id=d, weight=w) for d, w in bucket.items()]
+        entries.sort(key=lambda p: (-p.weight, p.doc_id))
+        return entries
+
+    def document_frequency(self, term: str) -> int:
+        """How many documents contain ``term``."""
+        return len(self._postings.get(term, {}))
+
+    # ------------------------------------------------------------------
+    # Retrieval
+    # ------------------------------------------------------------------
+
+    def search(
+        self,
+        terms: Iterable[str],
+        query_weights: Mapping[str, float] | None = None,
+        limit: int | None = None,
+        use_idf: bool = True,
+    ) -> list[Posting]:
+        """Ranked OR-retrieval over ``terms``.
+
+        Each matching document scores ``Σ_t qw(t) · weight(t, d) · idf(t)``
+        over the query terms it contains.  ``query_weights`` carries the
+        expansion similarity scores ``sc`` from the ontology; absent terms
+        default to weight 1.0 (the original manuscript keywords).
+
+        Returns postings whose ``weight`` field holds the aggregate score,
+        sorted by descending score then id; ``limit`` truncates.
+        """
+        weights = query_weights or {}
+        scores: dict[str, float] = defaultdict(float)
+        total_docs = max(len(self._document_terms), 1)
+        for term in terms:
+            bucket = self._postings.get(term)
+            if not bucket:
+                continue
+            idf = 1.0
+            if use_idf:
+                idf = math.log(1 + total_docs / len(bucket))
+            query_weight = float(weights.get(term, 1.0))
+            for doc_id, term_weight in bucket.items():
+                scores[doc_id] += query_weight * term_weight * idf
+        results = [Posting(doc_id=d, weight=s) for d, s in scores.items()]
+        if limit is not None and 0 <= limit < len(results):
+            results = heapq.nsmallest(
+                limit, results, key=lambda p: (-p.weight, p.doc_id)
+            )
+            results.sort(key=lambda p: (-p.weight, p.doc_id))
+            return results
+        results.sort(key=lambda p: (-p.weight, p.doc_id))
+        return results
+
+    def search_all(self, terms: Iterable[str]) -> list[str]:
+        """Boolean AND-retrieval: ids of documents containing *every* term."""
+        term_list = list(dict.fromkeys(terms))
+        if not term_list:
+            return []
+        buckets = []
+        for term in term_list:
+            bucket = self._postings.get(term)
+            if not bucket:
+                return []
+            buckets.append(set(bucket))
+        buckets.sort(key=len)
+        result = buckets[0]
+        for bucket in buckets[1:]:
+            result = result & bucket
+            if not result:
+                return []
+        return sorted(result)
+
+    def search_any(self, terms: Iterable[str]) -> list[str]:
+        """Boolean OR-retrieval: ids of documents containing *any* term."""
+        result: set[str] = set()
+        for term in terms:
+            result.update(self._postings.get(term, {}))
+        return sorted(result)

@@ -1,0 +1,136 @@
+"""Ordered secondary indexes for range queries.
+
+Hash indexes (:class:`~repro.storage.documents.DocumentStore` built-ins)
+answer equality; the editor-facing filters and the statistics endpoints
+also need *ranges* — publications between years, scholars within a
+citation band.  :class:`OrderedIndex` keeps ``(key, doc_id)`` pairs in a
+sorted list and answers range lookups by bisection: O(log n + k),
+the classic poor-man's B-tree that is perfectly adequate at simulator
+scale and has the same interface a real tree index would expose.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections.abc import Callable
+
+from repro.storage.documents import DocumentStore
+from repro.storage.errors import IndexError_
+
+
+class OrderedIndex:
+    """A sorted ``(key, doc_id)`` index supporting range scans.
+
+    Keys must be mutually comparable (ints, floats, strings — not
+    mixed).  Duplicate keys are fine; (key, doc_id) pairs are unique.
+
+    Example
+    -------
+    >>> index = OrderedIndex()
+    >>> index.add(2015, "a"); index.add(2018, "b"); index.add(2016, "c")
+    >>> index.range(2015, 2016)
+    ['a', 'c']
+    """
+
+    def __init__(self):
+        self._entries: list[tuple[object, str]] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def add(self, key, doc_id: str) -> None:
+        """Insert a pair; duplicates of the exact pair are ignored."""
+        entry = (key, doc_id)
+        position = bisect.bisect_left(self._entries, entry)
+        if position < len(self._entries) and self._entries[position] == entry:
+            return
+        self._entries.insert(position, entry)
+
+    def remove(self, key, doc_id: str) -> None:
+        """Remove a pair; silently ignores absent pairs."""
+        entry = (key, doc_id)
+        position = bisect.bisect_left(self._entries, entry)
+        if position < len(self._entries) and self._entries[position] == entry:
+            del self._entries[position]
+
+    def range(self, low=None, high=None) -> list[str]:
+        """Doc ids whose key lies in the closed interval [low, high].
+
+        ``None`` opens the corresponding side.  Results come back in
+        key order (ties by doc id).
+        """
+        if low is None:
+            start = 0
+        else:
+            start = bisect.bisect_left(self._entries, low, key=lambda e: e[0])
+        if high is None:
+            stop = len(self._entries)
+        else:
+            stop = bisect.bisect_right(self._entries, high, key=lambda e: e[0])
+        return [doc_id for __, doc_id in self._entries[start:stop]]
+
+    def min_key(self):
+        """Smallest key present, or ``None`` when empty."""
+        return self._entries[0][0] if self._entries else None
+
+    def max_key(self):
+        """Largest key present, or ``None`` when empty."""
+        return self._entries[-1][0] if self._entries else None
+
+
+class OrderedIndexManager:
+    """Maintains ordered indexes over a :class:`DocumentStore`.
+
+    The store's own hooks cover hash indexes; ordered indexes are kept
+    in sync by routing mutations through this manager (the services
+    build their stores once and never mutate, so build-time indexing
+    plus lookups is the common pattern).
+    """
+
+    def __init__(self, store: DocumentStore):
+        self._store = store
+        self._indexes: dict[str, OrderedIndex] = {}
+        self._extractors: dict[str, Callable[[dict], object]] = {}
+
+    def create_index(
+        self, index_name: str, extractor: Callable[[dict], object]
+    ) -> None:
+        """Register an ordered index and backfill it over existing docs.
+
+        ``extractor(payload)`` returns the sort key or ``None`` to skip
+        the document.
+        """
+        if index_name in self._indexes:
+            raise IndexError_(f"ordered index already exists: {index_name!r}")
+        index = OrderedIndex()
+        self._indexes[index_name] = index
+        self._extractors[index_name] = extractor
+        for document in self._store.scan():
+            key = extractor(document.payload)
+            if key is not None:
+                index.add(key, document.doc_id)
+
+    def index(self, index_name: str) -> OrderedIndex:
+        """Fetch an index by name."""
+        try:
+            return self._indexes[index_name]
+        except KeyError:
+            raise IndexError_(f"no such ordered index: {index_name!r}") from None
+
+    def on_insert(self, doc_id: str, payload: dict) -> None:
+        """Notify the manager of a store insert."""
+        for index_name, extractor in self._extractors.items():
+            key = extractor(payload)
+            if key is not None:
+                self._indexes[index_name].add(key, doc_id)
+
+    def on_delete(self, doc_id: str, payload: dict) -> None:
+        """Notify the manager of a store delete."""
+        for index_name, extractor in self._extractors.items():
+            key = extractor(payload)
+            if key is not None:
+                self._indexes[index_name].remove(key, doc_id)
+
+    def range_lookup(self, index_name: str, low=None, high=None) -> list[str]:
+        """Range scan over a named index."""
+        return self.index(index_name).range(low, high)

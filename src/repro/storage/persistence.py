@@ -1,0 +1,293 @@
+"""Durable persistence for the document store: WAL + snapshots.
+
+The paper's deployment keeps extracted profiles and the topic ontology
+server-side; any real deployment of the simulated services likewise
+needs their stores to survive restarts.  This module provides the
+classic recipe:
+
+- a **write-ahead log** (append-only JSON lines) recording every
+  mutation before it is acknowledged;
+- **snapshots** (full JSON dumps) that bound recovery time;
+- **recovery** = load latest snapshot, replay the log tail.
+
+The log format is self-describing and versioned.  Torn tails (a crash
+mid-append) are tolerated: replay stops at the first undecodable line,
+which is exactly the prefix-durability contract a WAL gives.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.storage.documents import DocumentStore
+
+_FORMAT = "minaret-wal/1"
+
+
+class PersistentStoreError(Exception):
+    """Raised on unrecoverable persistence-layer problems."""
+
+
+class JournaledStore:
+    """A :class:`DocumentStore` with write-ahead logging and snapshots.
+
+    Example
+    -------
+    >>> import tempfile
+    >>> directory = tempfile.mkdtemp()
+    >>> store = JournaledStore.open(directory, name="profiles")
+    >>> doc = store.insert({"name": "Ada"})
+    >>> store2 = JournaledStore.open(directory, name="profiles")
+    >>> store2.get(doc.doc_id).payload
+    {'name': 'Ada'}
+
+    Notes
+    -----
+    Secondary indexes are *not* persisted — they are derived state and
+    must be re-registered by the owner after :meth:`open` (the services
+    do exactly that), upon which they backfill automatically.
+    """
+
+    def __init__(self, directory: Path, store: DocumentStore):
+        self._directory = directory
+        self._store = store
+        self._wal_path = directory / "wal.jsonl"
+        self._snapshot_path = directory / "snapshot.json"
+        self._wal_file = open(self._wal_path, "a", encoding="utf-8")
+        self._entries_since_snapshot = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def open(cls, directory: str | Path, name: str = "store") -> "JournaledStore":
+        """Open (or create) a journaled store in ``directory``.
+
+        Recovery order: snapshot (if any), then WAL replay.  A fresh
+        directory yields an empty store.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        store = DocumentStore(name=name)
+        journaled = object.__new__(cls)
+        journaled._directory = directory
+        journaled._store = store
+        journaled._wal_path = directory / "wal.jsonl"
+        journaled._snapshot_path = directory / "snapshot.json"
+        journaled._entries_since_snapshot = 0
+        journaled._recover()
+        journaled._wal_file = open(journaled._wal_path, "a", encoding="utf-8")
+        return journaled
+
+    def close(self) -> None:
+        """Flush and close the WAL file handle."""
+        if not self._wal_file.closed:
+            self._wal_file.flush()
+            self._wal_file.close()
+
+    def __enter__(self) -> "JournaledStore":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Store facade (journaled mutations, pass-through reads)
+    # ------------------------------------------------------------------
+
+    @property
+    def store(self) -> DocumentStore:
+        """The in-memory store (for index registration and reads)."""
+        return self._store
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __contains__(self, doc_id: str) -> bool:
+        return doc_id in self._store
+
+    def get(self, doc_id: str):
+        """Read-through to the in-memory store."""
+        return self._store.get(doc_id)
+
+    def insert(self, payload: dict, doc_id: str | None = None):
+        """Insert, WAL-first."""
+        document = self._store.insert(payload, doc_id=doc_id)
+        self._append({"op": "insert", "id": document.doc_id, "payload": payload})
+        return document
+
+    def update(self, doc_id: str, payload: dict):
+        """Update, WAL-first (no CAS across restarts — versions are
+        rebuilt during recovery)."""
+        document = self._store.update(doc_id, payload)
+        self._append({"op": "update", "id": doc_id, "payload": payload})
+        return document
+
+    def delete(self, doc_id: str) -> None:
+        """Delete, WAL-first."""
+        self._store.delete(doc_id)
+        self._append({"op": "delete", "id": doc_id})
+
+    # ------------------------------------------------------------------
+    # Atomic batches
+    # ------------------------------------------------------------------
+
+    def batch(self) -> "_Batch":
+        """An all-or-nothing mutation batch.
+
+        Operations queued on the batch apply to the in-memory store
+        immediately (so later operations in the batch see earlier ones)
+        but reach the WAL as a *single* ``batch`` record on successful
+        exit.  On exception, the in-memory changes are rolled back and
+        nothing is logged; on crash mid-append, recovery drops the torn
+        record — either the whole batch survives a restart or none of
+        it does.
+
+        >>> import tempfile
+        >>> store = JournaledStore.open(tempfile.mkdtemp())
+        >>> with store.batch() as b:
+        ...     _ = b.insert({"a": 1}, doc_id="x")
+        ...     _ = b.insert({"b": 2}, doc_id="y")
+        >>> sorted(store.store.ids())
+        ['x', 'y']
+        """
+        return _Batch(self)
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> None:
+        """Write a full snapshot and truncate the WAL.
+
+        Atomic via write-to-temp-then-rename; a crash between rename and
+        truncation only means some WAL entries are replayed redundantly,
+        which replay tolerates (operations are re-applied onto the
+        snapshot state idempotently by id).
+        """
+        documents = {
+            doc.doc_id: doc.payload for doc in self._store.scan()
+        }
+        temp_path = self._snapshot_path.with_suffix(".tmp")
+        temp_path.write_text(
+            json.dumps({"format": _FORMAT, "documents": documents})
+        )
+        os.replace(temp_path, self._snapshot_path)
+        self._wal_file.close()
+        self._wal_path.write_text("")
+        self._wal_file = open(self._wal_path, "a", encoding="utf-8")
+        self._entries_since_snapshot = 0
+
+    @property
+    def entries_since_snapshot(self) -> int:
+        """WAL entries appended since the last snapshot (or open)."""
+        return self._entries_since_snapshot
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _append(self, entry: dict) -> None:
+        self._wal_file.write(json.dumps(entry) + "\n")
+        self._wal_file.flush()
+        self._entries_since_snapshot += 1
+
+    def _recover(self) -> None:
+        if self._snapshot_path.exists():
+            data = json.loads(self._snapshot_path.read_text())
+            if data.get("format") != _FORMAT:
+                raise PersistentStoreError(
+                    f"unsupported snapshot format {data.get('format')!r}"
+                )
+            for doc_id, payload in data["documents"].items():
+                self._store.insert(payload, doc_id=doc_id)
+        if not self._wal_path.exists():
+            return
+        with open(self._wal_path, encoding="utf-8") as wal:
+            for line in wal:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    break  # torn tail: durable prefix ends here
+                self._apply(entry)
+
+    def _apply(self, entry: dict) -> None:
+        operation = entry.get("op")
+        doc_id = entry.get("id")
+        if operation == "batch":
+            for sub_entry in entry["entries"]:
+                self._apply(sub_entry)
+            return
+        if operation == "insert":
+            if doc_id in self._store:
+                # Redundant replay over a snapshot that already contains
+                # the insert (crash between snapshot and WAL truncation).
+                self._store.update(doc_id, entry["payload"])
+            else:
+                self._store.insert(entry["payload"], doc_id=doc_id)
+        elif operation == "update":
+            if doc_id in self._store:
+                self._store.update(doc_id, entry["payload"])
+            else:
+                self._store.insert(entry["payload"], doc_id=doc_id)
+        elif operation == "delete":
+            if doc_id in self._store:
+                self._store.delete(doc_id)
+        else:
+            raise PersistentStoreError(f"unknown WAL op {operation!r}")
+
+
+class _Batch:
+    """Collects operations for :meth:`JournaledStore.batch`."""
+
+    def __init__(self, journaled: JournaledStore):
+        self._journaled = journaled
+        self._entries: list[dict] = []
+        self._undo: list[tuple] = []
+
+    def insert(self, payload: dict, doc_id: str | None = None):
+        """Queue an insert; applied to memory immediately."""
+        document = self._journaled.store.insert(payload, doc_id=doc_id)
+        self._entries.append(
+            {"op": "insert", "id": document.doc_id, "payload": payload}
+        )
+        self._undo.append(("delete", document.doc_id, None))
+        return document
+
+    def update(self, doc_id: str, payload: dict):
+        """Queue an update; applied to memory immediately."""
+        before = self._journaled.store.get(doc_id).payload
+        document = self._journaled.store.update(doc_id, payload)
+        self._entries.append({"op": "update", "id": doc_id, "payload": payload})
+        self._undo.append(("update", doc_id, before))
+        return document
+
+    def delete(self, doc_id: str) -> None:
+        """Queue a delete; applied to memory immediately."""
+        before = self._journaled.store.get(doc_id).payload
+        self._journaled.store.delete(doc_id)
+        self._entries.append({"op": "delete", "id": doc_id})
+        self._undo.append(("insert", doc_id, before))
+
+    def __enter__(self) -> "_Batch":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            # Roll the in-memory store back, newest first.
+            for operation, doc_id, payload in reversed(self._undo):
+                if operation == "delete":
+                    self._journaled.store.delete(doc_id)
+                elif operation == "update":
+                    self._journaled.store.update(doc_id, payload)
+                else:
+                    self._journaled.store.insert(payload, doc_id=doc_id)
+            return
+        if self._entries:
+            self._journaled._append({"op": "batch", "entries": self._entries})

@@ -1,0 +1,201 @@
+"""A tiny composable predicate language over document payloads.
+
+The editor-defined expertise constraints of the filtering phase (paper
+§2.2 — "range of number of citations / H-index, number of previous review
+activities") are arbitrary field conditions.  Rather than hard-coding
+each, the filter compiles them to these predicate objects, which also
+lets the simulated services run index-aware queries.
+
+Predicates evaluate against plain dicts; missing fields make comparison
+predicates ``False`` (three-valued logic collapsed to binary, the way
+most document stores behave for filters).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Collection, Iterable
+from dataclasses import dataclass, field
+
+from repro.storage.documents import Document, DocumentStore
+
+
+class Predicate:
+    """Base predicate; subclasses implement :meth:`matches`."""
+
+    def matches(self, payload: dict) -> bool:
+        """Whether ``payload`` satisfies this predicate."""
+        raise NotImplementedError
+
+    def __and__(self, other: "Predicate") -> "And":
+        return And([self, other])
+
+    def __or__(self, other: "Predicate") -> "Or":
+        return Or([self, other])
+
+    def __invert__(self) -> "Not":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class Eq(Predicate):
+    """Field equals a value."""
+
+    field_name: str
+    value: object
+
+    def matches(self, payload: dict) -> bool:
+        return field_value(payload, self.field_name) == self.value
+
+
+@dataclass(frozen=True)
+class In(Predicate):
+    """Field value is a member of ``values``."""
+
+    field_name: str
+    values: tuple
+
+    def __init__(self, field_name: str, values: Collection[object]):
+        object.__setattr__(self, "field_name", field_name)
+        object.__setattr__(self, "values", tuple(values))
+
+    def matches(self, payload: dict) -> bool:
+        return field_value(payload, self.field_name) in self.values
+
+
+@dataclass(frozen=True)
+class Contains(Predicate):
+    """Field (a collection) contains ``value``."""
+
+    field_name: str
+    value: object
+
+    def matches(self, payload: dict) -> bool:
+        container = field_value(payload, self.field_name)
+        if container is None:
+            return False
+        try:
+            return self.value in container
+        except TypeError:
+            return False
+
+
+@dataclass(frozen=True)
+class Gte(Predicate):
+    """Field >= bound; missing or incomparable fields fail."""
+
+    field_name: str
+    bound: float
+
+    def matches(self, payload: dict) -> bool:
+        value = field_value(payload, self.field_name)
+        try:
+            return value is not None and value >= self.bound
+        except TypeError:
+            return False
+
+
+@dataclass(frozen=True)
+class Lte(Predicate):
+    """Field <= bound; missing or incomparable fields fail."""
+
+    field_name: str
+    bound: float
+
+    def matches(self, payload: dict) -> bool:
+        value = field_value(payload, self.field_name)
+        try:
+            return value is not None and value <= self.bound
+        except TypeError:
+            return False
+
+
+@dataclass(frozen=True)
+class Range(Predicate):
+    """Closed interval test ``low <= field <= high``.
+
+    Either bound may be ``None`` (open on that side) — this is exactly the
+    shape of the editor's citation-range / H-index-range filters.
+    """
+
+    field_name: str
+    low: float | None = None
+    high: float | None = None
+
+    def matches(self, payload: dict) -> bool:
+        value = field_value(payload, self.field_name)
+        if value is None:
+            return False
+        try:
+            if self.low is not None and value < self.low:
+                return False
+            if self.high is not None and value > self.high:
+                return False
+        except TypeError:
+            return False
+        return True
+
+
+@dataclass(frozen=True)
+class And(Predicate):
+    """Conjunction of sub-predicates; empty conjunction is True."""
+
+    predicates: tuple = field(default_factory=tuple)
+
+    def __init__(self, predicates: Iterable[Predicate]):
+        object.__setattr__(self, "predicates", tuple(predicates))
+
+    def matches(self, payload: dict) -> bool:
+        return all(p.matches(payload) for p in self.predicates)
+
+
+@dataclass(frozen=True)
+class Or(Predicate):
+    """Disjunction of sub-predicates; empty disjunction is False."""
+
+    predicates: tuple = field(default_factory=tuple)
+
+    def __init__(self, predicates: Iterable[Predicate]):
+        object.__setattr__(self, "predicates", tuple(predicates))
+
+    def matches(self, payload: dict) -> bool:
+        return any(p.matches(payload) for p in self.predicates)
+
+
+@dataclass(frozen=True)
+class Not(Predicate):
+    """Negation of a sub-predicate."""
+
+    predicate: Predicate
+
+    def matches(self, payload: dict) -> bool:
+        return not self.predicate.matches(payload)
+
+
+def field_value(payload: dict, dotted_name: str) -> object:
+    """Resolve a possibly dotted field path against a nested dict.
+
+    >>> field_value({"metrics": {"h_index": 12}}, "metrics.h_index")
+    12
+    """
+    current: object = payload
+    for part in dotted_name.split("."):
+        if not isinstance(current, dict) or part not in current:
+            return None
+        current = current[part]
+    return current
+
+
+def select(store: DocumentStore, predicate: Predicate) -> list[Document]:
+    """Evaluate ``predicate`` over every document of ``store``.
+
+    Uses an ``Eq`` index when the predicate is a bare equality on an
+    indexed field named identically to an index; otherwise falls back to
+    a full scan.  (The services index their hot fields this way.)
+    """
+    if isinstance(predicate, Eq) and predicate.field_name in store.index_names():
+        return [
+            doc
+            for doc in store.lookup(predicate.field_name, predicate.value)
+            if predicate.matches(doc.payload)
+        ]
+    return [doc for doc in store.scan() if predicate.matches(doc.payload)]

@@ -1,0 +1,122 @@
+"""Phonetic codes for surname matching.
+
+Transliterated names drift in spelling while keeping their sound
+("Schmidt"/"Schmitt", "Sørensen"/"Sorenson", "Moawad"/"Mouawad").
+Edit distance penalizes these; phonetic codes collapse them.  The name
+matcher uses phonetic agreement as *corroborating* evidence for family
+names whose string similarity is borderline.
+
+Implemented: American Soundex (the classic) and a simplified NYSIIS
+(better behaviour on non-English surnames).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.text.normalize import fold_diacritics
+
+_SOUNDEX_CODES = {
+    **dict.fromkeys("bfpv", "1"),
+    **dict.fromkeys("cgjkqsxz", "2"),
+    **dict.fromkeys("dt", "3"),
+    "l": "4",
+    **dict.fromkeys("mn", "5"),
+    "r": "6",
+}
+
+
+def soundex(name: str) -> str:
+    """American Soundex code (letter + 3 digits), '' for empty input.
+
+    >>> soundex("Schmidt") == soundex("Schmitt")
+    True
+    >>> soundex("Robert")
+    'R163'
+    """
+    letters = re.sub(r"[^a-z]", "", fold_diacritics(name).lower())
+    if not letters:
+        return ""
+    first = letters[0]
+    # Encode all letters, then collapse adjacent duplicates; 'h'/'w' are
+    # transparent (do not separate duplicate codes), vowels separate.
+    encoded = []
+    previous_code = _SOUNDEX_CODES.get(first, "")
+    for char in letters[1:]:
+        if char in "hw":
+            continue
+        code = _SOUNDEX_CODES.get(char, "")
+        if code and code != previous_code:
+            encoded.append(code)
+        previous_code = code
+    digits = "".join(encoded)[:3].ljust(3, "0")
+    return f"{first.upper()}{digits}"
+
+
+def nysiis(name: str) -> str:
+    """Simplified NYSIIS code, '' for empty input.
+
+    Follows the canonical transformation steps (prefix/suffix rewrites,
+    vowel collapsing) without the rarely-relevant exceptions.
+
+    >>> nysiis("Moawad") == nysiis("Mouawad")
+    True
+    """
+    letters = re.sub(r"[^a-z]", "", fold_diacritics(name).lower())
+    if not letters:
+        return ""
+    for prefix, replacement in (
+        ("mac", "mcc"),
+        ("kn", "nn"),
+        ("k", "c"),
+        ("ph", "ff"),
+        ("pf", "ff"),
+        ("sch", "sss"),
+    ):
+        if letters.startswith(prefix):
+            letters = replacement + letters[len(prefix):]
+            break
+    for suffix, replacement in (
+        ("ee", "y"),
+        ("ie", "y"),
+        ("dt", "d"),
+        ("rt", "d"),
+        ("rd", "d"),
+        ("nt", "d"),
+        ("nd", "d"),
+    ):
+        if letters.endswith(suffix):
+            letters = letters[: -len(suffix)] + replacement
+            break
+    first = letters[0]
+    body = letters
+    body = body.replace("ev", "af")
+    body = re.sub(r"[aeiou]", "a", body)
+    body = body.replace("q", "g").replace("z", "s").replace("m", "n")
+    body = re.sub(r"aw", "a", body)
+    body = re.sub(r"gh[taeiou]", "g", body)
+    body = re.sub(r"gh", "", body) or "a"
+    body = re.sub(r"(.)\1+", r"\1", body)  # collapse runs
+    if body.endswith("s") and len(body) > 1:
+        body = body[:-1]
+    if body.endswith("ay"):
+        body = body[:-2] + "y"
+    if body.endswith("a") and len(body) > 1:
+        body = body[:-1]
+    if body and body[0] != first and first in "aeiou":
+        body = first + body[1:]
+    return body.upper()
+
+
+def phonetic_family_match(a: str, b: str) -> bool:
+    """Whether two family names agree under either phonetic code.
+
+    Empty inputs never match — silence is not evidence.
+    """
+    if not a or not b:
+        return False
+    soundex_a, soundex_b = soundex(a), soundex(b)
+    if soundex_a and soundex_a == soundex_b:
+        return True
+    nysiis_a, nysiis_b = nysiis(a), nysiis(b)
+    return bool(nysiis_a) and nysiis_a == nysiis_b

@@ -1,0 +1,118 @@
+"""Tokenization helpers for topic keywords, titles and abstracts.
+
+Keyword matching between a manuscript and reviewer interest profiles
+(paper §2.2) works on token sets; recency and topic-coverage ranking
+(§2.3) additionally use n-grams so that multi-word topics such as
+"linked open data" match as units.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Iterable, Iterator
+
+from repro.text.normalize import normalize_keyword
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+")
+
+#: Minimal English stopword list tuned for scholarly topic strings.  It is
+#: deliberately small: topic phrases like "internet of things" must keep
+#: "of" out but retain "things".
+DEFAULT_STOPWORDS: frozenset[str] = frozenset(
+    {
+        "a",
+        "an",
+        "and",
+        "as",
+        "at",
+        "by",
+        "for",
+        "from",
+        "in",
+        "into",
+        "is",
+        "of",
+        "on",
+        "or",
+        "over",
+        "the",
+        "to",
+        "via",
+        "with",
+    }
+)
+
+
+def tokenize(
+    text: str,
+    stopwords: frozenset[str] | None = DEFAULT_STOPWORDS,
+    min_length: int = 1,
+) -> list[str]:
+    """Split ``text`` into normalized word tokens.
+
+    Parameters
+    ----------
+    text:
+        Raw input; it is first run through :func:`normalize_keyword`.
+    stopwords:
+        Tokens to drop.  Pass ``None`` to keep everything.
+    min_length:
+        Drop tokens shorter than this many characters.
+
+    >>> tokenize("Efficient Processing of RDF Data!")
+    ['efficient', 'processing', 'rdf', 'data']
+    """
+    normalized = normalize_keyword(text)
+    tokens = _TOKEN_RE.findall(normalized)
+    if stopwords:
+        tokens = [t for t in tokens if t not in stopwords]
+    if min_length > 1:
+        tokens = [t for t in tokens if len(t) >= min_length]
+    return tokens
+
+
+def word_ngrams(tokens: Iterable[str], n: int) -> list[tuple[str, ...]]:
+    """Return the list of word ``n``-grams over ``tokens``.
+
+    >>> word_ngrams(["linked", "open", "data"], 2)
+    [('linked', 'open'), ('open', 'data')]
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    token_list = list(tokens)
+    if len(token_list) < n:
+        return []
+    return [tuple(token_list[i : i + n]) for i in range(len(token_list) - n + 1)]
+
+
+def character_ngrams(text: str, n: int, pad: bool = True) -> list[str]:
+    """Return character ``n``-grams of ``text``, optionally edge-padded.
+
+    Character n-grams drive fuzzy matching of short keywords ("RDFS" vs
+    "RDF").  Padding with ``#`` weights word boundaries, the standard
+    trick for name matching.
+
+    >>> character_ngrams("rdf", 2)
+    ['#r', 'rd', 'df', 'f#']
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if not text:
+        return []
+    padded = f"{'#' * (n - 1)}{text}{'#' * (n - 1)}" if pad and n > 1 else text
+    if len(padded) < n:
+        return [padded]
+    return [padded[i : i + n] for i in range(len(padded) - n + 1)]
+
+
+def sentences(text: str) -> Iterator[str]:
+    """Yield rough sentence splits of ``text``.
+
+    Used only for abstract processing in the extraction phase; a simple
+    period/question/exclamation splitter is sufficient for synthetic
+    abstracts.
+    """
+    for raw in re.split(r"(?<=[.!?])\s+", text):
+        stripped = raw.strip()
+        if stripped:
+            yield stripped

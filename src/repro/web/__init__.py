@@ -1,0 +1,54 @@
+"""Simulated web substrate: the "on-the-fly" crawling layer.
+
+MINARET's defining engineering property (paper §1, abstract) is that it
+extracts everything from the scholarly websites *on-the-fly*, so its
+recommendations are always built from up-to-date information.  That
+design buys freshness at the cost of network latency, per-site rate
+limits, and transient scraping failures.
+
+No network is available (nor desirable) in this reproduction, so this
+package provides a deterministic stand-in with the same failure surface:
+
+- :class:`~repro.web.clock.SimulatedClock` — virtual time, advanced by
+  simulated latencies, so experiments measure the latency *model* rather
+  than wall-clock noise;
+- :class:`~repro.web.http.SimulatedHttpClient` — routes requests to
+  registered endpoint callables, applying a latency model, token-bucket
+  rate limiting (HTTP 429) and seeded fault injection (HTTP 503);
+- :class:`~repro.web.cache.TTLCache` — response caching with virtual-time
+  expiry, the knob behind the freshness-vs-latency experiment;
+- :class:`~repro.web.crawler.Crawler` — retry with exponential backoff on
+  top of the client, plus per-host request accounting.
+"""
+
+from repro.web.cache import TTLCache
+from repro.web.clock import SimulatedClock
+from repro.web.crawler import Crawler, CrawlError, RetryPolicy
+from repro.web.faults import FaultPolicy
+from repro.web.http import (
+    HttpError,
+    HttpRequest,
+    HttpResponse,
+    LatencyModel,
+    RateLimitedError,
+    ServiceUnavailableError,
+    SimulatedHttpClient,
+)
+from repro.web.ratelimit import TokenBucket
+
+__all__ = [
+    "CrawlError",
+    "Crawler",
+    "FaultPolicy",
+    "HttpError",
+    "HttpRequest",
+    "HttpResponse",
+    "LatencyModel",
+    "RateLimitedError",
+    "RetryPolicy",
+    "ServiceUnavailableError",
+    "SimulatedClock",
+    "SimulatedHttpClient",
+    "TTLCache",
+    "TokenBucket",
+]

@@ -1,0 +1,112 @@
+"""TTL response cache over virtual time.
+
+"On-the-fly" extraction (the paper's freshness guarantee) and caching
+pull in opposite directions: every cache hit saves a request but risks
+staleness.  The cache's TTL is the experimental knob of EXP-SCALE —
+TTL 0 is the paper's pure on-the-fly mode, TTL ∞ is a static snapshot.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Hashable
+
+from repro.web.clock import SimulatedClock
+
+
+class TTLCache:
+    """An LRU cache whose entries expire after ``ttl`` virtual seconds.
+
+    ``ttl=0`` disables caching entirely (every get misses); ``ttl=None``
+    means entries never expire.  Capacity-bound with LRU eviction.
+
+    Example
+    -------
+    >>> clock = SimulatedClock()
+    >>> cache = TTLCache(ttl=10.0, capacity=100, clock=clock)
+    >>> cache.put("k", "v"); cache.get("k")
+    'v'
+    >>> clock.advance(11.0); cache.get("k") is None
+    True
+    """
+
+    def __init__(
+        self,
+        ttl: float | None,
+        capacity: int,
+        clock: SimulatedClock,
+    ):
+        if ttl is not None and ttl < 0:
+            raise ValueError(f"ttl must be >= 0 or None, got {ttl}")
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._ttl = ttl
+        self._capacity = capacity
+        self._clock = clock
+        self._entries: OrderedDict[Hashable, tuple[float, object]] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        self._evict_expired()
+        return len(self._entries)
+
+    @property
+    def ttl(self) -> float | None:
+        """Entry lifetime in virtual seconds (None = immortal)."""
+        return self._ttl
+
+    def get(self, key: Hashable) -> object | None:
+        """Return the cached value, or ``None`` on miss/expiry."""
+        if self._ttl == 0:
+            self.misses += 1
+            return None
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        stored_at, value = entry
+        if self._ttl is not None and self._clock.now() - stored_at > self._ttl:
+            del self._entries[key]
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: Hashable, value: object) -> None:
+        """Store a value, evicting the LRU entry when over capacity."""
+        if self._ttl == 0:
+            return
+        if key in self._entries:
+            del self._entries[key]
+        self._entries[key] = (self._clock.now(), value)
+        while len(self._entries) > self._capacity:
+            self._entries.popitem(last=False)
+
+    def invalidate(self, key: Hashable) -> None:
+        """Drop one entry if present."""
+        self._entries.pop(key, None)
+
+    def clear(self) -> None:
+        """Drop every entry; counters are preserved."""
+        self._entries.clear()
+
+    def hit_rate(self) -> float:
+        """Fraction of gets served from cache (0.0 when never queried)."""
+        total = self.hits + self.misses
+        if total == 0:
+            return 0.0
+        return self.hits / total
+
+    def _evict_expired(self) -> None:
+        if self._ttl is None:
+            return
+        now = self._clock.now()
+        expired = [
+            key
+            for key, (stored_at, __) in self._entries.items()
+            if now - stored_at > self._ttl
+        ]
+        for key in expired:
+            del self._entries[key]

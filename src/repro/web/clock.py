@@ -1,0 +1,40 @@
+"""Virtual time for the simulated web.
+
+All latency, cache-TTL and backoff arithmetic in the web substrate runs
+against this clock instead of the wall clock.  Experiments therefore
+report deterministic *simulated* latencies, and tests never sleep.
+"""
+
+from __future__ import annotations
+
+
+class SimulatedClock:
+    """A monotonically advancing virtual clock (seconds as float).
+
+    Example
+    -------
+    >>> clock = SimulatedClock()
+    >>> clock.advance(0.25)
+    >>> clock.now()
+    0.25
+    """
+
+    def __init__(self, start: float = 0.0):
+        if start < 0:
+            raise ValueError(f"start must be >= 0, got {start}")
+        self._now = float(start)
+
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        """Move time forward; negative advances are rejected."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance clock by {seconds}")
+        self._now += seconds
+
+    def sleep(self, seconds: float) -> None:
+        """Alias for :meth:`advance` — reads naturally at call sites that
+        model waiting (backoff, politeness delays)."""
+        self.advance(seconds)

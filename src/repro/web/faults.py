@@ -1,0 +1,75 @@
+"""Seeded transient-fault injection for the simulated web.
+
+Live scraping fails intermittently — markup changes, 5xx blips,
+connection resets.  The extraction pipeline must tolerate these, and the
+tests must be able to *provoke* them deterministically.  A
+:class:`FaultPolicy` decides, per request, whether to fail it, using a
+seeded RNG keyed by request ordinal so runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+class FaultPolicy:
+    """Decides which requests fail transiently.
+
+    Parameters
+    ----------
+    failure_probability:
+        Chance in [0, 1] that any given request fails.
+    burst_every / burst_length:
+        Optionally, a deterministic outage: every ``burst_every``-th
+        request starts a streak of ``burst_length`` consecutive failures.
+        Models a site going down for a stretch rather than flaking
+        independently.
+    seed:
+        RNG seed for the probabilistic component.
+
+    Example
+    -------
+    >>> policy = FaultPolicy(failure_probability=0.0, burst_every=3, burst_length=1)
+    >>> [policy.should_fail() for __ in range(6)]
+    [False, False, True, False, False, True]
+    """
+
+    def __init__(
+        self,
+        failure_probability: float = 0.0,
+        burst_every: int | None = None,
+        burst_length: int = 1,
+        seed: int = 0,
+    ):
+        if not 0.0 <= failure_probability <= 1.0:
+            raise ValueError(
+                f"failure_probability must be in [0, 1], got {failure_probability}"
+            )
+        if burst_every is not None and burst_every < 1:
+            raise ValueError(f"burst_every must be >= 1, got {burst_every}")
+        if burst_length < 1:
+            raise ValueError(f"burst_length must be >= 1, got {burst_length}")
+        self._failure_probability = failure_probability
+        self._burst_every = burst_every
+        self._burst_length = burst_length
+        self._rng = random.Random(seed)
+        self._request_ordinal = 0
+        self._burst_remaining = 0
+
+    @classmethod
+    def never(cls) -> "FaultPolicy":
+        """A policy that never fails anything."""
+        return cls(failure_probability=0.0)
+
+    def should_fail(self) -> bool:
+        """Decide the fate of the next request (stateful)."""
+        self._request_ordinal += 1
+        if self._burst_remaining > 0:
+            self._burst_remaining -= 1
+            return True
+        if self._burst_every and self._request_ordinal % self._burst_every == 0:
+            self._burst_remaining = self._burst_length - 1
+            return True
+        if self._failure_probability > 0.0:
+            return self._rng.random() < self._failure_probability
+        return False

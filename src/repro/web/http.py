@@ -1,0 +1,307 @@
+"""The simulated HTTP layer.
+
+A :class:`SimulatedHttpClient` plays the role of ``requests`` in the
+original system: callers issue GETs against host/path/params, the client
+resolves the host to a registered endpoint callable, and on the way
+applies everything a real scrape suffers — latency (advancing the
+virtual clock), per-host rate limits and injected transient faults.
+
+Responses carry JSON-compatible payloads rather than HTML: the original
+MINARET immediately parses scraped pages into structured records, and
+simulating the markup layer would add fragility without exercising any
+additional pipeline behaviour (every source already has its own response
+schema, which is the part that matters).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass, field
+
+from repro.web.clock import SimulatedClock
+from repro.web.faults import FaultPolicy
+from repro.web.ratelimit import TokenBucket
+
+Params = Mapping[str, object]
+Endpoint = Callable[["HttpRequest"], object]
+
+
+@dataclass(frozen=True)
+class HttpRequest:
+    """An immutable GET request: host, path and query parameters."""
+
+    host: str
+    path: str
+    params: tuple[tuple[str, object], ...] = ()
+
+    @classmethod
+    def create(cls, host: str, path: str, params: Params | None = None) -> "HttpRequest":
+        """Build a request with params normalized to a sorted tuple (hashable)."""
+        items = tuple(sorted((params or {}).items()))
+        return cls(host=host, path=path, params=items)
+
+    def param(self, name: str, default: object = None) -> object:
+        """Fetch a single query parameter."""
+        for key, value in self.params:
+            if key == name:
+                return value
+        return default
+
+    def cache_key(self) -> tuple:
+        """Canonical key identifying this request for response caching."""
+        return (self.host, self.path, self.params)
+
+
+@dataclass(frozen=True)
+class HttpResponse:
+    """A completed response: status, payload, and the latency it cost."""
+
+    status: int
+    payload: object
+    latency: float
+    from_cache: bool = False
+
+    @property
+    def ok(self) -> bool:
+        """Whether the status is a 2xx."""
+        return 200 <= self.status < 300
+
+
+class HttpError(Exception):
+    """Base class for simulated HTTP failures; carries the status code."""
+
+    status = 500
+
+    def __init__(self, request: HttpRequest, message: str):
+        super().__init__(f"{message} ({request.host}{request.path})")
+        self.request = request
+
+
+class RateLimitedError(HttpError):
+    """HTTP 429 — the host's token bucket was empty."""
+
+    status = 429
+
+    def __init__(self, request: HttpRequest, retry_after: float):
+        super().__init__(request, f"rate limited, retry after {retry_after:.3f}s")
+        self.retry_after = retry_after
+
+
+class ServiceUnavailableError(HttpError):
+    """HTTP 503 — injected transient fault."""
+
+    status = 503
+
+    def __init__(self, request: HttpRequest):
+        super().__init__(request, "service unavailable (transient)")
+
+
+class NotFoundError(HttpError):
+    """HTTP 404 — the endpoint rejected the path or entity id."""
+
+    status = 404
+
+    def __init__(self, request: HttpRequest, message: str = "not found"):
+        super().__init__(request, message)
+
+
+@dataclass
+class LatencyModel:
+    """Per-request latency: ``base + U(0, jitter)`` seconds, seeded.
+
+    Real scholarly sites differ wildly (DBLP's API is fast; Scholar is
+    slow and defensive), so each registered host gets its own model.
+    """
+
+    base: float = 0.05
+    jitter: float = 0.02
+    seed: int = 0
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self):
+        if self.base < 0 or self.jitter < 0:
+            raise ValueError("latency parameters must be non-negative")
+        self._rng = random.Random(self.seed)
+
+    def sample(self) -> float:
+        """Draw one latency value."""
+        if self.jitter == 0:
+            return self.base
+        return self.base + self._rng.uniform(0.0, self.jitter)
+
+
+@dataclass
+class HostStats:
+    """Per-host request accounting (feeds EXP-SCALE)."""
+
+    requests: int = 0
+    rate_limited: int = 0
+    faults: int = 0
+    not_found: int = 0
+    total_latency: float = 0.0
+
+
+@dataclass(frozen=True)
+class RequestTrace:
+    """One traced request: what was asked, what came back, when."""
+
+    host: str
+    path: str
+    params: tuple[tuple[str, object], ...]
+    status: int
+    latency: float
+    at: float
+
+
+class SimulatedHttpClient:
+    """Routes requests to registered endpoints with realistic failure modes.
+
+    Example
+    -------
+    >>> clock = SimulatedClock()
+    >>> client = SimulatedHttpClient(clock)
+    >>> client.register_host("dblp.example", lambda req: {"hi": req.param("q")})
+    >>> client.get("dblp.example", "/search", {"q": "rdf"}).payload
+    {'hi': 'rdf'}
+    """
+
+    def __init__(self, clock: SimulatedClock, trace_capacity: int = 0):
+        self._clock = clock
+        self._endpoints: dict[str, Endpoint] = {}
+        self._latency: dict[str, LatencyModel] = {}
+        self._buckets: dict[str, TokenBucket] = {}
+        self._faults: dict[str, FaultPolicy] = {}
+        self.stats: dict[str, HostStats] = {}
+        self._traces: deque[RequestTrace] | None = (
+            deque(maxlen=trace_capacity) if trace_capacity > 0 else None
+        )
+
+    @property
+    def clock(self) -> SimulatedClock:
+        """The virtual clock latencies are charged against."""
+        return self._clock
+
+    def register_host(
+        self,
+        host: str,
+        endpoint: Endpoint,
+        latency: LatencyModel | None = None,
+        rate_limit: TokenBucket | None = None,
+        faults: FaultPolicy | None = None,
+    ) -> None:
+        """Attach an endpoint callable and its behaviour models to a host.
+
+        The endpoint receives the :class:`HttpRequest` and returns the
+        JSON payload; raising :class:`NotFoundError` (or ``KeyError``,
+        which is translated) produces a 404.
+        """
+        if host in self._endpoints:
+            raise ValueError(f"host already registered: {host!r}")
+        self._endpoints[host] = endpoint
+        self._latency[host] = latency or LatencyModel()
+        if rate_limit is not None:
+            self._buckets[host] = rate_limit
+        self._faults[host] = faults or FaultPolicy.never()
+        self.stats[host] = HostStats()
+
+    def hosts(self) -> list[str]:
+        """All registered host names."""
+        return list(self._endpoints)
+
+    def replace_endpoint(self, host: str, endpoint: Endpoint) -> None:
+        """Swap a registered host's endpoint, keeping its behaviour models.
+
+        Models the host re-indexing its content: latency, rate limits,
+        fault behaviour and accumulated statistics are unchanged — only
+        the answers are new.
+        """
+        if host not in self._endpoints:
+            raise ValueError(f"host not registered: {host!r}")
+        self._endpoints[host] = endpoint
+
+    def get(
+        self, host: str, path: str, params: Params | None = None
+    ) -> HttpResponse:
+        """Issue a GET; raises typed :class:`HttpError` subclasses on failure.
+
+        Every attempt — successful or not — advances the virtual clock by
+        a sampled latency and is recorded in :attr:`stats`.
+        """
+        request = HttpRequest.create(host, path, params)
+        if host not in self._endpoints:
+            raise NotFoundError(request, f"unknown host {host!r}")
+        stats = self.stats[host]
+        stats.requests += 1
+        latency = self._latency[host].sample()
+        self._clock.advance(latency)
+        stats.total_latency += latency
+        bucket = self._buckets.get(host)
+        if bucket is not None and not bucket.try_acquire():
+            stats.rate_limited += 1
+            self._trace(request, 429, latency)
+            raise RateLimitedError(request, bucket.time_until_available())
+        if self._faults[host].should_fail():
+            stats.faults += 1
+            self._trace(request, 503, latency)
+            raise ServiceUnavailableError(request)
+        try:
+            payload = self._endpoints[host](request)
+        except NotFoundError:
+            stats.not_found += 1
+            self._trace(request, 404, latency)
+            raise
+        except KeyError as exc:
+            stats.not_found += 1
+            self._trace(request, 404, latency)
+            raise NotFoundError(request, f"not found: {exc}") from exc
+        self._trace(request, 200, latency)
+        return HttpResponse(status=200, payload=payload, latency=latency)
+
+    def total_requests(self) -> int:
+        """Requests issued across all hosts."""
+        return sum(s.requests for s in self.stats.values())
+
+    def total_latency(self) -> float:
+        """Virtual seconds spent waiting on responses, across all hosts."""
+        return sum(s.total_latency for s in self.stats.values())
+
+    def reset_stats(self) -> None:
+        """Zero all per-host counters."""
+        for host in self.stats:
+            self.stats[host] = HostStats()
+
+    # ------------------------------------------------------------------
+    # Tracing
+    # ------------------------------------------------------------------
+
+    @property
+    def tracing_enabled(self) -> bool:
+        """Whether request tracing was configured at construction."""
+        return self._traces is not None
+
+    def traces(self) -> list[RequestTrace]:
+        """Recent request traces, oldest first (empty unless enabled)."""
+        if self._traces is None:
+            return []
+        return list(self._traces)
+
+    def clear_traces(self) -> None:
+        """Drop all recorded traces."""
+        if self._traces is not None:
+            self._traces.clear()
+
+    def _trace(self, request: HttpRequest, status: int, latency: float) -> None:
+        if self._traces is None:
+            return
+        self._traces.append(
+            RequestTrace(
+                host=request.host,
+                path=request.path,
+                params=request.params,
+                status=status,
+                latency=latency,
+                at=self._clock.now(),
+            )
+        )

@@ -1,0 +1,89 @@
+"""Token-bucket rate limiting against the virtual clock.
+
+Scholarly sites throttle scrapers aggressively (Google Scholar famously
+so — the repro_why calibration note calls its scraping "fragile").  Each
+simulated service owns a bucket; exceeding it yields HTTP 429 responses
+the crawler must back off from, exactly the failure mode a live MINARET
+deployment has to engineer around.
+"""
+
+from __future__ import annotations
+
+from repro.web.clock import SimulatedClock
+
+
+class TokenBucket:
+    """Classic token bucket: ``capacity`` burst, ``refill_rate`` tokens/s.
+
+    Example
+    -------
+    >>> clock = SimulatedClock()
+    >>> bucket = TokenBucket(capacity=2, refill_rate=1.0, clock=clock)
+    >>> bucket.try_acquire(), bucket.try_acquire(), bucket.try_acquire()
+    (True, True, False)
+    >>> clock.advance(1.0); bucket.try_acquire()
+    True
+    """
+
+    def __init__(self, capacity: float, refill_rate: float, clock: SimulatedClock):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be > 0, got {capacity}")
+        if refill_rate <= 0:
+            raise ValueError(f"refill_rate must be > 0, got {refill_rate}")
+        self._capacity = float(capacity)
+        self._refill_rate = float(refill_rate)
+        self._clock = clock
+        self._tokens = float(capacity)
+        self._last_refill = clock.now()
+
+    @property
+    def capacity(self) -> float:
+        """Maximum burst size."""
+        return self._capacity
+
+    @property
+    def refill_rate(self) -> float:
+        """Tokens added per virtual second."""
+        return self._refill_rate
+
+    def available(self) -> float:
+        """Tokens currently available (after lazy refill)."""
+        self._refill()
+        return self._tokens
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        """Take ``tokens`` if available; return whether it succeeded."""
+        if tokens <= 0:
+            raise ValueError(f"tokens must be > 0, got {tokens}")
+        self._refill()
+        if self._tokens >= tokens:
+            self._tokens -= tokens
+            return True
+        return False
+
+    def time_until_available(self, tokens: float = 1.0) -> float:
+        """Virtual seconds until ``tokens`` will be available (0 if now).
+
+        The crawler uses this to compute a Retry-After style backoff
+        instead of polling.
+        """
+        if tokens <= 0:
+            raise ValueError(f"tokens must be > 0, got {tokens}")
+        if tokens > self._capacity:
+            raise ValueError(
+                f"requested {tokens} tokens exceeds capacity {self._capacity}"
+            )
+        self._refill()
+        deficit = tokens - self._tokens
+        if deficit <= 0:
+            return 0.0
+        return deficit / self._refill_rate
+
+    def _refill(self) -> None:
+        now = self._clock.now()
+        elapsed = now - self._last_refill
+        if elapsed > 0:
+            self._tokens = min(
+                self._capacity, self._tokens + elapsed * self._refill_rate
+            )
+            self._last_refill = now

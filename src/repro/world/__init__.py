@@ -1,0 +1,35 @@
+"""Synthetic scholarly-world substrate.
+
+The original MINARET runs against the live scholarly web.  This package
+generates a deterministic synthetic equivalent — authors with research
+topics drawn from the ontology, venues, publications with a realistic
+collaboration structure, affiliation histories and review records — plus
+the one thing live data can never provide: **ground truth**.
+
+The generator keeps *hidden variables* per author (true expertise per
+topic, responsiveness, review quality) that the simulated sources expose
+only indirectly (publication records, noisy metrics, partial coverage).
+Experiments can therefore score MINARET's recommendations against the
+oracle (:class:`~repro.world.model.GroundTruthOracle`), and the planted
+name collisions and conflicts of interest make the identity-verification
+and COI experiments measurable.
+"""
+
+from repro.world.config import WorldConfig
+from repro.world.dynamics import WorldDynamics
+from repro.world.generator import generate_world
+from repro.world.io import load_world, save_world, world_from_dict, world_to_dict
+from repro.world.model import GroundTruthOracle, ScholarlyWorld, WorldAuthor
+
+__all__ = [
+    "GroundTruthOracle",
+    "ScholarlyWorld",
+    "WorldAuthor",
+    "WorldConfig",
+    "WorldDynamics",
+    "generate_world",
+    "load_world",
+    "save_world",
+    "world_from_dict",
+    "world_to_dict",
+]

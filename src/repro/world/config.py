@@ -1,0 +1,105 @@
+"""Configuration of the synthetic scholarly world."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.scholarly.records import SourceName
+
+
+def _default_coverage() -> dict[SourceName, float]:
+    """Per-source probability that a scholar has a profile there.
+
+    Chosen to mirror reality circa the paper: DBLP indexes essentially
+    all of CS; Scholar profiles are very common; Publons (reviews) and
+    ResearcherID much less so; ACM and ORCID in between.
+    """
+    return {
+        SourceName.DBLP: 1.0,
+        SourceName.GOOGLE_SCHOLAR: 0.92,
+        SourceName.ACM_DL: 0.75,
+        SourceName.ORCID: 0.70,
+        SourceName.PUBLONS: 0.55,
+        SourceName.RESEARCHER_ID: 0.40,
+    }
+
+
+@dataclass(frozen=True)
+class WorldConfig:
+    """All knobs of :func:`repro.world.generator.generate_world`.
+
+    The defaults produce a medium world (~500 scholars, ~4k papers) that
+    runs the full pipeline in well under a second; benchmarks scale
+    ``author_count`` up.
+
+    Attributes
+    ----------
+    author_count:
+        Number of scholars to generate.
+    current_year:
+        "Today" — the year the recommendation runs in (the paper demoed
+        in 2019).
+    min_career_length / max_career_length:
+        Career length in years, uniform.
+    topics_per_author:
+        Mean number of research topics per scholar (>= 1); each scholar
+        gets one primary topic and neighbours of it.
+    publications_per_author_year:
+        Mean papers co-authored per scholar per active year (drives the
+        Poisson paper counts).
+    max_team_size:
+        Maximum authors per paper.
+    journals_count / conferences_count:
+        Venue pool sizes.
+    collision_group_count / collision_group_size:
+        Planted name-ambiguity: this many groups of scholars *sharing a
+        full name* (the Fig. 4 disambiguation workload).
+    review_activity:
+        Mean number of completed reviews per scholar per year, scaled by
+        seniority.
+    source_coverage:
+        Per-source profile-existence probability (DBLP should stay 1.0:
+        the pipeline needs at least one universal source, as in reality).
+    interest_noise:
+        Probability that a registered interest keyword on a profile is a
+        *neighbouring* topic rather than a true one — sources are noisy.
+    seed:
+        Master RNG seed; the whole world is a pure function of config.
+    """
+
+    author_count: int = 500
+    current_year: int = 2019
+    min_career_length: int = 3
+    max_career_length: int = 30
+    topics_per_author: float = 2.5
+    publications_per_author_year: float = 1.2
+    max_team_size: int = 5
+    journals_count: int = 30
+    conferences_count: int = 40
+    collision_group_count: int = 8
+    collision_group_size: int = 2
+    review_activity: float = 1.5
+    source_coverage: dict[SourceName, float] = field(default_factory=_default_coverage)
+    interest_noise: float = 0.15
+    seed: int = 42
+
+    def __post_init__(self):
+        if self.author_count < 1:
+            raise ValueError(f"author_count must be >= 1, got {self.author_count}")
+        if self.min_career_length < 1 or self.max_career_length < self.min_career_length:
+            raise ValueError("need 1 <= min_career_length <= max_career_length")
+        if self.topics_per_author < 1:
+            raise ValueError("topics_per_author must be >= 1")
+        if self.max_team_size < 1:
+            raise ValueError("max_team_size must be >= 1")
+        if self.journals_count < 1 or self.conferences_count < 1:
+            raise ValueError("venue counts must be >= 1")
+        if self.collision_group_size < 2 and self.collision_group_count > 0:
+            raise ValueError("collision groups need at least 2 members")
+        if not 0.0 <= self.interest_noise <= 1.0:
+            raise ValueError("interest_noise must be in [0, 1]")
+        for source, probability in self.source_coverage.items():
+            if not 0.0 <= probability <= 1.0:
+                raise ValueError(
+                    f"coverage for {source.value} must be in [0, 1], got {probability}"
+                )

@@ -1,0 +1,164 @@
+"""World evolution: the scholarly web does not stand still.
+
+MINARET's abstract justifies on-the-fly extraction by freshness: "the
+output recommendations [are] dynamic and based on up-to-date
+information".  To *test* that claim we need a world that changes under
+the running system.  :class:`WorldDynamics` applies incremental,
+seeded mutations to a generated world:
+
+- :meth:`publish` — new publications for an author in a topic;
+- :meth:`pivot_author` — a scholar moves into a new research area
+  (gains expertise and starts publishing there), the canonical
+  "rising star the stale snapshot misses" scenario;
+- :meth:`record_reviews` — new review activity;
+- :meth:`advance_year` — background drift: a sample of authors publish
+  and review as the generator would have.
+
+After mutations, callers refresh the simulated services
+(:meth:`repro.scholarly.registry.ScholarlyHub.refresh_services`) —
+exactly what happens in reality when the live sites re-index.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.scholarly.records import Publication, ReviewRecord, VenueType
+from repro.world.model import ScholarlyWorld
+
+
+class WorldDynamics:
+    """Seeded incremental mutations over a :class:`ScholarlyWorld`."""
+
+    def __init__(self, world: ScholarlyWorld, seed: int = 0):
+        self._world = world
+        self._rng = random.Random(seed)
+        self._pub_counter = len(world.publications)
+        self._review_counter = len(world.reviews)
+
+    # ------------------------------------------------------------------
+    # Targeted mutations
+    # ------------------------------------------------------------------
+
+    def publish(
+        self,
+        author_id: str,
+        topic_id: str,
+        year: int,
+        count: int = 1,
+        coauthor_ids: tuple[str, ...] = (),
+    ) -> list[str]:
+        """Add ``count`` new publications for an author in a topic.
+
+        Returns the new publication ids.  The venue is the topically
+        closest one; keywords are the topic and its first neighbours.
+        """
+        world = self._world
+        if author_id not in world.authors:
+            raise KeyError(f"unknown author {author_id!r}")
+        topic = world.ontology.topic(topic_id)
+        neighbors = [t.label for t, __ in world.ontology.neighbors(topic_id)][:2]
+        keywords = tuple([topic.label] + neighbors)
+        venue_id = self._venue_for(topic_id)
+        new_ids = []
+        for __ in range(count):
+            self._pub_counter += 1
+            pub_id = f"pub-{self._pub_counter}"
+            world.publications[pub_id] = Publication(
+                pub_id=pub_id,
+                title=f"Recent Advances in {topic.label}",
+                year=year,
+                venue_id=venue_id,
+                author_ids=(author_id, *coauthor_ids),
+                keywords=keywords,
+                citation_count=self._rng.randint(0, 3),  # too new to be cited
+                abstract=f"We present new results on {topic.label.lower()}.",
+            )
+            new_ids.append(pub_id)
+        world.finalize()
+        return new_ids
+
+    def pivot_author(
+        self, author_id: str, topic_id: str, expertise: float = 0.9
+    ) -> None:
+        """A scholar moves into a new research area.
+
+        Updates the hidden expertise (so the oracle credits them) — the
+        observable evidence (publications, registered interests) only
+        reaches the pipeline once the services are refreshed.
+        """
+        if not 0.0 < expertise <= 1.0:
+            raise ValueError(f"expertise must be in (0, 1], got {expertise}")
+        world = self._world
+        author = world.authors[author_id]
+        world.ontology.topic(topic_id)  # validate
+        author.topic_expertise[topic_id] = expertise
+
+    def record_reviews(
+        self, author_id: str, venue_id: str, year: int, count: int = 1
+    ) -> list[str]:
+        """Add completed reviews for an author at a venue."""
+        world = self._world
+        author = world.authors[author_id]
+        if venue_id not in world.venues:
+            raise KeyError(f"unknown venue {venue_id!r}")
+        new_ids = []
+        for __ in range(count):
+            self._review_counter += 1
+            review_id = f"review-{self._review_counter}"
+            days = max(
+                3, int(self._rng.gauss(45 - 30 * author.responsiveness, 10))
+            )
+            world.reviews[review_id] = ReviewRecord(
+                review_id=review_id,
+                reviewer_id=author_id,
+                venue_id=venue_id,
+                year=year,
+                days_to_complete=days,
+                on_time=days <= 30,
+            )
+            new_ids.append(review_id)
+        world.finalize()
+        return new_ids
+
+    # ------------------------------------------------------------------
+    # Background drift
+    # ------------------------------------------------------------------
+
+    def advance_year(self, publication_rate: float = 0.3) -> int:
+        """One year of background activity: a sample of authors publish.
+
+        Returns the number of publications added.  ``publication_rate``
+        is the per-author probability of one new paper.
+        """
+        world = self._world
+        year = max((p.year for p in world.publications.values()), default=2019) + 1
+        added = 0
+        for author_id in sorted(world.authors):
+            if self._rng.random() >= publication_rate:
+                continue
+            author = world.authors[author_id]
+            topic_id = max(author.topic_expertise, key=author.topic_expertise.get)
+            self.publish(author_id, topic_id, year)
+            added += 1
+        return added
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _venue_for(self, topic_id: str) -> str:
+        world = self._world
+        matching = [
+            v.venue_id
+            for v in world.venues.values()
+            if topic_id in v.topic_ids and v.venue_type == VenueType.JOURNAL
+        ]
+        if matching:
+            return self._rng.choice(sorted(matching))
+        journals = sorted(
+            v.venue_id
+            for v in world.venues.values()
+            if v.venue_type == VenueType.JOURNAL
+        )
+        return self._rng.choice(journals)

@@ -1,0 +1,90 @@
+"""Institution pool for affiliation histories.
+
+COI detection (paper §2.2) operates on shared affiliations at
+*university* or *country* granularity, so institutions carry a country
+and several institutions share countries.
+"""
+
+from __future__ import annotations
+
+#: (institution name, country) — about 60 institutions over 25 countries,
+#: with several countries hosting multiple institutions so that the
+#: country-level COI rule is strictly stronger than the university-level
+#: one on this pool.
+INSTITUTIONS: tuple[tuple[str, str], ...] = (
+    ("University of Tartu", "Estonia"),
+    ("Tallinn University of Technology", "Estonia"),
+    ("TU Berlin", "Germany"),
+    ("TU Munich", "Germany"),
+    ("Max Planck Institute for Informatics", "Germany"),
+    ("RWTH Aachen", "Germany"),
+    ("ETH Zurich", "Switzerland"),
+    ("EPFL", "Switzerland"),
+    ("University of Oxford", "United Kingdom"),
+    ("University of Cambridge", "United Kingdom"),
+    ("Imperial College London", "United Kingdom"),
+    ("University of Edinburgh", "United Kingdom"),
+    ("MIT", "United States"),
+    ("Stanford University", "United States"),
+    ("Carnegie Mellon University", "United States"),
+    ("UC Berkeley", "United States"),
+    ("University of Washington", "United States"),
+    ("Georgia Tech", "United States"),
+    ("University of Illinois", "United States"),
+    ("University of Wisconsin", "United States"),
+    ("University of Toronto", "Canada"),
+    ("University of Waterloo", "Canada"),
+    ("McGill University", "Canada"),
+    ("Sorbonne University", "France"),
+    ("Inria", "France"),
+    ("Grenoble Alpes University", "France"),
+    ("Politecnico di Milano", "Italy"),
+    ("Sapienza University of Rome", "Italy"),
+    ("University of Bologna", "Italy"),
+    ("UPC Barcelona", "Spain"),
+    ("Universidad Politecnica de Madrid", "Spain"),
+    ("TU Delft", "Netherlands"),
+    ("CWI Amsterdam", "Netherlands"),
+    ("Vrije Universiteit Amsterdam", "Netherlands"),
+    ("KTH Royal Institute of Technology", "Sweden"),
+    ("Chalmers University", "Sweden"),
+    ("University of Copenhagen", "Denmark"),
+    ("Aarhus University", "Denmark"),
+    ("University of Helsinki", "Finland"),
+    ("Aalto University", "Finland"),
+    ("TU Wien", "Austria"),
+    ("University of Warsaw", "Poland"),
+    ("Charles University", "Czech Republic"),
+    ("Tsinghua University", "China"),
+    ("Peking University", "China"),
+    ("Shanghai Jiao Tong University", "China"),
+    ("Zhejiang University", "China"),
+    ("University of Tokyo", "Japan"),
+    ("Kyoto University", "Japan"),
+    ("KAIST", "South Korea"),
+    ("Seoul National University", "South Korea"),
+    ("National University of Singapore", "Singapore"),
+    ("Nanyang Technological University", "Singapore"),
+    ("IIT Bombay", "India"),
+    ("IIT Delhi", "India"),
+    ("IISc Bangalore", "India"),
+    ("University of Melbourne", "Australia"),
+    ("Australian National University", "Australia"),
+    ("University of Sydney", "Australia"),
+    ("Cairo University", "Egypt"),
+    ("Alexandria University", "Egypt"),
+    ("KAUST", "Saudi Arabia"),
+    ("Qatar Computing Research Institute", "Qatar"),
+    ("University of Sao Paulo", "Brazil"),
+    ("UNICAMP", "Brazil"),
+    ("University of Chile", "Chile"),
+    ("University of Cape Town", "South Africa"),
+)
+
+
+def institutions_by_country() -> dict[str, list[str]]:
+    """Group the pool by country."""
+    grouped: dict[str, list[str]] = {}
+    for institution, country in INSTITUTIONS:
+        grouped.setdefault(country, []).append(institution)
+    return grouped

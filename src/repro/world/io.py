@@ -1,0 +1,187 @@
+"""World serialization: frozen datasets for reproducible experiments.
+
+A generated world is a pure function of its config, but experiments
+that *mutate* worlds (dynamics, freshness studies) need to checkpoint
+and share exact states — including states no config can regenerate.
+These helpers serialize a complete :class:`ScholarlyWorld` (minus the
+ontology, which is rebuilt from its own serialization or from the seed
+catalogue) to a JSON document and back.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.ontology.data import build_seed_ontology
+from repro.ontology.io import ontology_from_dict, ontology_to_dict
+from repro.scholarly.records import (
+    Affiliation,
+    Publication,
+    ReviewRecord,
+    SourceName,
+    Venue,
+    VenueType,
+)
+from repro.world.model import ScholarlyWorld, WorldAuthor
+
+_FORMAT = "minaret-world/1"
+
+
+def world_to_dict(world: ScholarlyWorld, include_ontology: bool = False) -> dict:
+    """Serialize a world to a JSON-compatible dict.
+
+    ``include_ontology=False`` (default) assumes the standard seed
+    ontology and omits it — loading rebuilds it; set ``True`` when the
+    world was generated over a custom ontology.
+    """
+    data = {
+        "format": _FORMAT,
+        "authors": [
+            {
+                "author_id": a.author_id,
+                "name": a.name,
+                "topic_expertise": dict(a.topic_expertise),
+                "affiliations": [_affiliation_to_dict(x) for x in a.affiliations],
+                "career_start": a.career_start,
+                "responsiveness": a.responsiveness,
+                "review_quality": a.review_quality,
+                "prominence": a.prominence,
+                "covered_by": sorted(s.value for s in a.covered_by),
+            }
+            for a in sorted(world.authors.values(), key=lambda a: a.author_id)
+        ],
+        "venues": [
+            {
+                "venue_id": v.venue_id,
+                "name": v.name,
+                "venue_type": v.venue_type.value,
+                "topic_ids": list(v.topic_ids),
+            }
+            for v in sorted(world.venues.values(), key=lambda v: v.venue_id)
+        ],
+        "publications": [
+            {
+                "pub_id": p.pub_id,
+                "title": p.title,
+                "year": p.year,
+                "venue_id": p.venue_id,
+                "author_ids": list(p.author_ids),
+                "keywords": list(p.keywords),
+                "citation_count": p.citation_count,
+                "abstract": p.abstract,
+            }
+            for p in sorted(world.publications.values(), key=lambda p: p.pub_id)
+        ],
+        "reviews": [
+            {
+                "review_id": r.review_id,
+                "reviewer_id": r.reviewer_id,
+                "venue_id": r.venue_id,
+                "year": r.year,
+                "days_to_complete": r.days_to_complete,
+                "on_time": r.on_time,
+            }
+            for r in sorted(world.reviews.values(), key=lambda r: r.review_id)
+        ],
+    }
+    if include_ontology:
+        data["ontology"] = ontology_to_dict(world.ontology)
+    return data
+
+
+def world_from_dict(data: dict) -> ScholarlyWorld:
+    """Rebuild a world from :func:`world_to_dict` output."""
+    if data.get("format") != _FORMAT:
+        raise ValueError(f"unsupported world format: {data.get('format')!r}")
+    ontology = (
+        ontology_from_dict(data["ontology"])
+        if "ontology" in data
+        else build_seed_ontology()
+    )
+    authors = {
+        entry["author_id"]: WorldAuthor(
+            author_id=entry["author_id"],
+            name=entry["name"],
+            topic_expertise=dict(entry["topic_expertise"]),
+            affiliations=tuple(
+                _affiliation_from_dict(x) for x in entry["affiliations"]
+            ),
+            career_start=entry["career_start"],
+            responsiveness=entry["responsiveness"],
+            review_quality=entry["review_quality"],
+            prominence=entry["prominence"],
+            covered_by=frozenset(SourceName(s) for s in entry["covered_by"]),
+        )
+        for entry in data["authors"]
+    }
+    venues = {
+        entry["venue_id"]: Venue(
+            venue_id=entry["venue_id"],
+            name=entry["name"],
+            venue_type=VenueType(entry["venue_type"]),
+            topic_ids=tuple(entry["topic_ids"]),
+        )
+        for entry in data["venues"]
+    }
+    publications = {
+        entry["pub_id"]: Publication(
+            pub_id=entry["pub_id"],
+            title=entry["title"],
+            year=entry["year"],
+            venue_id=entry["venue_id"],
+            author_ids=tuple(entry["author_ids"]),
+            keywords=tuple(entry["keywords"]),
+            citation_count=entry["citation_count"],
+            abstract=entry["abstract"],
+        )
+        for entry in data["publications"]
+    }
+    reviews = {
+        entry["review_id"]: ReviewRecord(
+            review_id=entry["review_id"],
+            reviewer_id=entry["reviewer_id"],
+            venue_id=entry["venue_id"],
+            year=entry["year"],
+            days_to_complete=entry["days_to_complete"],
+            on_time=entry["on_time"],
+        )
+        for entry in data["reviews"]
+    }
+    world = ScholarlyWorld(
+        config=None,
+        ontology=ontology,
+        authors=authors,
+        venues=venues,
+        publications=publications,
+        reviews=reviews,
+    )
+    return world.finalize()
+
+
+def save_world(world: ScholarlyWorld, path: str | Path, include_ontology: bool = False) -> None:
+    """Write a world to a JSON file."""
+    Path(path).write_text(json.dumps(world_to_dict(world, include_ontology)))
+
+
+def load_world(path: str | Path) -> ScholarlyWorld:
+    """Read a world from a JSON file produced by :func:`save_world`."""
+    return world_from_dict(json.loads(Path(path).read_text()))
+
+
+def _affiliation_to_dict(affiliation: Affiliation) -> dict:
+    return {
+        "institution": affiliation.institution,
+        "country": affiliation.country,
+        "start_year": affiliation.start_year,
+        "end_year": affiliation.end_year,
+    }
+
+
+def _affiliation_from_dict(data: dict) -> Affiliation:
+    return Affiliation(
+        institution=data["institution"],
+        country=data["country"],
+        start_year=data["start_year"],
+        end_year=data["end_year"],
+    )

@@ -1,0 +1,106 @@
+"""Name pools for the synthetic scholar population.
+
+The pools mix naming traditions so the identity-verification machinery
+faces realistic variety, and they include deliberately *popular* family
+names (the paper cites DBLP's "Lei Zhou" page as the canonical
+ambiguity example) so the generator can plant name collisions at a
+controlled rate.
+"""
+
+from __future__ import annotations
+
+import random
+
+GIVEN_NAMES: tuple[str, ...] = (
+    "Ada", "Ahmed", "Aisha", "Alan", "Alice", "Amira", "Ana", "Andrei",
+    "Anna", "Antonio", "Aylin", "Barbara", "Bart", "Beatriz", "Bob",
+    "Carlos", "Carmen", "Chen", "Christina", "Claire", "Daniel", "David",
+    "Diego", "Dmitri", "Elena", "Emma", "Erik", "Fatima", "Felix",
+    "Fernanda", "Francesca", "Gabriel", "Giulia", "Grace", "Hana", "Hans",
+    "Hassan", "Helena", "Hiroshi", "Ibrahim", "Igor", "Ines", "Ivan",
+    "James", "Jan", "Javier", "Jing", "Johanna", "John", "Jorge", "Jun",
+    "Kai", "Karim", "Katarzyna", "Kenji", "Laila", "Lars", "Laura", "Lei",
+    "Leila", "Li", "Lin", "Linda", "Lucas", "Lucia", "Magnus", "Maria",
+    "Marco", "Marta", "Martin", "Maya", "Mei", "Michael", "Ming", "Mohamed",
+    "Mona", "Natalia", "Nina", "Noor", "Olga", "Omar", "Paolo", "Pedro",
+    "Peter", "Priya", "Qing", "Rafael", "Rania", "Ravi", "Richard", "Rosa",
+    "Samir", "Sara", "Sergei", "Sherif", "Sofia", "Stefan", "Susan",
+    "Tariq", "Thomas", "Ting", "Tomas", "Vera", "Victor", "Wei", "Xin",
+    "Yasmin", "Yi", "Yuki", "Yusuf", "Zainab", "Zhen",
+)
+
+FAMILY_NAMES: tuple[str, ...] = (
+    "Abbas", "Abe", "Ahmed", "Almeida", "Andersson", "Awad", "Bauer",
+    "Becker", "Bianchi", "Borges", "Carvalho", "Chen", "Costa", "Dubois",
+    "Eriksson", "Farouk", "Fernandez", "Ferrari", "Fischer", "Garcia",
+    "Gomez", "Gonzalez", "Haddad", "Hansen", "Hoffmann", "Hussein",
+    "Ibrahim", "Ivanov", "Jansen", "Johansson", "Kato", "Keller", "Khan",
+    "Kim", "Kobayashi", "Kowalski", "Kumar", "Larsen", "Lee", "Lehmann",
+    "Li", "Lindberg", "Liu", "Lopez", "Mahmoud", "Maier", "Maher",
+    "Martinez", "Meyer", "Moawad", "Moreau", "Moretti", "Mueller",
+    "Nakamura", "Nguyen", "Nielsen", "Novak", "Okafor", "Olsen", "Osman",
+    "Park", "Patel", "Pereira", "Petrov", "Popescu", "Ribeiro", "Ricci",
+    "Rodriguez", "Romano", "Rossi", "Russo", "Saleh", "Sakr", "Sanchez",
+    "Santos", "Sato", "Schmidt", "Schneider", "Schulz", "Sharma", "Silva",
+    "Singh", "Smirnov", "Sousa", "Suzuki", "Takahashi", "Tanaka", "Torres",
+    "Tran", "Vasquez", "Virtanen", "Wagner", "Wang", "Weber", "Wolf",
+    "Wong", "Wu", "Yamamoto", "Yang", "Yilmaz", "Zhang", "Zhao", "Zhou",
+)
+
+#: Family names treated as "popular": the generator concentrates its
+#: planted name collisions on these, mirroring the real-world skew the
+#: paper footnotes with DBLP's disambiguation page for "Lei Zhou".
+POPULAR_FAMILY_NAMES: tuple[str, ...] = (
+    "Chen", "Kim", "Lee", "Li", "Liu", "Wang", "Wu", "Yang", "Zhang",
+    "Zhao", "Zhou",
+)
+
+#: Given names commonly paired with the popular family names, used when
+#: planting collisions so the colliding full names look natural.
+COLLISION_GIVEN_NAMES: tuple[str, ...] = (
+    "Chen", "Jing", "Jun", "Kai", "Lei", "Li", "Lin", "Mei", "Ming",
+    "Qing", "Ting", "Wei", "Xin", "Yi", "Zhen",
+)
+
+MIDDLE_INITIALS: tuple[str, ...] = tuple("ABCDEFGHJKLMNPRSTW")
+
+
+class NameFactory:
+    """Seeded generator of unique-or-deliberately-colliding names.
+
+    ``make_unique`` never repeats a full name; ``make_collision_pair``
+    returns the *same* full name twice, to be assigned to two different
+    authors (the disambiguation workload).
+    """
+
+    def __init__(self, rng: random.Random):
+        self._rng = rng
+        self._used: set[str] = set()
+
+    def make_unique(self, with_middle_probability: float = 0.3) -> str:
+        """Draw a fresh full name not produced before."""
+        for __ in range(10_000):
+            given = self._rng.choice(GIVEN_NAMES)
+            family = self._rng.choice(FAMILY_NAMES)
+            if self._rng.random() < with_middle_probability:
+                middle = self._rng.choice(MIDDLE_INITIALS)
+                name = f"{given} {middle}. {family}"
+            else:
+                name = f"{given} {family}"
+            if name not in self._used:
+                self._used.add(name)
+                return name
+        raise RuntimeError("name pool exhausted")
+
+    def make_collision_name(self) -> str:
+        """Draw a popular-style name for a planted collision group.
+
+        The name may or may not have been used before — that is the
+        point — but it is recorded so ``make_unique`` never accidentally
+        produces a third colliding author unasked.
+        """
+        given = self._rng.choice(COLLISION_GIVEN_NAMES)
+        family = self._rng.choice(POPULAR_FAMILY_NAMES)
+        name = f"{given} {family}"
+        self._used.add(name)
+        return name

@@ -1,0 +1,258 @@
+"""Tests for the MINARET REST API endpoints."""
+
+import pytest
+
+from repro.api.handlers import MinaretApi
+
+
+@pytest.fixture()
+def api(hub):
+    return MinaretApi(hub)
+
+
+def manuscript_payload(manuscript):
+    return {
+        "title": manuscript.title,
+        "keywords": list(manuscript.keywords),
+        "authors": [
+            {
+                "name": a.name,
+                "affiliation": a.affiliation,
+                "country": a.country,
+            }
+            for a in manuscript.authors
+        ],
+        "target_venue": manuscript.target_venue,
+    }
+
+
+class TestHealth:
+    def test_health(self, api):
+        response = api.handle("GET", "/api/v1/health")
+        assert response.ok
+        assert response.body["status"] == "ok"
+
+    def test_routes_exposed(self, api):
+        assert ("POST", "/api/v1/recommend") in api.routes()
+
+
+class TestExpand:
+    def test_paper_example(self, api):
+        response = api.handle("POST", "/api/v1/expand", {"keywords": ["RDF"]})
+        assert response.ok
+        labels = {e["keyword"] for e in response.body["expansions"]}
+        assert {"Semantic Web", "SPARQL", "Linked Open Data"} <= labels
+
+    def test_depth_override(self, api):
+        response = api.handle(
+            "POST", "/api/v1/expand", {"keywords": ["RDF"], "max_depth": 0}
+        )
+        assert [e["keyword"] for e in response.body["expansions"]] == ["RDF"]
+
+    def test_missing_keywords_400(self, api):
+        assert api.handle("POST", "/api/v1/expand", {}).status == 400
+
+    def test_empty_keywords_400(self, api):
+        response = api.handle("POST", "/api/v1/expand", {"keywords": []})
+        assert response.status == 400
+
+
+class TestVerifyAuthors:
+    def test_known_author(self, api, manuscript):
+        author = manuscript.authors[0]
+        response = api.handle(
+            "POST",
+            "/api/v1/verify-authors",
+            {"authors": [{"name": author.name, "affiliation": author.affiliation}]},
+        )
+        assert response.ok
+        verified = response.body["verified"][0]
+        assert verified["name"] == author.name
+        assert "dblp" in verified["source_ids"]
+
+    def test_unknown_author_404(self, api):
+        response = api.handle(
+            "POST", "/api/v1/verify-authors", {"authors": [{"name": "Nobody Nowhere"}]}
+        )
+        assert response.status == 404
+
+    def test_ambiguous_author_409(self, api, world):
+        collision = next(
+            a
+            for a in world.authors.values()
+            if len(world.authors_by_name(a.name)) > 1
+        )
+        response = api.handle(
+            "POST", "/api/v1/verify-authors", {"authors": [{"name": collision.name}]}
+        )
+        assert response.status == 409
+
+    def test_missing_body_400(self, api):
+        assert api.handle("POST", "/api/v1/verify-authors", {}).status == 400
+
+
+class TestRecommend:
+    def test_full_workflow(self, api, manuscript):
+        response = api.handle(
+            "POST",
+            "/api/v1/recommend",
+            {"manuscript": manuscript_payload(manuscript), "top_k": 5},
+        )
+        assert response.ok
+        body = response.body
+        assert len(body["recommendations"]) <= 5
+        for rec in body["recommendations"]:
+            assert set(rec["breakdown"]) == {
+                "topic_coverage",
+                "scientific_impact",
+                "recency",
+                "review_experience",
+                "outlet_familiarity",
+                "timeliness",
+            }
+        assert [p["phase"] for p in body["phases"]] == [
+            "verify_authors",
+            "crawl_outlet",
+            "expand_keywords",
+            "extract_candidates",
+            "filter",
+            "rank",
+        ]
+
+    def test_config_overrides_applied(self, api, manuscript):
+        response = api.handle(
+            "POST",
+            "/api/v1/recommend",
+            {
+                "manuscript": manuscript_payload(manuscript),
+                "config": {"max_candidates": 3},
+            },
+        )
+        assert response.ok
+        extract = next(
+            p for p in response.body["phases"] if p["phase"] == "extract_candidates"
+        )
+        assert extract["items_out"] <= 3
+
+    def test_invalid_weights_400(self, api, manuscript):
+        response = api.handle(
+            "POST",
+            "/api/v1/recommend",
+            {
+                "manuscript": manuscript_payload(manuscript),
+                "config": {"weights": {"topic_coverage": -1.0}},
+            },
+        )
+        assert response.status == 400
+
+    def test_missing_manuscript_400(self, api):
+        assert api.handle("POST", "/api/v1/recommend", {}).status == 400
+
+    def test_manuscript_without_keywords_400(self, api, manuscript):
+        payload = manuscript_payload(manuscript)
+        payload["keywords"] = []
+        response = api.handle(
+            "POST", "/api/v1/recommend", {"manuscript": payload}
+        )
+        assert response.status == 400
+
+    def test_invalid_top_k_400(self, api, manuscript):
+        response = api.handle(
+            "POST",
+            "/api/v1/recommend",
+            {"manuscript": manuscript_payload(manuscript), "top_k": 0},
+        )
+        assert response.status == 400
+
+
+class TestAssign:
+    def batch_payload(self, world, count=3):
+        entries = []
+        index = 0
+        for author in world.authors.values():
+            if index >= count:
+                break
+            if len(world.authors_by_name(author.name)) > 1:
+                continue
+            topics = sorted(author.topic_expertise)[:2]
+            entries.append(
+                {
+                    "paper_id": f"paper-{index}",
+                    "manuscript": {
+                        "title": f"Batch {index}",
+                        "keywords": [
+                            world.ontology.topic(t).label for t in topics
+                        ],
+                        "authors": [
+                            {
+                                "name": author.name,
+                                "affiliation": author.affiliations[-1].institution,
+                            }
+                        ],
+                    },
+                }
+            )
+            index += 1
+        return entries
+
+    def test_batch_assignment(self, api, world):
+        response = api.handle(
+            "POST",
+            "/api/v1/assign",
+            {
+                "manuscripts": self.batch_payload(world),
+                "reviewers_per_paper": 2,
+                "max_load": 2,
+                "solver": "optimal",
+            },
+        )
+        assert response.ok
+        assignments = response.body["assignments"]
+        assert len(assignments) == 3
+        for reviewers in assignments.values():
+            assert len(reviewers) <= 2
+            for reviewer in reviewers:
+                assert reviewer["name"]
+        assert response.body["quality"]["max_load"] <= 2
+
+    def test_unknown_solver_400(self, api, world):
+        response = api.handle(
+            "POST",
+            "/api/v1/assign",
+            {
+                "manuscripts": self.batch_payload(world, count=1),
+                "solver": "simulated-annealing",
+            },
+        )
+        assert response.status == 400
+
+    def test_missing_paper_id_400(self, api):
+        response = api.handle(
+            "POST",
+            "/api/v1/assign",
+            {"manuscripts": [{"manuscript": {}}]},
+        )
+        assert response.status == 400
+
+    def test_empty_batch_400(self, api):
+        assert api.handle("POST", "/api/v1/assign", {"manuscripts": []}).status == 400
+
+    def test_duplicate_paper_ids_400(self, api, world):
+        entry = self.batch_payload(world, count=1)[0]
+        response = api.handle(
+            "POST", "/api/v1/assign", {"manuscripts": [entry, entry]}
+        )
+        assert response.status == 400
+
+
+class TestSourceStats:
+    def test_stats_accumulate(self, api, manuscript):
+        api.handle(
+            "POST",
+            "/api/v1/recommend",
+            {"manuscript": manuscript_payload(manuscript)},
+        )
+        response = api.handle("GET", "/api/v1/sources")
+        assert response.ok
+        by_host = {s["host"]: s for s in response.body["sources"]}
+        assert by_host["scholar.google.com"]["requests"] > 0

@@ -1,0 +1,90 @@
+"""Tests for the API router."""
+
+import pytest
+
+from repro.api.router import ApiError, ApiRequest, Router
+
+
+@pytest.fixture()
+def router():
+    r = Router()
+    r.add("GET", "/things", lambda req: {"all": True})
+    r.add("GET", "/things/{id}", lambda req: {"id": req.path_params["id"]})
+    r.add("POST", "/things", lambda req: {"created": req.require("name")})
+    return r
+
+
+class TestDispatch:
+    def test_exact_route(self, router):
+        response = router.dispatch("GET", "/things")
+        assert response.ok
+        assert response.body == {"all": True}
+
+    def test_path_params(self, router):
+        response = router.dispatch("GET", "/things/42")
+        assert response.body == {"id": "42"}
+
+    def test_unknown_path_404(self, router):
+        assert router.dispatch("GET", "/nope").status == 404
+
+    def test_wrong_method_405(self, router):
+        assert router.dispatch("DELETE", "/things").status == 405
+
+    def test_method_case_insensitive(self, router):
+        assert router.dispatch("get", "/things").ok
+
+    def test_trailing_slash_tolerated(self, router):
+        assert router.dispatch("GET", "/things/").ok
+
+
+class TestErrors:
+    def test_api_error_maps_to_status(self, router):
+        response = router.dispatch("POST", "/things", {})
+        assert response.status == 400
+        assert "name" in response.body["error"]
+
+    def test_value_error_becomes_400(self):
+        router = Router()
+
+        def boom(request):
+            raise ValueError("bad input")
+
+        router.add("GET", "/boom", boom)
+        response = router.dispatch("GET", "/boom")
+        assert response.status == 400
+        assert response.body["error"] == "bad input"
+
+    def test_custom_api_error_status(self):
+        router = Router()
+
+        def conflict(request):
+            raise ApiError(409, "conflict!")
+
+        router.add("GET", "/c", conflict)
+        assert router.dispatch("GET", "/c").status == 409
+
+
+class TestRegistration:
+    def test_duplicate_route_rejected(self, router):
+        with pytest.raises(ValueError):
+            router.add("GET", "/things", lambda req: {})
+
+    def test_same_path_different_methods_allowed(self, router):
+        router.add("DELETE", "/things", lambda req: {"deleted": True})
+        assert router.dispatch("DELETE", "/things").ok
+
+    def test_routes_listing(self, router):
+        assert ("GET", "/things") in router.routes()
+        assert ("GET", "/things/{id}") in router.routes()
+
+
+class TestRequest:
+    def test_require_present(self):
+        request = ApiRequest("POST", "/x", body={"a": 1})
+        assert request.require("a") == 1
+
+    def test_require_missing_raises(self):
+        request = ApiRequest("POST", "/x", body={})
+        with pytest.raises(ApiError) as exc_info:
+            request.require("a")
+        assert exc_info.value.status == 400

@@ -1,0 +1,76 @@
+"""Tests for building assignment problems from pipeline results."""
+
+import pytest
+
+from repro.assignment.builder import problem_from_results
+from repro.core.models import (
+    Candidate,
+    Manuscript,
+    ManuscriptAuthor,
+    RecommendationResult,
+    ScoreBreakdown,
+    ScoredCandidate,
+)
+from repro.scholarly.records import MergedProfile
+
+
+def make_result(scored_pairs):
+    manuscript = Manuscript(
+        title="t", keywords=("k",), authors=(ManuscriptAuthor("A"),)
+    )
+    ranked = [
+        ScoredCandidate(
+            candidate=Candidate(
+                candidate_id=candidate_id,
+                name=candidate_id,
+                profile=MergedProfile(canonical_name=candidate_id, source_ids=()),
+            ),
+            total_score=score,
+            breakdown=ScoreBreakdown(),
+        )
+        for candidate_id, score in scored_pairs
+    ]
+    return RecommendationResult(
+        manuscript=manuscript,
+        verified_authors=[],
+        expanded_keywords=[],
+        candidates=[s.candidate for s in ranked],
+        filter_decisions=[],
+        ranked=ranked,
+        phase_reports=[],
+    )
+
+
+class TestBuilder:
+    def test_scores_taken_from_ranking(self):
+        result = make_result([("r1", 0.9), ("r2", 0.4)])
+        problem = problem_from_results([("p1", result)])
+        assert problem.scores == {"p1": {"r1": 0.9, "r2": 0.4}}
+
+    def test_top_k_restricts_candidates(self):
+        result = make_result([("r1", 0.9), ("r2", 0.8), ("r3", 0.1)])
+        problem = problem_from_results([("p1", result)], top_k=2)
+        assert set(problem.scores["p1"]) == {"r1", "r2"}
+
+    def test_shared_reviewers_recognized_across_papers(self):
+        result_a = make_result([("shared", 0.9)])
+        result_b = make_result([("shared", 0.7), ("other", 0.5)])
+        problem = problem_from_results([("p1", result_a), ("p2", result_b)])
+        assert problem.reviewers() == ["other", "shared"]
+
+    def test_duplicate_paper_ids_rejected(self):
+        result = make_result([("r1", 0.9)])
+        with pytest.raises(ValueError):
+            problem_from_results([("p1", result), ("p1", result)])
+
+    def test_constraints_forwarded(self):
+        result = make_result([("r1", 0.9)])
+        problem = problem_from_results(
+            [("p1", result)], reviewers_per_paper=4, max_load=7
+        )
+        assert problem.reviewers_per_paper == 4
+        assert problem.max_load == 7
+
+    def test_empty_batch(self):
+        problem = problem_from_results([])
+        assert problem.papers() == []

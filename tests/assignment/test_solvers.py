@@ -1,0 +1,148 @@
+"""Tests for the assignment solvers, including optimality properties."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.assignment.models import AssignmentProblem, assess_assignment
+from repro.assignment.solvers import (
+    greedy_assignment,
+    optimal_assignment,
+    random_assignment,
+)
+
+SOLVERS = [greedy_assignment, optimal_assignment, lambda p: random_assignment(p, 3)]
+
+
+def toy_problem():
+    return AssignmentProblem(
+        scores={
+            "paper1": {"r1": 0.9, "r2": 0.5, "r3": 0.4},
+            "paper2": {"r1": 0.8, "r2": 0.7},
+            "paper3": {"r1": 0.7, "r3": 0.6, "r2": 0.1},
+        },
+        reviewers_per_paper=2,
+        max_load=2,
+    )
+
+
+@st.composite
+def random_problems(draw):
+    paper_count = draw(st.integers(1, 5))
+    reviewer_count = draw(st.integers(1, 6))
+    quota = draw(st.integers(1, 3))
+    load = draw(st.integers(1, 3))
+    rng = random.Random(draw(st.integers(0, 1000)))
+    scores = {}
+    for p in range(paper_count):
+        candidates = {
+            f"r{r}": round(rng.random(), 3)
+            for r in range(reviewer_count)
+            if rng.random() < 0.7
+        }
+        scores[f"p{p}"] = candidates
+    return AssignmentProblem(
+        scores=scores, reviewers_per_paper=quota, max_load=load
+    )
+
+
+class TestGreedy:
+    def test_respects_constraints(self):
+        problem = toy_problem()
+        quality = assess_assignment(problem, greedy_assignment(problem))
+        assert quality.max_load <= problem.max_load
+
+    def test_takes_best_pair_first(self):
+        problem = toy_problem()
+        assignment = greedy_assignment(problem)
+        assert "r1" in assignment.reviewers_of("paper1")
+
+    def test_deterministic(self):
+        a = greedy_assignment(toy_problem())
+        b = greedy_assignment(toy_problem())
+        assert a.by_paper == b.by_paper
+
+    def test_known_starvation(self):
+        # Greedy spends r1 and r2 early and leaves paper3 under quota.
+        quality = assess_assignment(toy_problem(), greedy_assignment(toy_problem()))
+        assert quality.unfilled_slots == 1
+
+
+class TestOptimal:
+    def test_fills_all_slots_when_possible(self):
+        problem = toy_problem()
+        quality = assess_assignment(problem, optimal_assignment(problem))
+        assert quality.unfilled_slots == 0
+
+    def test_beats_greedy_on_starvation_instance(self):
+        problem = toy_problem()
+        greedy_quality = assess_assignment(problem, greedy_assignment(problem))
+        optimal_quality = assess_assignment(problem, optimal_assignment(problem))
+        assert optimal_quality.total_score > greedy_quality.total_score
+
+    def test_single_paper_takes_top_reviewers(self):
+        problem = AssignmentProblem(
+            scores={"p": {"a": 0.9, "b": 0.8, "c": 0.1}},
+            reviewers_per_paper=2,
+            max_load=1,
+        )
+        assignment = optimal_assignment(problem)
+        assert sorted(assignment.reviewers_of("p")) == ["a", "b"]
+
+    def test_empty_problem(self):
+        problem = AssignmentProblem(scores={})
+        assert optimal_assignment(problem).by_paper == {}
+
+    def test_infeasible_quota_partially_filled(self):
+        problem = AssignmentProblem(
+            scores={"p1": {"r1": 1.0}, "p2": {"r1": 1.0}},
+            reviewers_per_paper=1,
+            max_load=1,
+        )
+        assignment = optimal_assignment(problem)
+        quality = assess_assignment(problem, assignment)
+        assert assignment.total_assignments() == 1
+        assert quality.unfilled_slots == 1
+
+
+class TestRandom:
+    def test_seeded(self):
+        problem = toy_problem()
+        assert (
+            random_assignment(problem, 7).by_paper
+            == random_assignment(problem, 7).by_paper
+        )
+
+    def test_valid(self):
+        problem = toy_problem()
+        assess_assignment(problem, random_assignment(problem, 5))
+
+
+class TestProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(random_problems())
+    def test_all_solvers_produce_valid_assignments(self, problem):
+        for solver in SOLVERS:
+            assignment = solver(problem)
+            quality = assess_assignment(problem, assignment)
+            assert quality.max_load <= problem.max_load
+
+    @settings(max_examples=40, deadline=None)
+    @given(random_problems())
+    def test_optimal_dominates_on_slots_then_score(self, problem):
+        greedy_quality = assess_assignment(problem, greedy_assignment(problem))
+        optimal_quality = assess_assignment(problem, optimal_assignment(problem))
+        assert optimal_quality.unfilled_slots <= greedy_quality.unfilled_slots
+        if optimal_quality.unfilled_slots == greedy_quality.unfilled_slots:
+            assert (
+                optimal_quality.total_score >= greedy_quality.total_score - 1e-6
+            )
+
+    @settings(max_examples=40, deadline=None)
+    @given(random_problems())
+    def test_optimal_dominates_random(self, problem):
+        random_quality = assess_assignment(problem, random_assignment(problem, 1))
+        optimal_quality = assess_assignment(problem, optimal_assignment(problem))
+        assert optimal_quality.unfilled_slots <= random_quality.unfilled_slots

@@ -1,0 +1,136 @@
+"""Tests for the baseline recommenders and oracle evaluation."""
+
+import pytest
+
+from repro.baselines.evaluation import CandidateResolver, evaluate_recommendation
+from repro.baselines.recommenders import (
+    CitationOnlyRecommender,
+    MinaretRecommender,
+    NoExpansionRecommender,
+    RandomRecommender,
+)
+
+
+class TestRecommenderShapes:
+    def test_minaret_returns_k(self, hub, manuscript):
+        result = MinaretRecommender(hub).recommend(manuscript, k=5)
+        assert result.name == "minaret"
+        assert len(result.candidate_ids) <= 5
+
+    def test_no_expansion_uses_only_seed_keywords(self, hub, manuscript):
+        result = NoExpansionRecommender(hub).recommend(manuscript, k=5)
+        assert len(result.result.expanded_keywords) == len(manuscript.keywords)
+
+    def test_citation_only_orders_by_impact(self, hub, manuscript):
+        result = CitationOnlyRecommender(hub).recommend(manuscript, k=10)
+        impacts = [
+            s.breakdown.scientific_impact for s in result.result.ranked
+        ]
+        assert impacts == sorted(impacts, reverse=True)
+
+    def test_random_permutes_same_pool(self, world, manuscript):
+        from repro.scholarly.registry import ScholarlyHub
+
+        minaret = MinaretRecommender(ScholarlyHub.deploy(world)).recommend(
+            manuscript, k=100
+        )
+        random_rec = RandomRecommender(ScholarlyHub.deploy(world), seed=1).recommend(
+            manuscript, k=100
+        )
+        assert set(minaret.candidate_ids) == set(random_rec.candidate_ids)
+
+    def test_random_is_seeded(self, world, manuscript):
+        from repro.scholarly.registry import ScholarlyHub
+
+        a = RandomRecommender(ScholarlyHub.deploy(world), seed=5).recommend(
+            manuscript, k=50
+        )
+        b = RandomRecommender(ScholarlyHub.deploy(world), seed=5).recommend(
+            manuscript, k=50
+        )
+        assert a.candidate_ids == b.candidate_ids
+
+
+class TestCandidateResolver:
+    def test_scholar_ids_resolve(self, hub, world):
+        resolver = CandidateResolver(hub)
+        author = next(
+            a
+            for a in world.authors.values()
+            if hub.scholar_service.user_of(a.author_id)
+        )
+        user = hub.scholar_service.user_of(author.author_id)
+        assert resolver.world_id(user) == author.author_id
+
+    def test_publons_ids_resolve(self, hub, world):
+        resolver = CandidateResolver(hub)
+        author = next(
+            (
+                a
+                for a in world.authors.values()
+                if hub.publons_service.reviewer_id_of(a.author_id)
+            ),
+            None,
+        )
+        if author is None:
+            pytest.skip("no publons coverage")
+        reviewer_id = hub.publons_service.reviewer_id_of(author.author_id)
+        assert resolver.world_id(reviewer_id) == author.author_id
+
+    def test_unknown_id_is_none(self, hub):
+        assert CandidateResolver(hub).world_id("sch_bogus") is None
+
+    def test_world_ids_drop_unresolvable(self, hub, world):
+        resolver = CandidateResolver(hub)
+        author = next(
+            a
+            for a in world.authors.values()
+            if hub.scholar_service.user_of(a.author_id)
+        )
+        user = hub.scholar_service.user_of(author.author_id)
+        assert resolver.world_ids([user, "bogus"]) == [author.author_id]
+
+
+class TestEvaluation:
+    def test_scores_in_range(self, hub, world, manuscript):
+        recommender = MinaretRecommender(hub)
+        result = recommender.recommend(manuscript, k=10)
+        author = world.authors_by_name(manuscript.authors[0].name)[0]
+        topics = sorted(author.topic_expertise)[:2]
+        scores = evaluate_recommendation(
+            world,
+            CandidateResolver(hub),
+            result.candidate_ids,
+            topics,
+            [author.author_id],
+            k=10,
+        )
+        assert 0.0 <= scores.precision <= 1.0
+        assert 0.0 <= scores.recall <= 1.0
+        assert 0.0 <= scores.ndcg <= 1.0
+        assert scores.mean_utility >= 0.0
+
+    def test_oracle_list_itself_scores_perfectly(self, hub, world, manuscript):
+        from repro.world.model import GroundTruthOracle
+
+        author = world.authors_by_name(manuscript.authors[0].name)[0]
+        topics = sorted(author.topic_expertise)[:2]
+        oracle = GroundTruthOracle(world)
+        ideal = oracle.ideal_reviewers(topics, [author.author_id], k=10)
+        # Feed the oracle's own answer back through source ids.
+        reverse = {}
+        for world_id in ideal:
+            user = hub.scholar_service.user_of(world_id)
+            if user:
+                reverse[world_id] = user
+        candidate_ids = [reverse[w] for w in ideal if w in reverse]
+        scores = evaluate_recommendation(
+            world,
+            CandidateResolver(hub),
+            candidate_ids,
+            topics,
+            [author.author_id],
+            k=len(candidate_ids) or 1,
+        )
+        if candidate_ids:
+            assert scores.precision == 1.0

@@ -1,0 +1,85 @@
+"""Tests for the bootstrap statistics helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.baselines.stats import (
+    MeanWithCi,
+    bootstrap_mean_ci,
+    paired_bootstrap_pvalue,
+)
+
+samples = st.lists(st.floats(0.0, 1.0), min_size=2, max_size=20)
+
+
+class TestBootstrapCi:
+    def test_interval_contains_mean_of_tight_sample(self):
+        ci = bootstrap_mean_ci([0.5, 0.5, 0.5, 0.5])
+        assert ci.mean == 0.5
+        assert ci.low == 0.5
+        assert ci.high == 0.5
+
+    def test_interval_ordering(self):
+        ci = bootstrap_mean_ci([0.1, 0.9, 0.4, 0.6, 0.2])
+        assert ci.low <= ci.mean <= ci.high
+
+    def test_single_value_degenerate(self):
+        ci = bootstrap_mean_ci([0.7])
+        assert (ci.low, ci.mean, ci.high) == (0.7, 0.7, 0.7)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci([])
+
+    def test_bad_confidence_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci([1.0, 2.0], confidence=1.5)
+
+    def test_seeded(self):
+        a = bootstrap_mean_ci([0.1, 0.5, 0.9], seed=3)
+        b = bootstrap_mean_ci([0.1, 0.5, 0.9], seed=3)
+        assert (a.low, a.high) == (b.low, b.high)
+
+    def test_wider_interval_at_higher_confidence(self):
+        data = [0.1, 0.9, 0.3, 0.7, 0.5, 0.2, 0.8]
+        narrow = bootstrap_mean_ci(data, confidence=0.5)
+        wide = bootstrap_mean_ci(data, confidence=0.99)
+        assert (wide.high - wide.low) >= (narrow.high - narrow.low)
+
+    def test_str_rendering(self):
+        text = str(MeanWithCi(0.5, 0.4, 0.6, 0.95))
+        assert text == "0.500 [0.400, 0.600]"
+
+    @given(samples)
+    def test_interval_brackets_mean(self, values):
+        ci = bootstrap_mean_ci(values, resamples=200)
+        assert ci.low - 1e-9 <= ci.mean <= ci.high + 1e-9
+
+
+class TestPairedBootstrap:
+    def test_clear_winner_small_pvalue(self):
+        a = [0.9, 0.8, 0.85, 0.95, 0.9]
+        b = [0.1, 0.2, 0.15, 0.1, 0.2]
+        assert paired_bootstrap_pvalue(a, b) < 0.05
+
+    def test_clear_loser_large_pvalue(self):
+        a = [0.1, 0.2, 0.15]
+        b = [0.9, 0.8, 0.85]
+        assert paired_bootstrap_pvalue(a, b) > 0.9
+
+    def test_identical_samples(self):
+        a = [0.5, 0.5, 0.5]
+        assert paired_bootstrap_pvalue(a, a) == 1.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            paired_bootstrap_pvalue([1.0], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            paired_bootstrap_pvalue([], [])
+
+    def test_single_pair(self):
+        assert paired_bootstrap_pvalue([1.0], [0.5]) == 0.0
+        assert paired_bootstrap_pvalue([0.5], [1.0]) == 1.0

@@ -1,0 +1,62 @@
+"""Shared fixtures: one small world and helpers reused across suites."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.models import Manuscript, ManuscriptAuthor
+from repro.scholarly.registry import ScholarlyHub
+from repro.world.config import WorldConfig
+from repro.world.generator import generate_world
+
+
+@pytest.fixture(scope="session")
+def world():
+    """A small deterministic world shared by read-only tests."""
+    return generate_world(WorldConfig(author_count=120, seed=5))
+
+
+@pytest.fixture()
+def hub(world):
+    """A fresh deployment per test (request counters start at zero)."""
+    return ScholarlyHub.deploy(world)
+
+
+@pytest.fixture(scope="session")
+def shared_hub(world):
+    """A session deployment for tests that never inspect counters."""
+    return ScholarlyHub.deploy(world)
+
+
+def make_manuscript(world, author=None, keyword_count=2, target_venue=None):
+    """Build a manuscript whose author really exists in ``world``."""
+    if author is None:
+        author = next(iter(world.authors.values()))
+    topics = sorted(author.topic_expertise)[:keyword_count]
+    keywords = tuple(world.ontology.topic(t).label for t in topics)
+    affiliation = author.affiliations[-1]
+    if target_venue is None:
+        journals = world.journal_venues()
+        target_venue = journals[0].name if journals else ""
+    return Manuscript(
+        title=f"A Study of {keywords[0]}",
+        keywords=keywords,
+        authors=(
+            ManuscriptAuthor(
+                name=author.name,
+                affiliation=affiliation.institution,
+                country=affiliation.country,
+            ),
+        ),
+        target_venue=target_venue,
+    )
+
+
+@pytest.fixture()
+def manuscript(world):
+    """A manuscript authored by a non-colliding scholar of the world."""
+    # Skip planted name collisions so identity verification is unambiguous.
+    for author in world.authors.values():
+        if len(world.authors_by_name(author.name)) == 1:
+            return make_manuscript(world, author)
+    raise RuntimeError("world has no unambiguous author")

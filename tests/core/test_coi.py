@@ -1,0 +1,315 @@
+"""Tests for conflict-of-interest detection."""
+
+import pytest
+
+from repro.core.coi import CoiDetector, UNDATED_SPAN_YEARS
+from repro.core.config import AffiliationCoiLevel, CoiConfig
+from repro.core.models import Candidate, ManuscriptAuthor, VerifiedAuthor
+from repro.scholarly.records import Affiliation, MergedProfile, SourceName
+
+
+def make_candidate(
+    pub_ids=(), affiliations=(), source_ids=(), name="Reviewer R",
+    dblp_publications=(),
+):
+    candidate = Candidate(
+        candidate_id="cand",
+        name=name,
+        profile=MergedProfile(
+            canonical_name=name,
+            source_ids=tuple(source_ids),
+            publication_ids=tuple(pub_ids),
+            affiliations=tuple(affiliations),
+        ),
+    )
+    candidate.dblp_publications = list(dblp_publications)
+    return candidate
+
+
+def make_author(pub_ids=(), affiliations=(), source_ids=(), name="Author A",
+                submitted_affiliation="", submitted_country="",
+                dblp_publications=()):
+    return VerifiedAuthor(
+        submitted=ManuscriptAuthor(
+            name, affiliation=submitted_affiliation, country=submitted_country
+        ),
+        profile=MergedProfile(
+            canonical_name=name,
+            source_ids=tuple(source_ids),
+            publication_ids=tuple(pub_ids),
+            affiliations=tuple(affiliations),
+        ),
+        dblp_publications=tuple(dblp_publications),
+    )
+
+
+class TestCoauthorship:
+    def test_shared_publication_flags(self):
+        detector = CoiDetector()
+        verdict = detector.check(
+            make_candidate(pub_ids=("p1", "p2")),
+            [make_author(pub_ids=("p2", "p3"))],
+        )
+        assert verdict.has_conflict
+        assert any("co-authored" in r for r in verdict.reasons)
+
+    def test_no_shared_publication_passes(self):
+        detector = CoiDetector()
+        verdict = detector.check(
+            make_candidate(pub_ids=("p1",)), [make_author(pub_ids=("p2",))]
+        )
+        assert not verdict.has_conflict
+
+    def test_rule_can_be_disabled(self):
+        detector = CoiDetector(CoiConfig(check_coauthorship=False))
+        verdict = detector.check(
+            make_candidate(pub_ids=("p1",)), [make_author(pub_ids=("p1",))]
+        )
+        assert not verdict.has_conflict
+
+    def test_lookback_window_forgives_old_papers(self):
+        detector = CoiDetector(
+            CoiConfig(coauthorship_lookback_years=5), current_year=2019
+        )
+        years = {"p1": 2005}
+        verdict = detector.check(
+            make_candidate(pub_ids=("p1",)),
+            [make_author(pub_ids=("p1",))],
+            publication_years=years,
+        )
+        assert not verdict.has_conflict
+
+    def test_lookback_window_keeps_recent_papers(self):
+        detector = CoiDetector(
+            CoiConfig(coauthorship_lookback_years=5), current_year=2019
+        )
+        years = {"p1": 2017}
+        verdict = detector.check(
+            make_candidate(pub_ids=("p1",)),
+            [make_author(pub_ids=("p1",))],
+            publication_years=years,
+        )
+        assert verdict.has_conflict
+
+    def test_unknown_year_treated_as_recent(self):
+        detector = CoiDetector(
+            CoiConfig(coauthorship_lookback_years=5), current_year=2019
+        )
+        verdict = detector.check(
+            make_candidate(pub_ids=("p1",)),
+            [make_author(pub_ids=("p1",))],
+            publication_years={},
+        )
+        assert verdict.has_conflict
+
+
+class TestAffiliations:
+    def test_same_institution_overlapping_periods(self):
+        detector = CoiDetector()
+        shared = Affiliation("MIT", "United States", 2015, None)
+        verdict = detector.check(
+            make_candidate(affiliations=(shared,)),
+            [make_author(affiliations=(Affiliation("MIT", "United States", 2010, 2016),))],
+        )
+        assert verdict.has_conflict
+        assert any("MIT" in r for r in verdict.reasons)
+
+    def test_same_institution_disjoint_periods_passes(self):
+        detector = CoiDetector()
+        verdict = detector.check(
+            make_candidate(affiliations=(Affiliation("MIT", "US", 2000, 2004),)),
+            [make_author(affiliations=(Affiliation("MIT", "US", 2010, None),))],
+        )
+        assert not verdict.has_conflict
+
+    def test_country_level_when_configured(self):
+        detector = CoiDetector(
+            CoiConfig(affiliation_level=AffiliationCoiLevel.COUNTRY)
+        )
+        verdict = detector.check(
+            make_candidate(affiliations=(Affiliation("MIT", "United States", 2015, None),)),
+            [make_author(affiliations=(Affiliation("Stanford", "United States", 2015, None),))],
+        )
+        assert verdict.has_conflict
+        assert any("country" in r for r in verdict.reasons)
+
+    def test_country_not_checked_at_university_level(self):
+        detector = CoiDetector()
+        verdict = detector.check(
+            make_candidate(affiliations=(Affiliation("MIT", "US", 2015, None),)),
+            [make_author(affiliations=(Affiliation("Stanford", "US", 2015, None),))],
+        )
+        assert not verdict.has_conflict
+
+    def test_affiliation_rule_disabled(self):
+        detector = CoiDetector(CoiConfig(affiliation_level=AffiliationCoiLevel.NONE))
+        shared = Affiliation("MIT", "US", 2015, None)
+        verdict = detector.check(
+            make_candidate(affiliations=(shared,)),
+            [make_author(affiliations=(shared,))],
+        )
+        assert not verdict.has_conflict
+
+    def test_undated_affiliation_treated_as_recent(self):
+        detector = CoiDetector(current_year=2019)
+        undated = Affiliation("MIT", "US", 0, None)
+        old = Affiliation("MIT", "US", 1990, 1995)
+        verdict = detector.check(
+            make_candidate(affiliations=(undated,)),
+            [make_author(affiliations=(old,))],
+        )
+        # The undated line covers ~2016-2019; no overlap with 1990-1995.
+        assert not verdict.has_conflict
+
+    def test_undated_vs_current_conflicts(self):
+        detector = CoiDetector(current_year=2019)
+        undated = Affiliation("MIT", "US", 0, None)
+        current = Affiliation("MIT", "US", 2018, None)
+        verdict = detector.check(
+            make_candidate(affiliations=(undated,)),
+            [make_author(affiliations=(current,))],
+        )
+        assert verdict.has_conflict
+
+    def test_submitted_affiliation_counts_as_evidence(self):
+        detector = CoiDetector(current_year=2019)
+        verdict = detector.check(
+            make_candidate(affiliations=(Affiliation("MIT", "US", 2017, None),)),
+            [make_author(submitted_affiliation="MIT", submitted_country="US")],
+        )
+        assert verdict.has_conflict
+
+
+class TestSamePerson:
+    def test_shared_source_id_flags(self):
+        detector = CoiDetector()
+        shared_id = (SourceName.GOOGLE_SCHOLAR, "sch_same")
+        verdict = detector.check(
+            make_candidate(source_ids=(shared_id,)),
+            [make_author(source_ids=(shared_id,))],
+        )
+        assert verdict.has_conflict
+        assert any("manuscript author" in r for r in verdict.reasons)
+
+    def test_different_ids_pass(self):
+        detector = CoiDetector()
+        verdict = detector.check(
+            make_candidate(source_ids=((SourceName.GOOGLE_SCHOLAR, "sch_a"),)),
+            [make_author(source_ids=((SourceName.GOOGLE_SCHOLAR, "sch_b"),))],
+        )
+        assert not verdict.has_conflict
+
+
+class TestMentorship:
+    """The advisor/advisee heuristic (permanent COI)."""
+
+    def pub(self, pub_id, year):
+        return {"id": pub_id, "year": year, "title": "t", "venue": "v"}
+
+    def make_pair(self, shared_year, candidate_first, author_first):
+        candidate = make_candidate(
+            dblp_publications=[
+                self.pub("first-c", candidate_first),
+                self.pub("shared", shared_year),
+            ]
+        )
+        author = make_author(
+            dblp_publications=[
+                self.pub("first-a", author_first),
+                self.pub("shared", shared_year),
+            ]
+        )
+        return candidate, author
+
+    def detector(self, **overrides):
+        return CoiDetector(
+            CoiConfig(
+                check_coauthorship=False,
+                affiliation_level=AffiliationCoiLevel.NONE,
+                check_mentorship=True,
+                **overrides,
+            )
+        )
+
+    def test_advisee_pattern_flagged(self):
+        # Candidate started 2012, senior author started 2000; they share
+        # a paper from 2013 — inside the candidate's first 3 years.
+        candidate, author = self.make_pair(
+            shared_year=2013, candidate_first=2012, author_first=2000
+        )
+        verdict = self.detector().check(candidate, [author])
+        assert verdict.has_conflict
+        assert any("advisee" in r for r in verdict.reasons)
+
+    def test_advisor_pattern_flagged(self):
+        candidate, author = self.make_pair(
+            shared_year=2013, candidate_first=2000, author_first=2012
+        )
+        verdict = self.detector().check(candidate, [author])
+        assert any("advisor" in r for r in verdict.reasons)
+
+    def test_late_collaboration_not_flagged(self):
+        # Same seniority gap, but the shared paper is 10 years into the
+        # junior's career: peers collaborating, not mentorship.
+        candidate, author = self.make_pair(
+            shared_year=2022, candidate_first=2012, author_first=2000
+        )
+        verdict = self.detector().check(candidate, [author])
+        assert not verdict.has_conflict
+
+    def test_peers_not_flagged(self):
+        # Early shared paper but both started around the same time.
+        candidate, author = self.make_pair(
+            shared_year=2013, candidate_first=2012, author_first=2011
+        )
+        verdict = self.detector().check(candidate, [author])
+        assert not verdict.has_conflict
+
+    def test_disabled_by_default(self):
+        candidate, author = self.make_pair(
+            shared_year=2013, candidate_first=2012, author_first=2000
+        )
+        detector = CoiDetector(
+            CoiConfig(
+                check_coauthorship=False,
+                affiliation_level=AffiliationCoiLevel.NONE,
+            )
+        )
+        assert not detector.check(candidate, [author]).has_conflict
+
+    def test_silent_without_publication_data(self):
+        candidate = make_candidate(dblp_publications=[])
+        author = make_author(dblp_publications=[self.pub("p", 2000)])
+        assert not self.detector().check(candidate, [author]).has_conflict
+
+    def test_window_configurable(self):
+        # Shared paper 5 years into the junior's career: outside the
+        # default 3-year window, inside a 6-year one.
+        candidate, author = self.make_pair(
+            shared_year=2017, candidate_first=2012, author_first=2000
+        )
+        assert not self.detector().check(candidate, [author]).has_conflict
+        wide = self.detector(mentorship_window_years=6)
+        assert wide.check(candidate, [author]).has_conflict
+
+
+class TestMultipleAuthors:
+    def test_conflict_with_any_author_flags(self):
+        detector = CoiDetector()
+        clean = make_author(pub_ids=("p9",), name="Clean")
+        conflicted = make_author(pub_ids=("p1",), name="Conflicted")
+        verdict = detector.check(
+            make_candidate(pub_ids=("p1",)), [clean, conflicted]
+        )
+        assert verdict.has_conflict
+        assert any("Conflicted" in r for r in verdict.reasons)
+
+    def test_reasons_accumulate(self):
+        detector = CoiDetector()
+        shared_pub = ("p1",)
+        shared_aff = (Affiliation("MIT", "US", 2015, None),)
+        verdict = detector.check(
+            make_candidate(pub_ids=shared_pub, affiliations=shared_aff),
+            [make_author(pub_ids=shared_pub, affiliations=shared_aff)],
+        )
+        assert len(verdict.reasons) >= 2

@@ -1,0 +1,134 @@
+"""Tests for candidate retrieval and profile assembly."""
+
+import pytest
+
+from repro.core.config import PipelineConfig
+from repro.core.extraction import CandidateExtractor
+from repro.ontology.expansion import ExpandedKeyword
+from repro.scholarly.records import SourceName
+
+
+def expansions_for(world, hub, count=2):
+    """Expansion list built from interests that really exist on Scholar."""
+    keywords = []
+    for author in world.authors.values():
+        user = hub.scholar_service.user_of(author.author_id)
+        if user is None:
+            continue
+        profile = hub.scholar.profile(user)
+        keywords.extend(profile.interests)
+        if len(keywords) >= count:
+            break
+    return [
+        ExpandedKeyword(keyword=k, topic_id="", score=1.0, seed=k, depth=0)
+        for k in dict.fromkeys(keywords[:count])
+    ]
+
+
+class TestRetrieval:
+    def test_retrieval_finds_registered_scholars(self, hub, world):
+        expansions = expansions_for(world, hub)
+        extractor = CandidateExtractor(hub)
+        scholar_matches, publons_matches = extractor.retrieve_candidate_ids(expansions)
+        assert scholar_matches, "no scholars retrieved"
+        for matched in scholar_matches.values():
+            assert all(0 < s <= 1 for s in matched.values())
+
+    def test_retrieval_keeps_best_score_per_keyword(self, hub, world):
+        keyword = expansions_for(world, hub, count=1)[0].keyword
+        duplicated = [
+            ExpandedKeyword(keyword=keyword, topic_id="", score=0.6, seed=keyword, depth=1),
+            ExpandedKeyword(keyword=keyword, topic_id="", score=0.9, seed=keyword, depth=1),
+        ]
+        extractor = CandidateExtractor(hub)
+        scholar_matches, __ = extractor.retrieve_candidate_ids(duplicated)
+        for matched in scholar_matches.values():
+            assert max(matched.values()) == pytest.approx(0.9)
+
+
+class TestExtraction:
+    def test_candidates_capped(self, hub, world):
+        expansions = expansions_for(world, hub, count=3)
+        config = PipelineConfig(max_candidates=5)
+        extractor = CandidateExtractor(hub, config)
+        candidates = extractor.extract_candidates(expansions)
+        assert len(candidates) <= 5
+
+    def test_candidates_have_merged_profiles(self, hub, world):
+        expansions = expansions_for(world, hub)
+        extractor = CandidateExtractor(hub, PipelineConfig(max_candidates=8))
+        candidates = extractor.extract_candidates(expansions)
+        assert candidates
+        for candidate in candidates:
+            assert candidate.name
+            assert candidate.profile.canonical_name
+            assert candidate.matched_keywords
+            # Scholar-anchored candidates must carry scholar ids.
+            assert candidate.profile.source_ids
+
+    def test_no_duplicate_names(self, hub, world):
+        expansions = expansions_for(world, hub, count=4)
+        extractor = CandidateExtractor(hub, PipelineConfig(max_candidates=30))
+        candidates = extractor.extract_candidates(expansions)
+        names = [c.name for c in candidates]
+        assert len(names) == len(set(names))
+
+    def test_dblp_linked_for_scholar_candidates(self, hub, world):
+        expansions = expansions_for(world, hub)
+        extractor = CandidateExtractor(hub, PipelineConfig(max_candidates=8))
+        candidates = extractor.extract_candidates(expansions)
+        linked = [
+            c
+            for c in candidates
+            if c.profile.source_id(SourceName.DBLP) is not None
+        ]
+        # DBLP covers everyone, so essentially all candidates must link.
+        assert len(linked) == len(candidates)
+
+    def test_publons_fields_applied_when_covered(self, hub, world):
+        expansions = expansions_for(world, hub, count=4)
+        extractor = CandidateExtractor(hub, PipelineConfig(max_candidates=20))
+        candidates = extractor.extract_candidates(expansions)
+        with_reviews = [c for c in candidates if c.review_count > 0]
+        assert with_reviews, "no candidate carries review history"
+        for candidate in with_reviews:
+            assert candidate.venues_reviewed
+
+    def test_empty_expansion_gives_no_candidates(self, hub):
+        extractor = CandidateExtractor(hub)
+        assert extractor.extract_candidates([]) == []
+
+    def test_unknown_keyword_gives_no_candidates(self, hub):
+        extractor = CandidateExtractor(hub)
+        expansions = [
+            ExpandedKeyword(
+                keyword="antigravity pottery", topic_id="", score=1.0,
+                seed="antigravity pottery", depth=0,
+            )
+        ]
+        assert extractor.extract_candidates(expansions) == []
+
+    def test_ranking_of_pool_by_aggregate_match(self, hub, world):
+        expansions = expansions_for(world, hub, count=3)
+        config = PipelineConfig(max_candidates=3)
+        extractor = CandidateExtractor(hub, config)
+        small_pool = extractor.extract_candidates(expansions)
+        config_large = PipelineConfig(max_candidates=100)
+        large_pool = CandidateExtractor(hub, config_large).extract_candidates(
+            expansions
+        )
+        # The capped pool must be a prefix-quality subset: every kept
+        # candidate's aggregate match >= the best dropped one's.
+        if len(large_pool) > len(small_pool):
+            kept_scores = [sum(c.matched_keywords.values()) for c in small_pool]
+            small_ids = {c.candidate_id for c in small_pool}
+            dropped = [
+                c for c in large_pool if c.candidate_id not in small_ids
+            ]
+            dropped_scholar = [
+                sum(c.matched_keywords.values())
+                for c in dropped
+                if c.candidate_id.startswith("sch_")
+            ]
+            if dropped_scholar and kept_scores:
+                assert min(kept_scores) >= max(dropped_scholar) - 1e-9

@@ -1,0 +1,127 @@
+"""Property-based invariants of the whole pipeline.
+
+These hold for *any* editor configuration — they are the contracts the
+demo UI relies on regardless of how the knobs are set.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import (
+    AffiliationCoiLevel,
+    CoiConfig,
+    FilterConfig,
+    PipelineConfig,
+    RankingWeights,
+)
+from repro.core.pipeline import Minaret
+from repro.ontology.expansion import ExpansionConfig
+from repro.scholarly.registry import ScholarlyHub
+
+weight_values = st.floats(0.0, 1.0)
+
+
+@st.composite
+def pipeline_configs(draw):
+    raw_weights = [draw(weight_values) for __ in range(6)]
+    if sum(raw_weights) == 0:
+        weights = RankingWeights()
+    else:
+        weights = RankingWeights(*raw_weights)
+    return PipelineConfig(
+        expansion=ExpansionConfig(
+            max_depth=draw(st.integers(0, 3)),
+            min_score=draw(st.sampled_from([0.3, 0.5, 0.7, 0.9])),
+        ),
+        filters=FilterConfig(
+            coi=CoiConfig(
+                check_coauthorship=draw(st.booleans()),
+                affiliation_level=draw(st.sampled_from(list(AffiliationCoiLevel))),
+                check_mentorship=draw(st.booleans()),
+            ),
+            min_keyword_score=draw(st.sampled_from([0.3, 0.5, 0.8])),
+        ),
+        weights=weights,
+        max_candidates=draw(st.integers(3, 25)),
+    )
+
+
+@pytest.fixture(scope="module")
+def module_hub(world):
+    return ScholarlyHub.deploy(world)
+
+
+class TestPipelineInvariants:
+    @settings(
+        max_examples=12,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(config=pipeline_configs())
+    def test_structural_invariants(self, module_hub, world, manuscript, config):
+        result = Minaret(module_hub, config=config).recommend(manuscript)
+
+        # Candidate budget respected.
+        assert len(result.candidates) <= config.max_candidates
+
+        # Every candidate got exactly one filter decision.
+        assert len(result.filter_decisions) == len(result.candidates)
+
+        # Ranked = kept, no duplicates, sorted by score.
+        kept_ids = {
+            d.candidate_id for d in result.filter_decisions if d.kept
+        }
+        ranked_ids = [s.candidate.candidate_id for s in result.ranked]
+        assert set(ranked_ids) == kept_ids
+        assert len(ranked_ids) == len(set(ranked_ids))
+        scores = [s.total_score for s in result.ranked]
+        assert scores == sorted(scores, reverse=True)
+
+        # All scores and components bounded.
+        for scored in result.ranked:
+            assert 0.0 <= scored.total_score <= 1.0
+            for value in scored.breakdown.as_dict().values():
+                assert 0.0 <= value <= 1.0
+
+        # Rejections always carry reasons.
+        assert all(d.reasons for d in result.rejected())
+
+        # Expansion threshold respected (unknown keywords pass at 1.0).
+        for expansion in result.expanded_keywords:
+            assert expansion.score >= config.expansion.min_score or (
+                expansion.topic_id == ""
+            )
+
+        # The submitting author never reviews their own paper.
+        author_names = {a.profile.canonical_name for a in result.verified_authors}
+        assert not (author_names & {s.name for s in result.ranked})
+
+    @settings(
+        max_examples=6,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(config=pipeline_configs())
+    def test_coauthorship_screening_invariant(
+        self, module_hub, world, manuscript, config
+    ):
+        """With co-authorship checking on (no window), no recommended
+        reviewer shares a publication with the submitting author."""
+        if not config.filters.coi.check_coauthorship:
+            config = PipelineConfig(
+                expansion=config.expansion,
+                filters=FilterConfig(
+                    coi=CoiConfig(check_coauthorship=True),
+                    min_keyword_score=config.filters.min_keyword_score,
+                ),
+                weights=config.weights,
+                max_candidates=config.max_candidates,
+            )
+        result = Minaret(module_hub, config=config).recommend(manuscript)
+        author_pubs = set()
+        for verified in result.verified_authors:
+            author_pubs.update(verified.profile.publication_ids)
+        for scored in result.ranked:
+            shared = author_pubs & set(scored.candidate.profile.publication_ids)
+            assert not shared

@@ -1,0 +1,99 @@
+"""Tests for the pipeline domain models."""
+
+import pytest
+
+from repro.core.models import (
+    Candidate,
+    FilterDecision,
+    Manuscript,
+    ManuscriptAuthor,
+    PhaseReport,
+    RecommendationResult,
+    ScoreBreakdown,
+    ScoredCandidate,
+)
+from repro.scholarly.records import MergedProfile, Metrics
+
+
+def make_candidate(candidate_id="c1", name="Ada"):
+    return Candidate(
+        candidate_id=candidate_id,
+        name=name,
+        profile=MergedProfile(canonical_name=name, source_ids=()),
+    )
+
+
+class TestManuscript:
+    def test_requires_keywords(self):
+        with pytest.raises(ValueError):
+            Manuscript(
+                title="t",
+                keywords=(),
+                authors=(ManuscriptAuthor("A"),),
+            )
+
+    def test_requires_authors(self):
+        with pytest.raises(ValueError):
+            Manuscript(title="t", keywords=("rdf",), authors=())
+
+    def test_valid_construction(self):
+        manuscript = Manuscript(
+            title="t", keywords=("rdf",), authors=(ManuscriptAuthor("A"),)
+        )
+        assert manuscript.keywords == ("rdf",)
+
+
+class TestScoreBreakdown:
+    def test_as_dict_keys(self):
+        breakdown = ScoreBreakdown()
+        assert set(breakdown.as_dict()) == {
+            "topic_coverage",
+            "scientific_impact",
+            "recency",
+            "review_experience",
+            "outlet_familiarity",
+            "timeliness",
+        }
+
+
+class TestRecommendationResult:
+    def make_result(self):
+        manuscript = Manuscript(
+            title="t", keywords=("rdf",), authors=(ManuscriptAuthor("A"),)
+        )
+        ranked = [
+            ScoredCandidate(make_candidate(f"c{i}"), 1.0 - i * 0.1, ScoreBreakdown())
+            for i in range(5)
+        ]
+        decisions = [
+            FilterDecision("c9", kept=False, reasons=("COI",)),
+            FilterDecision("c0", kept=True),
+        ]
+        return RecommendationResult(
+            manuscript=manuscript,
+            verified_authors=[],
+            expanded_keywords=[],
+            candidates=[],
+            filter_decisions=decisions,
+            ranked=ranked,
+            phase_reports=[PhaseReport(phase="rank")],
+        )
+
+    def test_top(self):
+        result = self.make_result()
+        assert len(result.top(3)) == 3
+        assert result.top(3)[0].total_score == 1.0
+
+    def test_rejected(self):
+        result = self.make_result()
+        assert [d.candidate_id for d in result.rejected()] == ["c9"]
+
+    def test_phase_lookup(self):
+        result = self.make_result()
+        assert result.phase("rank").phase == "rank"
+        with pytest.raises(KeyError):
+            result.phase("nonexistent")
+
+    def test_scored_candidate_name(self):
+        scored = ScoredCandidate(make_candidate(name="Ada"), 0.5, ScoreBreakdown())
+        assert scored.name == "Ada"

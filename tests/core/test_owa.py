@@ -1,0 +1,114 @@
+"""Tests for OWA score aggregation (the reference-[4] alternative)."""
+
+import pytest
+
+from repro.core.config import AggregationMethod, PipelineConfig, RankingWeights
+from repro.core.models import Candidate, Manuscript, ManuscriptAuthor
+from repro.core.ranking import Ranker, _owa_aggregate
+from repro.ontology.expansion import ExpandedKeyword
+from repro.scholarly.records import MergedProfile, Metrics
+
+
+class TestOwaAggregate:
+    def test_uniform_is_mean(self):
+        assert _owa_aggregate([1.0, 0.0, 0.5], None) == pytest.approx(0.5)
+
+    def test_optimistic_weights_take_best(self):
+        assert _owa_aggregate([0.2, 0.9, 0.1], (1.0,)) == pytest.approx(0.9)
+
+    def test_pessimistic_weights_take_worst(self):
+        assert _owa_aggregate([0.2, 0.9, 0.1], (0.0, 0.0, 1.0)) == pytest.approx(0.1)
+
+    def test_weights_normalized(self):
+        balanced = _owa_aggregate([1.0, 0.0], (2.0, 2.0))
+        assert balanced == pytest.approx(0.5)
+
+    def test_extra_weights_ignored(self):
+        assert _owa_aggregate([0.4], (1.0, 1.0, 1.0)) == pytest.approx(0.4)
+
+    def test_order_invariance(self):
+        weights = (0.5, 0.3, 0.2)
+        assert _owa_aggregate([0.1, 0.9, 0.5], weights) == pytest.approx(
+            _owa_aggregate([0.9, 0.5, 0.1], weights)
+        )
+
+
+class TestConfigValidation:
+    def test_negative_owa_weight_rejected(self):
+        with pytest.raises(ValueError):
+            PipelineConfig(owa_weights=(-1.0, 2.0))
+
+    def test_zero_sum_rejected(self):
+        with pytest.raises(ValueError):
+            PipelineConfig(owa_weights=(0.0, 0.0))
+
+    def test_valid_config(self):
+        config = PipelineConfig(
+            aggregation=AggregationMethod.OWA, owa_weights=(0.5, 0.5)
+        )
+        assert config.aggregation is AggregationMethod.OWA
+
+
+class TestRankerIntegration:
+    def make_candidate(self, candidate_id, interests=(), citations=0, reviews=0):
+        candidate = Candidate(
+            candidate_id=candidate_id,
+            name=candidate_id,
+            profile=MergedProfile(
+                canonical_name=candidate_id,
+                source_ids=(),
+                interests=tuple(interests),
+                metrics=Metrics(citations=citations, h_index=citations // 50),
+            ),
+        )
+        candidate.review_count = reviews
+        return candidate
+
+    MANUSCRIPT = Manuscript(
+        title="T", keywords=("Semantic Web",), authors=(ManuscriptAuthor("A"),)
+    )
+    EXPANDED = [
+        ExpandedKeyword("Semantic Web", "semantic-web", 1.0, "Semantic Web", 0)
+    ]
+
+    def test_pessimistic_owa_prefers_all_rounder(self):
+        # Spiky: perfect coverage, nothing else.  Rounded: decent at all.
+        spiky = self.make_candidate("spiky", interests=("Semantic Web",))
+        rounded = self.make_candidate(
+            "rounded", interests=("Semantic Web",), citations=500, reviews=20
+        )
+        config = PipelineConfig(
+            aggregation=AggregationMethod.OWA,
+            # Weight the weakest components: demand balance.
+            owa_weights=(0.0, 0.0, 0.1, 0.2, 0.3, 0.4),
+        )
+        ranked = Ranker(config).rank(
+            self.MANUSCRIPT, [spiky, rounded], self.EXPANDED
+        )
+        assert ranked[0].candidate.candidate_id == "rounded"
+
+    def test_optimistic_owa_rewards_spikes(self):
+        spiky = self.make_candidate("spiky", interests=("Semantic Web",))
+        mediocre = self.make_candidate("mediocre", citations=10, reviews=1)
+        config = PipelineConfig(
+            aggregation=AggregationMethod.OWA, owa_weights=(1.0,)
+        )
+        ranked = Ranker(config).rank(
+            self.MANUSCRIPT, [spiky, mediocre], self.EXPANDED
+        )
+        # Both have some maximal component after pool normalization; the
+        # coverage spike candidate must at least tie at 1.0.
+        assert ranked[0].total_score == pytest.approx(1.0)
+
+    def test_weighted_sum_unchanged_by_owa_weights(self):
+        spiky = self.make_candidate("spiky", interests=("Semantic Web",))
+        other = self.make_candidate("other", citations=100)
+        plain = Ranker(PipelineConfig()).rank(
+            self.MANUSCRIPT, [spiky, other], self.EXPANDED
+        )
+        with_unused_owa = Ranker(
+            PipelineConfig(owa_weights=(1.0, 1.0))
+        ).rank(self.MANUSCRIPT, [spiky, other], self.EXPANDED)
+        assert [s.total_score for s in plain] == [
+            s.total_score for s in with_unused_owa
+        ]

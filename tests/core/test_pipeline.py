@@ -1,0 +1,135 @@
+"""Integration tests for the full three-phase pipeline."""
+
+import pytest
+
+from repro.core.config import (
+    AffiliationCoiLevel,
+    CoiConfig,
+    FilterConfig,
+    PipelineConfig,
+    RankingWeights,
+)
+from repro.core.models import Manuscript, ManuscriptAuthor
+from repro.core.pipeline import Minaret
+from repro.ontology.expansion import ExpansionConfig
+
+PHASES = [
+    "verify_authors",
+    "crawl_outlet",
+    "expand_keywords",
+    "extract_candidates",
+    "filter",
+    "rank",
+]
+
+
+@pytest.fixture()
+def result(hub, manuscript):
+    return Minaret(hub).recommend(manuscript)
+
+
+class TestWorkflow:
+    def test_all_phases_reported_in_order(self, result):
+        assert [r.phase for r in result.phase_reports] == PHASES
+
+    def test_phase_accounting(self, result):
+        extract = result.phase("extract_candidates")
+        assert extract.requests > 0
+        assert extract.virtual_seconds > 0
+        # Filtering and ranking are local computations.
+        assert result.phase("filter").requests == 0
+        assert result.phase("rank").requests == 0
+
+    def test_expansion_widens_keywords(self, result, manuscript):
+        assert len(result.expanded_keywords) > len(manuscript.keywords)
+
+    def test_candidates_extracted(self, result):
+        assert result.candidates
+
+    def test_ranked_is_subset_of_candidates(self, result):
+        candidate_ids = {c.candidate_id for c in result.candidates}
+        assert all(s.candidate.candidate_id in candidate_ids for s in result.ranked)
+
+    def test_rejections_have_reasons(self, result):
+        for decision in result.rejected():
+            assert decision.reasons
+
+    def test_kept_plus_rejected_equals_candidates(self, result):
+        assert len(result.filter_decisions) == len(result.candidates)
+        kept = sum(1 for d in result.filter_decisions if d.kept)
+        assert kept == len(result.ranked)
+
+    def test_scores_sorted(self, result):
+        scores = [s.total_score for s in result.ranked]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_manuscript_author_not_recommended(self, result, manuscript, world):
+        # The submitting author's name must never appear in the output.
+        author_names = {a.name for a in manuscript.authors}
+        recommended = {s.name for s in result.ranked}
+        assert not (author_names & recommended)
+
+
+class TestDeterminism:
+    def test_same_world_same_result(self, world, manuscript):
+        from repro.scholarly.registry import ScholarlyHub
+
+        first = Minaret(ScholarlyHub.deploy(world)).recommend(manuscript)
+        second = Minaret(ScholarlyHub.deploy(world)).recommend(manuscript)
+        assert [s.candidate.candidate_id for s in first.ranked] == [
+            s.candidate.candidate_id for s in second.ranked
+        ]
+        assert [s.total_score for s in first.ranked] == [
+            s.total_score for s in second.ranked
+        ]
+
+
+class TestConfiguration:
+    def test_max_candidates_respected(self, hub, manuscript):
+        config = PipelineConfig(max_candidates=7)
+        result = Minaret(hub, config=config).recommend(manuscript)
+        assert len(result.candidates) <= 7
+
+    def test_no_expansion_mode(self, hub, manuscript):
+        config = PipelineConfig(expansion=ExpansionConfig(max_depth=0))
+        result = Minaret(hub, config=config).recommend(manuscript)
+        assert len(result.expanded_keywords) == len(manuscript.keywords)
+
+    def test_coi_disabled_keeps_more(self, world, manuscript):
+        from repro.scholarly.registry import ScholarlyHub
+
+        strict = Minaret(ScholarlyHub.deploy(world)).recommend(manuscript)
+        lax_config = PipelineConfig(
+            filters=FilterConfig(
+                coi=CoiConfig(
+                    check_coauthorship=False,
+                    affiliation_level=AffiliationCoiLevel.NONE,
+                )
+            )
+        )
+        lax = Minaret(ScholarlyHub.deploy(world), config=lax_config).recommend(
+            manuscript
+        )
+        assert len(lax.ranked) >= len(strict.ranked)
+
+    def test_weights_affect_order(self, world, manuscript):
+        from repro.scholarly.registry import ScholarlyHub
+
+        coverage = PipelineConfig(weights=RankingWeights(1.0, 0.0, 0.0, 0.0, 0.0))
+        experience = PipelineConfig(weights=RankingWeights(0.0, 0.0, 0.0, 1.0, 0.0))
+        by_coverage = Minaret(
+            ScholarlyHub.deploy(world), config=coverage
+        ).recommend(manuscript)
+        by_experience = Minaret(
+            ScholarlyHub.deploy(world), config=experience
+        ).recommend(manuscript)
+        ids_coverage = [s.candidate.candidate_id for s in by_coverage.ranked]
+        ids_experience = [s.candidate.candidate_id for s in by_experience.ranked]
+        assert set(ids_coverage) == set(ids_experience)
+        if len(ids_coverage) > 3:
+            assert ids_coverage != ids_experience
+
+    def test_expander_exposed(self, hub):
+        minaret = Minaret(hub)
+        assert minaret.expander.expand(["RDF"])
+        assert minaret.config.max_candidates == 50

@@ -1,0 +1,252 @@
+"""Tests for the ranking phase and its five components."""
+
+import pytest
+
+from repro.core.config import ImpactMetric, PipelineConfig, RankingWeights
+from repro.core.models import Candidate, Manuscript, ManuscriptAuthor
+from repro.core.ranking import Ranker, _publication_topic_score
+from repro.ontology.expansion import ExpandedKeyword
+from repro.scholarly.records import MergedProfile, Metrics
+
+
+def make_manuscript(keywords=("Semantic Web", "Big Data"), venue="Journal X"):
+    return Manuscript(
+        title="T",
+        keywords=tuple(keywords),
+        authors=(ManuscriptAuthor("A"),),
+        target_venue=venue,
+    )
+
+
+def expansion(keyword, score, seed, depth=1):
+    return ExpandedKeyword(
+        keyword=keyword, topic_id=keyword.lower(), score=score, seed=seed, depth=depth
+    )
+
+
+def make_candidate(
+    candidate_id,
+    interests=(),
+    matched=None,
+    citations=0,
+    h_index=0,
+    review_count=0,
+    scholar_pubs=(),
+    dblp_pubs=(),
+    venues_reviewed=(),
+):
+    return Candidate(
+        candidate_id=candidate_id,
+        name=candidate_id,
+        profile=MergedProfile(
+            canonical_name=candidate_id,
+            source_ids=(),
+            interests=tuple(interests),
+            metrics=Metrics(citations=citations, h_index=h_index),
+        ),
+        matched_keywords=dict(matched or {}),
+        keyword_match_score=max((matched or {"": 0}).values() or [0]),
+        review_count=review_count,
+        scholar_publications=list(scholar_pubs),
+        dblp_publications=list(dblp_pubs),
+        venues_reviewed=list(venues_reviewed),
+    )
+
+
+SEEDS = [
+    expansion("Semantic Web", 1.0, "Semantic Web", depth=0),
+    expansion("Big Data", 1.0, "Big Data", depth=0),
+    expansion("RDF", 0.9, "Semantic Web"),
+]
+
+
+class TestPaperExample:
+    """§2.3's worked example: covering both keywords beats covering one."""
+
+    def test_broader_coverage_ranks_higher(self):
+        # Reviewer 1: Semantic Web, Ontologies, RDF. Reviewer 2: both keywords.
+        one = make_candidate(
+            "covers-one", interests=("Semantic Web", "Ontologies", "RDF")
+        )
+        both = make_candidate("covers-both", interests=("Semantic Web", "Big Data"))
+        config = PipelineConfig(
+            weights=RankingWeights(1.0, 0.0, 0.0, 0.0, 0.0)
+        )
+        ranked = Ranker(config).rank(make_manuscript(), [one, both], SEEDS)
+        assert ranked[0].candidate.candidate_id == "covers-both"
+
+
+class TestComponents:
+    def test_impact_citations_metric(self):
+        config = PipelineConfig(
+            weights=RankingWeights(0.0, 1.0, 0.0, 0.0, 0.0),
+            impact_metric=ImpactMetric.CITATIONS,
+        )
+        low = make_candidate("low", citations=10)
+        high = make_candidate("high", citations=1000)
+        ranked = Ranker(config).rank(make_manuscript(), [low, high], SEEDS)
+        assert ranked[0].candidate.candidate_id == "high"
+        assert ranked[0].breakdown.scientific_impact == 1.0
+
+    def test_impact_h_index_metric(self):
+        config = PipelineConfig(
+            weights=RankingWeights(0.0, 1.0, 0.0, 0.0, 0.0),
+            impact_metric=ImpactMetric.H_INDEX,
+        )
+        a = make_candidate("a", citations=10_000, h_index=2)
+        b = make_candidate("b", citations=10, h_index=30)
+        ranked = Ranker(config).rank(make_manuscript(), [a, b], SEEDS)
+        assert ranked[0].candidate.candidate_id == "b"
+
+    def test_recency_prefers_recent_topical_work(self):
+        config = PipelineConfig(
+            weights=RankingWeights(0.0, 0.0, 1.0, 0.0, 0.0), current_year=2019
+        )
+        recent = make_candidate(
+            "recent",
+            scholar_pubs=[
+                {"id": "p1", "title": "x", "year": 2018, "keywords": ["Semantic Web"]}
+            ],
+        )
+        stale = make_candidate(
+            "stale",
+            scholar_pubs=[
+                {"id": "p2", "title": "x", "year": 2005, "keywords": ["Semantic Web"]}
+            ],
+        )
+        ranked = Ranker(config).rank(make_manuscript(), [recent, stale], SEEDS)
+        assert ranked[0].candidate.candidate_id == "recent"
+
+    def test_recency_ignores_off_topic_work(self):
+        config = PipelineConfig(weights=RankingWeights(0.0, 0.0, 1.0, 0.0, 0.0))
+        on_topic = make_candidate(
+            "on",
+            scholar_pubs=[
+                {"id": "p1", "title": "x", "year": 2018, "keywords": ["Semantic Web"]}
+            ],
+        )
+        off_topic = make_candidate(
+            "off",
+            scholar_pubs=[
+                {"id": "p2", "title": "x", "year": 2018, "keywords": ["Knitting"]}
+            ],
+        )
+        ranked = Ranker(config).rank(make_manuscript(), [on_topic, off_topic], SEEDS)
+        assert ranked[0].candidate.candidate_id == "on"
+        assert ranked[1].breakdown.recency == 0.0
+
+    def test_timeliness_uses_on_time_rate(self):
+        config = PipelineConfig(
+            weights=RankingWeights(0.0, 0.0, 0.0, 0.0, 0.0, timeliness=1.0)
+        )
+        prompt = make_candidate("prompt", review_count=10)
+        prompt.on_time_rate = 0.95
+        tardy = make_candidate("tardy", review_count=10)
+        tardy.on_time_rate = 0.20
+        unknown = make_candidate("unknown")  # no Publons profile
+        ranked = Ranker(config).rank(
+            make_manuscript(), [tardy, prompt, unknown], SEEDS
+        )
+        assert ranked[0].candidate.candidate_id == "prompt"
+        assert ranked[-1].candidate.candidate_id == "unknown"
+        assert ranked[-1].breakdown.timeliness == 0.0
+
+    def test_review_experience(self):
+        config = PipelineConfig(weights=RankingWeights(0.0, 0.0, 0.0, 1.0, 0.0))
+        veteran = make_candidate("veteran", review_count=100)
+        novice = make_candidate("novice", review_count=1)
+        ranked = Ranker(config).rank(make_manuscript(), [veteran, novice], SEEDS)
+        assert ranked[0].candidate.candidate_id == "veteran"
+
+    def test_outlet_familiarity_counts_reviews_and_papers(self):
+        config = PipelineConfig(weights=RankingWeights(0.0, 0.0, 0.0, 0.0, 1.0))
+        familiar = make_candidate(
+            "familiar",
+            venues_reviewed=[{"venue_id": "j1", "venue": "Journal X", "count": 5}],
+            dblp_pubs=[{"id": "p1", "title": "t", "year": 2018, "venue": "Journal X"}],
+        )
+        stranger = make_candidate(
+            "stranger",
+            venues_reviewed=[{"venue_id": "j2", "venue": "Journal Y", "count": 5}],
+        )
+        ranked = Ranker(config).rank(
+            make_manuscript(venue="Journal X"), [familiar, stranger], SEEDS
+        )
+        assert ranked[0].candidate.candidate_id == "familiar"
+        assert ranked[1].breakdown.outlet_familiarity == 0.0
+
+    def test_no_target_venue_zeroes_familiarity(self):
+        config = PipelineConfig(weights=RankingWeights(0.2, 0.2, 0.2, 0.2, 0.2))
+        candidate = make_candidate(
+            "c",
+            venues_reviewed=[{"venue_id": "j1", "venue": "Journal X", "count": 5}],
+        )
+        ranked = Ranker(config).rank(
+            make_manuscript(venue=""), [candidate], SEEDS
+        )
+        assert ranked[0].breakdown.outlet_familiarity == 0.0
+
+
+class TestFusion:
+    def test_weights_change_order(self):
+        coverage_heavy = PipelineConfig(weights=RankingWeights(1.0, 0.0, 0.0, 0.0, 0.0))
+        impact_heavy = PipelineConfig(
+            weights=RankingWeights(0.0, 1.0, 0.0, 0.0, 0.0),
+            impact_metric=ImpactMetric.CITATIONS,
+        )
+        topical = make_candidate(
+            "topical", interests=("Semantic Web", "Big Data"), citations=5
+        )
+        famous = make_candidate("famous", citations=5000)
+        manuscript = make_manuscript()
+        by_coverage = Ranker(coverage_heavy).rank(manuscript, [topical, famous], SEEDS)
+        by_impact = Ranker(impact_heavy).rank(manuscript, [topical, famous], SEEDS)
+        assert by_coverage[0].candidate.candidate_id == "topical"
+        assert by_impact[0].candidate.candidate_id == "famous"
+
+    def test_scores_bounded(self):
+        candidates = [
+            make_candidate(f"c{i}", citations=i * 100, review_count=i)
+            for i in range(5)
+        ]
+        ranked = Ranker(PipelineConfig()).rank(make_manuscript(), candidates, SEEDS)
+        for scored in ranked:
+            assert 0.0 <= scored.total_score <= 1.0
+            for value in scored.breakdown.as_dict().values():
+                assert 0.0 <= value <= 1.0
+
+    def test_empty_pool(self):
+        assert Ranker(PipelineConfig()).rank(make_manuscript(), [], SEEDS) == []
+
+    def test_deterministic_tiebreak(self):
+        twins = [make_candidate("b"), make_candidate("a")]
+        ranked = Ranker(PipelineConfig()).rank(make_manuscript(), twins, SEEDS)
+        assert [s.candidate.candidate_id for s in ranked] == ["a", "b"]
+
+    def test_sorted_descending(self):
+        candidates = [
+            make_candidate(f"c{i}", citations=i * 50, review_count=i) for i in range(6)
+        ]
+        ranked = Ranker(PipelineConfig()).rank(make_manuscript(), candidates, SEEDS)
+        scores = [s.total_score for s in ranked]
+        assert scores == sorted(scores, reverse=True)
+
+
+class TestPublicationTopicScore:
+    def test_keyword_list_exact_match(self):
+        weights = {"semantic web": 0.8}
+        pub = {"title": "ignored", "keywords": ["Semantic Web"], "year": 2018}
+        assert _publication_topic_score(pub, weights) == 0.8
+
+    def test_title_fallback_scaled(self):
+        weights = {"semantic web": 1.0}
+        pub = {"title": "Advances in Semantic Web Reasoning", "year": 2018}
+        assert _publication_topic_score(pub, weights) == pytest.approx(0.7)
+
+    def test_title_partial_phrase_no_match(self):
+        weights = {"semantic web": 1.0}
+        pub = {"title": "Web Page Design", "year": 2018}
+        assert _publication_topic_score(pub, weights) == 0.0
+
+    def test_empty_pub(self):
+        assert _publication_topic_score({"title": "", "year": 2018}, {"x": 1.0}) == 0.0

@@ -1,0 +1,97 @@
+"""Tests for interactive re-ranking (weight changes without re-crawling)."""
+
+import pytest
+
+from repro.core.config import (
+    AggregationMethod,
+    ImpactMetric,
+    RankingWeights,
+)
+from repro.core.pipeline import Minaret
+
+
+@pytest.fixture()
+def run(hub, manuscript):
+    minaret = Minaret(hub)
+    return minaret, minaret.recommend(manuscript)
+
+
+class TestRerank:
+    def test_no_network_traffic(self, hub, run):
+        minaret, result = run
+        requests_before = hub.total_requests()
+        minaret.rerank(result, weights=RankingWeights(0.0, 1.0, 0.0, 0.0, 0.0))
+        assert hub.total_requests() == requests_before
+
+    def test_same_candidate_set(self, run):
+        minaret, result = run
+        reranked = minaret.rerank(
+            result, weights=RankingWeights(0.0, 0.0, 0.0, 1.0, 0.0)
+        )
+        assert {s.candidate.candidate_id for s in reranked.ranked} == {
+            s.candidate.candidate_id for s in result.ranked
+        }
+
+    def test_weights_change_order(self, run):
+        minaret, result = run
+        reranked = minaret.rerank(
+            result, weights=RankingWeights(0.0, 1.0, 0.0, 0.0, 0.0)
+        )
+        if len(result.ranked) > 3:
+            assert [s.candidate.candidate_id for s in reranked.ranked] != [
+                s.candidate.candidate_id for s in result.ranked
+            ]
+
+    def test_identity_rerank_preserves_order(self, run):
+        minaret, result = run
+        reranked = minaret.rerank(result)
+        assert [s.candidate.candidate_id for s in reranked.ranked] == [
+            s.candidate.candidate_id for s in result.ranked
+        ]
+        assert [s.total_score for s in reranked.ranked] == [
+            s.total_score for s in result.ranked
+        ]
+
+    def test_rerank_phase_appended(self, run):
+        minaret, result = run
+        reranked = minaret.rerank(result)
+        assert reranked.phase_reports[-1].phase == "rerank"
+        assert reranked.phase_reports[-1].requests == 0
+        # The original result is untouched.
+        assert all(r.phase != "rerank" for r in result.phase_reports)
+
+    def test_aggregation_switch(self, run):
+        minaret, result = run
+        reranked = minaret.rerank(
+            result,
+            aggregation=AggregationMethod.OWA,
+            owa_weights=(1.0,),
+        )
+        assert reranked.ranked
+        assert all(0.0 <= s.total_score <= 1.0 for s in reranked.ranked)
+
+    def test_impact_metric_switch(self, run):
+        minaret, result = run
+        reranked = minaret.rerank(
+            result,
+            weights=RankingWeights(0.0, 1.0, 0.0, 0.0, 0.0),
+            impact_metric=ImpactMetric.CITATIONS,
+        )
+        impacts = [s.breakdown.scientific_impact for s in reranked.ranked]
+        assert impacts == sorted(impacts, reverse=True)
+
+    def test_rerank_matches_fresh_run_with_same_config(self, world, manuscript):
+        from repro.core.config import PipelineConfig
+        from repro.scholarly.registry import ScholarlyHub
+
+        weights = RankingWeights(0.1, 0.4, 0.1, 0.3, 0.1)
+        hub_a = ScholarlyHub.deploy(world)
+        minaret_a = Minaret(hub_a)
+        reranked = minaret_a.rerank(minaret_a.recommend(manuscript), weights=weights)
+        hub_b = ScholarlyHub.deploy(world)
+        fresh = Minaret(
+            hub_b, config=PipelineConfig(weights=weights)
+        ).recommend(manuscript)
+        assert [s.candidate.candidate_id for s in reranked.ranked] == [
+            s.candidate.candidate_id for s in fresh.ranked
+        ]

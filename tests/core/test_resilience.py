@@ -1,0 +1,118 @@
+"""Fault-injection tests: the pipeline under a degraded scholarly web.
+
+The paper's on-the-fly design means every recommendation depends on six
+remote services staying up.  These tests deploy hubs with brutal fault
+policies and assert the pipeline degrades gracefully: transient faults
+are retried away, sustained per-candidate outages drop candidates (not
+the run), and rate limits slow things down without breaking anything.
+"""
+
+import pytest
+
+from repro.core.pipeline import Minaret
+from repro.scholarly.records import SourceName
+from repro.scholarly.registry import DEFAULT_BEHAVIOUR, ScholarlyHub, SourceBehaviour
+from repro.web.crawler import RetryPolicy
+
+
+def flaky_behaviour(failure_probability, sources=None):
+    behaviour = {}
+    for source in SourceName:
+        base = DEFAULT_BEHAVIOUR[source]
+        if sources is None or source in sources:
+            behaviour[source] = SourceBehaviour(
+                latency_base=0.001,
+                latency_jitter=0.0,
+                failure_probability=failure_probability,
+            )
+        else:
+            behaviour[source] = SourceBehaviour(
+                latency_base=0.001, latency_jitter=0.0
+            )
+    return behaviour
+
+
+class TestTransientFaults:
+    def test_moderate_faults_fully_retried(self, world, manuscript):
+        """25% fault rate with 6 retry attempts: same output as healthy."""
+        healthy_hub = ScholarlyHub.deploy(
+            world, behaviour=flaky_behaviour(0.0)
+        )
+        healthy = Minaret(healthy_hub).recommend(manuscript)
+        flaky_hub = ScholarlyHub.deploy(
+            world,
+            behaviour=flaky_behaviour(0.25),
+            retry=RetryPolicy(max_attempts=6, base_backoff=0.001),
+        )
+        degraded = Minaret(flaky_hub).recommend(manuscript)
+        assert [s.candidate.candidate_id for s in degraded.ranked] == [
+            s.candidate.candidate_id for s in healthy.ranked
+        ]
+        faults = sum(s.faults for s in flaky_hub.http.stats.values())
+        assert faults > 0, "the fault policy must actually have fired"
+
+    def test_retries_cost_virtual_time(self, world, manuscript):
+        healthy_hub = ScholarlyHub.deploy(world, behaviour=flaky_behaviour(0.0))
+        Minaret(healthy_hub).recommend(manuscript)
+        flaky_hub = ScholarlyHub.deploy(
+            world,
+            behaviour=flaky_behaviour(0.3),
+            retry=RetryPolicy(max_attempts=8, base_backoff=0.05),
+        )
+        Minaret(flaky_hub).recommend(manuscript)
+        assert flaky_hub.clock.now() > healthy_hub.clock.now()
+
+
+class TestSustainedOutage:
+    def test_candidates_dropped_not_run_aborted(self, world, manuscript):
+        """ORCID 60% down with few retries: the run completes anyway.
+
+        ORCID is consulted once per candidate during assembly; with only
+        2 attempts some of those fetches exhaust their retries.  DBLP
+        and Scholar are kept healthy so that verification and retrieval
+        (which have no per-candidate skip semantics) stay up.
+        """
+        hub = ScholarlyHub.deploy(
+            world,
+            behaviour=flaky_behaviour(
+                0.6, sources={SourceName.ORCID, SourceName.ACM_DL}
+            ),
+            retry=RetryPolicy(max_attempts=2, base_backoff=0.001),
+        )
+        pipeline = Minaret(hub)
+        result = pipeline.recommend(manuscript)
+        assert result.ranked, "pipeline must still produce recommendations"
+
+    def test_assembly_failures_counted(self, world, manuscript):
+        from repro.core.extraction import CandidateExtractor
+
+        hub = ScholarlyHub.deploy(
+            world,
+            behaviour=flaky_behaviour(0.85, sources={SourceName.ORCID}),
+            retry=RetryPolicy(max_attempts=1, base_backoff=0.001),
+        )
+        extractor = CandidateExtractor(hub)
+        minaret = Minaret(hub)
+        expanded = minaret.expander.expand(list(manuscript.keywords))
+        candidates = extractor.extract_candidates(expanded)
+        # With an 85% failure rate and single attempts, some assemblies
+        # must have died on the ORCID leg...
+        assert extractor.assembly_failures > 0
+        # ...but not all: others never had an ORCID hit to fetch.
+        assert candidates
+
+
+class TestRateLimitPressure:
+    def test_tight_rate_limit_slows_but_succeeds(self, world, manuscript):
+        behaviour = dict(DEFAULT_BEHAVIOUR)
+        behaviour[SourceName.GOOGLE_SCHOLAR] = SourceBehaviour(
+            latency_base=0.01,
+            latency_jitter=0.0,
+            rate_capacity=5,
+            rate_refill=2.0,
+        )
+        hub = ScholarlyHub.deploy(world, behaviour=behaviour)
+        result = Minaret(hub).recommend(manuscript)
+        assert result.ranked
+        scholar_stats = hub.http.stats["scholar.google.com"]
+        assert scholar_stats.rate_limited > 0, "the limit must have bitten"

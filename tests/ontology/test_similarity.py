@@ -1,0 +1,98 @@
+"""Unit tests for ontology similarity measures."""
+
+import pytest
+
+from repro.ontology.data import build_seed_ontology
+from repro.ontology.graph import Relation, TopicOntology
+from repro.ontology.similarity import (
+    lowest_common_ancestor_depth,
+    path_similarity,
+    shortest_relation_path,
+    wu_palmer_similarity,
+)
+
+
+@pytest.fixture(scope="module")
+def onto():
+    graph = TopicOntology()
+    for topic_id in ("root", "a", "b", "a1", "a2", "b1", "island"):
+        graph.add_topic(topic_id)
+    graph.add_edge("a", Relation.BROADER, "root")
+    graph.add_edge("b", Relation.BROADER, "root")
+    graph.add_edge("a1", Relation.BROADER, "a")
+    graph.add_edge("a2", Relation.BROADER, "a")
+    graph.add_edge("b1", Relation.BROADER, "b")
+    return graph
+
+
+class TestShortestPath:
+    def test_identity(self, onto):
+        assert shortest_relation_path(onto, "a", "a") == ["a"]
+
+    def test_siblings(self, onto):
+        assert shortest_relation_path(onto, "a1", "a2") == ["a1", "a", "a2"]
+
+    def test_disconnected(self, onto):
+        assert shortest_relation_path(onto, "a", "island") is None
+
+    def test_unknown_topic_raises(self, onto):
+        with pytest.raises(KeyError):
+            shortest_relation_path(onto, "a", "nope")
+
+
+class TestPathSimilarity:
+    def test_identity_is_one(self, onto):
+        assert path_similarity(onto, "a", "a") == 1.0
+
+    def test_adjacent(self, onto):
+        assert path_similarity(onto, "a1", "a") == 0.5
+
+    def test_decreases_with_distance(self, onto):
+        assert path_similarity(onto, "a1", "a2") < path_similarity(onto, "a1", "a")
+
+    def test_disconnected_is_zero(self, onto):
+        assert path_similarity(onto, "a", "island") == 0.0
+
+
+class TestLca:
+    def test_sibling_lca(self, onto):
+        assert lowest_common_ancestor_depth(onto, "a1", "a2") == 1
+
+    def test_cousin_lca_is_root(self, onto):
+        assert lowest_common_ancestor_depth(onto, "a1", "b1") == 0
+
+    def test_ancestor_is_own_lca(self, onto):
+        assert lowest_common_ancestor_depth(onto, "a1", "a") == 1
+
+    def test_no_common_ancestor(self, onto):
+        assert lowest_common_ancestor_depth(onto, "a", "island") is None
+
+
+class TestWuPalmer:
+    def test_identity(self, onto):
+        assert wu_palmer_similarity(onto, "a1", "a1") == 1.0
+
+    def test_siblings(self, onto):
+        assert wu_palmer_similarity(onto, "a1", "a2") == pytest.approx(0.5)
+
+    def test_cousins_lower_than_siblings(self, onto):
+        siblings = wu_palmer_similarity(onto, "a1", "a2")
+        cousins = wu_palmer_similarity(onto, "a1", "b1")
+        assert cousins < siblings
+
+    def test_disconnected_is_zero(self, onto):
+        assert wu_palmer_similarity(onto, "a1", "island") == 0.0
+
+    def test_two_roots(self, onto):
+        assert wu_palmer_similarity(onto, "root", "island") == 0.0
+
+    def test_bounded_on_seed_ontology(self):
+        seed = build_seed_ontology()
+        value = wu_palmer_similarity(seed, "rdf", "sparql")
+        assert 0.0 < value <= 1.0
+
+    def test_seed_semantics(self):
+        seed = build_seed_ontology()
+        close = wu_palmer_similarity(seed, "rdf", "sparql")
+        far = wu_palmer_similarity(seed, "rdf", "computer-vision")
+        assert close > far

@@ -1,0 +1,123 @@
+"""Tests for cross-source profile merging."""
+
+import pytest
+
+from repro.scholarly.merge import merge_source_profiles
+from repro.scholarly.records import (
+    Affiliation,
+    Metrics,
+    SourceName,
+    SourceProfile,
+)
+
+
+def dblp_profile(**overrides):
+    base = dict(
+        source=SourceName.DBLP,
+        source_author_id="Ada Lovelace",
+        name="Ada Lovelace",
+        publication_ids=("pub-1", "pub-2"),
+    )
+    base.update(overrides)
+    return SourceProfile(**base)
+
+
+def scholar_profile(**overrides):
+    base = dict(
+        source=SourceName.GOOGLE_SCHOLAR,
+        source_author_id="sch_1",
+        name="Ada K. Lovelace",
+        interests=("rdf", "semantic web"),
+        metrics=Metrics(citations=120, h_index=6, i10_index=4),
+        affiliations=(Affiliation("Somewhere", "UK", 0, None),),
+        publication_ids=("pub-2", "pub-3"),
+    )
+    base.update(overrides)
+    return SourceProfile(**base)
+
+
+def orcid_profile(**overrides):
+    base = dict(
+        source=SourceName.ORCID,
+        source_author_id="0000-0001-2345-6789",
+        name="Ada Lovelace",
+        affiliations=(
+            Affiliation("Analytical Engines", "UK", 2010, 2015),
+            Affiliation("Babbage Institute", "UK", 2016, None),
+        ),
+        publication_ids=("pub-1",),
+    )
+    base.update(overrides)
+    return SourceProfile(**base)
+
+
+class TestValidation:
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            merge_source_profiles([])
+
+    def test_duplicate_source_rejected(self):
+        with pytest.raises(ValueError, match="dblp"):
+            merge_source_profiles([dblp_profile(), dblp_profile()])
+
+
+class TestFieldFusion:
+    def test_longest_name_wins(self):
+        merged = merge_source_profiles([dblp_profile(), scholar_profile()])
+        assert merged.canonical_name == "Ada K. Lovelace"
+        assert "Ada Lovelace" in merged.aliases
+
+    def test_orcid_affiliations_preferred(self):
+        merged = merge_source_profiles(
+            [dblp_profile(), scholar_profile(), orcid_profile()]
+        )
+        institutions = [a.institution for a in merged.affiliations]
+        assert institutions == ["Analytical Engines", "Babbage Institute"]
+
+    def test_affiliations_unioned_without_orcid(self):
+        merged = merge_source_profiles([dblp_profile(), scholar_profile()])
+        assert [a.institution for a in merged.affiliations] == ["Somewhere"]
+
+    def test_scholar_metrics_preferred(self):
+        acm = SourceProfile(
+            source=SourceName.ACM_DL,
+            source_author_id="acm1",
+            name="Ada Lovelace",
+            metrics=Metrics(citations=50, h_index=3, i10_index=1),
+        )
+        merged = merge_source_profiles([acm, scholar_profile()])
+        assert merged.metrics.citations == 120
+
+    def test_metrics_fallback_chain(self):
+        acm = SourceProfile(
+            source=SourceName.ACM_DL,
+            source_author_id="acm1",
+            name="Ada Lovelace",
+            metrics=Metrics(citations=50, h_index=3, i10_index=1),
+        )
+        merged = merge_source_profiles([dblp_profile(), acm])
+        assert merged.metrics.citations == 50
+
+    def test_no_metrics_defaults_to_zero(self):
+        merged = merge_source_profiles([dblp_profile()])
+        assert merged.metrics.citations == 0
+
+    def test_publications_unioned_in_order(self):
+        merged = merge_source_profiles([dblp_profile(), scholar_profile()])
+        assert merged.publication_ids == ("pub-1", "pub-2", "pub-3")
+
+    def test_interests_scholar_first(self):
+        publons = SourceProfile(
+            source=SourceName.PUBLONS,
+            source_author_id="P-1",
+            name="Ada Lovelace",
+            interests=("peer review", "rdf"),
+        )
+        merged = merge_source_profiles([publons, scholar_profile()])
+        assert merged.interests == ("rdf", "semantic web", "peer review")
+
+    def test_source_ids_recorded(self):
+        merged = merge_source_profiles([dblp_profile(), scholar_profile()])
+        assert merged.source_id(SourceName.DBLP) == "Ada Lovelace"
+        assert merged.source_id(SourceName.GOOGLE_SCHOLAR) == "sch_1"
+        assert merged.source_id(SourceName.ORCID) is None

@@ -1,0 +1,88 @@
+"""Tests for the hub deployment and source behaviour wiring."""
+
+import pytest
+
+from repro.scholarly.records import SourceName
+from repro.scholarly.registry import (
+    DEFAULT_BEHAVIOUR,
+    ScholarlyHub,
+    SourceBehaviour,
+)
+from repro.web.crawler import RetryPolicy
+
+
+class TestDeploy:
+    def test_all_hosts_registered(self, hub):
+        hosts = set(hub.http.hosts())
+        assert hosts == {
+            "dblp.org",
+            "scholar.google.com",
+            "publons.com",
+            "dl.acm.org",
+            "orcid.org",
+            "researcherid.com",
+        }
+
+    def test_clients_dict_complete(self, hub):
+        clients = hub.clients()
+        assert set(clients) == set(SourceName)
+
+    def test_accounting_starts_at_zero(self, hub):
+        assert hub.total_requests() == 0
+        assert hub.total_latency() == 0.0
+
+    def test_requests_accumulate(self, hub, world):
+        author = next(iter(world.authors.values()))
+        hub.dblp.search_author(author.name)
+        assert hub.total_requests() == 1
+        assert hub.total_latency() > 0.0
+
+    def test_default_cache_is_on_the_fly(self, hub, world):
+        author = next(iter(world.authors.values()))
+        hub.dblp.search_author(author.name)
+        hub.dblp.search_author(author.name)
+        assert hub.http.stats["dblp.org"].requests == 2
+
+    def test_positive_ttl_enables_caching(self, world):
+        hub = ScholarlyHub.deploy(world, cache_ttl=3600.0)
+        author = next(iter(world.authors.values()))
+        hub.dblp.search_author(author.name)
+        hub.dblp.search_author(author.name)
+        assert hub.http.stats["dblp.org"].requests == 1
+        assert hub.crawler.cache_hits == 1
+
+
+class TestBehaviourModels:
+    def test_default_behaviour_covers_all_sources(self):
+        assert set(DEFAULT_BEHAVIOUR) == set(SourceName)
+
+    def test_scholar_is_slowest(self):
+        scholar = DEFAULT_BEHAVIOUR[SourceName.GOOGLE_SCHOLAR]
+        dblp = DEFAULT_BEHAVIOUR[SourceName.DBLP]
+        assert scholar.latency_base > dblp.latency_base
+
+    def test_custom_behaviour_applied(self, world):
+        behaviour = {
+            source: SourceBehaviour(latency_base=0.0, latency_jitter=0.0)
+            for source in SourceName
+        }
+        hub = ScholarlyHub.deploy(world, behaviour=behaviour)
+        author = next(iter(world.authors.values()))
+        hub.dblp.search_author(author.name)
+        assert hub.total_latency() == 0.0
+
+    def test_faults_are_retried_transparently(self, world):
+        behaviour = dict(DEFAULT_BEHAVIOUR)
+        behaviour[SourceName.DBLP] = SourceBehaviour(
+            latency_base=0.001, latency_jitter=0.0, failure_probability=0.5
+        )
+        hub = ScholarlyHub.deploy(
+            world,
+            behaviour=behaviour,
+            retry=RetryPolicy(max_attempts=10, base_backoff=0.001),
+        )
+        author = next(iter(world.authors.values()))
+        # Several calls; each must eventually succeed despite 50% faults.
+        for __ in range(5):
+            assert hub.dblp.search_author(author.name) is not None
+        assert hub.http.stats["dblp.org"].faults > 0

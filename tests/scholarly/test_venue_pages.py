@@ -1,0 +1,113 @@
+"""Tests for DBLP venue search and venue pages (Fig. 2's outlet crawl)."""
+
+import pytest
+
+from repro.core.pipeline import Minaret
+from repro.scholarly.registry import ScholarlyHub
+
+
+class TestVenueSearch:
+    def test_exact_name_resolves(self, shared_hub, world):
+        venue = world.journal_venues()[0]
+        hits = shared_hub.dblp.search_venue(venue.name)
+        assert any(h["venue_id"] == venue.venue_id for h in hits)
+
+    def test_partial_name_matches(self, shared_hub, world):
+        venue = world.journal_venues()[0]
+        fragment = venue.name.split(" ")[-1]
+        hits = shared_hub.dblp.search_venue(fragment)
+        assert any(h["venue_id"] == venue.venue_id for h in hits)
+
+    def test_case_insensitive(self, shared_hub, world):
+        venue = world.journal_venues()[0]
+        assert shared_hub.dblp.search_venue(venue.name.upper())
+
+    def test_no_match(self, shared_hub):
+        assert shared_hub.dblp.search_venue("Annals of Improbability") == []
+
+    def test_empty_query(self, shared_hub):
+        assert shared_hub.dblp.search_venue("") == []
+
+
+class TestVenuePage:
+    def test_page_contents(self, shared_hub, world):
+        venue = world.journal_venues()[0]
+        page = shared_hub.dblp.venue_page(venue.venue_id)
+        assert page["name"] == venue.name
+        assert page["venue_type"] == "journal"
+        expected = sum(
+            1 for p in world.publications.values() if p.venue_id == venue.venue_id
+        )
+        assert page["publication_count"] == expected
+        assert len(page["recent_publications"]) <= 25
+
+    def test_recent_first(self, shared_hub, world):
+        venue = world.journal_venues()[0]
+        page = shared_hub.dblp.venue_page(venue.venue_id)
+        years = [p["year"] for p in page["recent_publications"]]
+        assert years == sorted(years, reverse=True)
+
+    def test_topics_resolved_to_labels(self, shared_hub, world):
+        venue = world.journal_venues()[0]
+        page = shared_hub.dblp.venue_page(venue.venue_id)
+        assert page["topics"]
+        assert all(isinstance(t, str) and t for t in page["topics"])
+
+    def test_missing_venue(self, shared_hub):
+        assert shared_hub.dblp.venue_page("venue-nope") is None
+
+
+class TestTitleSearch:
+    def test_finds_publication_by_its_own_title(self, shared_hub, world):
+        pub = next(iter(world.publications.values()))
+        hits = shared_hub.dblp.search_title(pub.title)
+        assert any(h["id"] == pub.pub_id for h in hits)
+
+    def test_ranked_by_relevance(self, shared_hub, world):
+        pub = next(iter(world.publications.values()))
+        hits = shared_hub.dblp.search_title(pub.title, limit=10)
+        relevances = [h["relevance"] for h in hits]
+        assert relevances == sorted(relevances, reverse=True)
+
+    def test_limit_respected(self, shared_hub):
+        hits = shared_hub.dblp.search_title("efficient scalable", limit=3)
+        assert len(hits) <= 3
+
+    def test_stopword_only_query_empty(self, shared_hub):
+        assert shared_hub.dblp.search_title("of the and") == []
+
+    def test_no_match(self, shared_hub):
+        assert shared_hub.dblp.search_title("zymurgy quixotic") == []
+
+
+class TestOutletResolution:
+    def test_pipeline_canonicalizes_target_venue(self, world, manuscript):
+        import dataclasses
+
+        hub = ScholarlyHub.deploy(world)
+        # Feed a sloppily-cased target name; the crawl_outlet phase must
+        # canonicalize it so familiarity matching works.
+        sloppy = dataclasses.replace(
+            manuscript, target_venue=manuscript.target_venue.upper()
+        )
+        result = Minaret(hub).recommend(sloppy)
+        assert result.manuscript.target_venue == manuscript.target_venue
+        assert result.phase("crawl_outlet").requests >= 1
+
+    def test_unknown_target_left_untouched(self, world, manuscript):
+        import dataclasses
+
+        hub = ScholarlyHub.deploy(world)
+        odd = dataclasses.replace(
+            manuscript, target_venue="Journal of Nonexistence"
+        )
+        result = Minaret(hub).recommend(odd)
+        assert result.manuscript.target_venue == "Journal of Nonexistence"
+
+    def test_no_target_venue_skips_crawl(self, world, manuscript):
+        import dataclasses
+
+        hub = ScholarlyHub.deploy(world)
+        none = dataclasses.replace(manuscript, target_venue="")
+        result = Minaret(hub).recommend(none)
+        assert result.phase("crawl_outlet").requests == 0

@@ -1,0 +1,213 @@
+"""Unit and property tests for the document store."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.storage.documents import DocumentStore
+from repro.storage.errors import (
+    DocumentNotFoundError,
+    DuplicateDocumentError,
+    IndexError_,
+    VersionConflictError,
+)
+
+
+@pytest.fixture()
+def store():
+    return DocumentStore(name="test")
+
+
+class TestInsertAndGet:
+    def test_insert_returns_snapshot(self, store):
+        doc = store.insert({"x": 1})
+        assert doc.payload == {"x": 1}
+        assert doc.version == 1
+
+    def test_auto_ids_are_unique(self, store):
+        ids = {store.insert({}).doc_id for __ in range(10)}
+        assert len(ids) == 10
+
+    def test_explicit_id(self, store):
+        doc = store.insert({"x": 1}, doc_id="k")
+        assert doc.doc_id == "k"
+        assert store.get("k").payload == {"x": 1}
+
+    def test_duplicate_id_rejected(self, store):
+        store.insert({}, doc_id="k")
+        with pytest.raises(DuplicateDocumentError):
+            store.insert({}, doc_id="k")
+
+    def test_get_missing_raises(self, store):
+        with pytest.raises(DocumentNotFoundError):
+            store.get("nope")
+
+    def test_get_or_none(self, store):
+        assert store.get_or_none("nope") is None
+        store.insert({}, doc_id="k")
+        assert store.get_or_none("k") is not None
+
+    def test_contains_and_len(self, store):
+        store.insert({}, doc_id="k")
+        assert "k" in store
+        assert "other" not in store
+        assert len(store) == 1
+
+
+class TestIsolation:
+    def test_mutating_input_does_not_affect_store(self, store):
+        payload = {"nested": {"v": 1}}
+        store.insert(payload, doc_id="k")
+        payload["nested"]["v"] = 99
+        assert store.get("k").payload["nested"]["v"] == 1
+
+    def test_mutating_output_does_not_affect_store(self, store):
+        store.insert({"nested": {"v": 1}}, doc_id="k")
+        snapshot = store.get("k")
+        snapshot.payload["nested"]["v"] = 99
+        assert store.get("k").payload["nested"]["v"] == 1
+
+
+class TestUpdateAndDelete:
+    def test_update_bumps_version(self, store):
+        store.insert({"x": 1}, doc_id="k")
+        updated = store.update("k", {"x": 2})
+        assert updated.version == 2
+        assert store.get("k").payload == {"x": 2}
+
+    def test_update_missing_raises(self, store):
+        with pytest.raises(DocumentNotFoundError):
+            store.update("nope", {})
+
+    def test_cas_success(self, store):
+        store.insert({"x": 1}, doc_id="k")
+        store.update("k", {"x": 2}, expected_version=1)
+
+    def test_cas_conflict(self, store):
+        store.insert({"x": 1}, doc_id="k")
+        store.update("k", {"x": 2})
+        with pytest.raises(VersionConflictError) as exc_info:
+            store.update("k", {"x": 3}, expected_version=1)
+        assert exc_info.value.expected == 1
+        assert exc_info.value.actual == 2
+
+    def test_delete(self, store):
+        store.insert({}, doc_id="k")
+        store.delete("k")
+        assert "k" not in store
+
+    def test_delete_missing_raises(self, store):
+        with pytest.raises(DocumentNotFoundError):
+            store.delete("nope")
+
+
+class TestSecondaryIndexes:
+    def test_single_value_index(self, store):
+        store.create_index("country", lambda d: d.get("country"))
+        store.insert({"name": "a", "country": "EE"})
+        store.insert({"name": "b", "country": "DE"})
+        store.insert({"name": "c", "country": "EE"})
+        names = {doc.payload["name"] for doc in store.lookup("country", "EE")}
+        assert names == {"a", "c"}
+
+    def test_multi_value_index(self, store):
+        store.create_index("tags", lambda d: d.get("tags", ()))
+        store.insert({"name": "a", "tags": ["x", "y"]})
+        assert store.lookup_ids("tags", "x") == store.lookup_ids("tags", "y")
+
+    def test_none_key_excluded(self, store):
+        store.create_index("maybe", lambda d: d.get("maybe"))
+        store.insert({})
+        assert store.index_keys("maybe") == []
+
+    def test_backfill_on_creation(self, store):
+        store.insert({"k": "v"}, doc_id="d")
+        store.create_index("k", lambda d: d.get("k"))
+        assert store.lookup_ids("k", "v") == ["d"]
+
+    def test_update_reindexes(self, store):
+        store.create_index("k", lambda d: d.get("k"))
+        store.insert({"k": "old"}, doc_id="d")
+        store.update("d", {"k": "new"})
+        assert store.lookup_ids("k", "old") == []
+        assert store.lookup_ids("k", "new") == ["d"]
+
+    def test_delete_unindexes(self, store):
+        store.create_index("k", lambda d: d.get("k"))
+        store.insert({"k": "v"}, doc_id="d")
+        store.delete("d")
+        assert store.lookup_ids("k", "v") == []
+
+    def test_duplicate_index_name_rejected(self, store):
+        store.create_index("k", lambda d: None)
+        with pytest.raises(IndexError_):
+            store.create_index("k", lambda d: None)
+
+    def test_unknown_index_rejected(self, store):
+        with pytest.raises(IndexError_):
+            store.lookup("nope", "x")
+
+    def test_drop_index(self, store):
+        store.create_index("k", lambda d: d.get("k"))
+        store.drop_index("k")
+        assert "k" not in store.index_names()
+
+    def test_drop_unknown_index_rejected(self, store):
+        with pytest.raises(IndexError_):
+            store.drop_index("nope")
+
+
+class TestScanAndStats:
+    def test_scan_yields_everything(self, store):
+        for i in range(5):
+            store.insert({"i": i})
+        assert sorted(d.payload["i"] for d in store.scan()) == list(range(5))
+
+    def test_stats_count_operations(self, store):
+        store.insert({}, doc_id="a")
+        store.get("a")
+        store.update("a", {})
+        store.delete("a")
+        assert store.stats.inserts == 1
+        assert store.stats.reads == 1
+        assert store.stats.updates == 1
+        assert store.stats.deletes == 1
+        assert store.stats.total_operations() == 4
+
+    def test_reset_stats(self, store):
+        store.insert({})
+        store.reset_stats()
+        assert store.stats.total_operations() == 0
+
+    def test_clear_keeps_indexes(self, store):
+        store.create_index("k", lambda d: d.get("k"))
+        store.insert({"k": "v"})
+        store.clear()
+        assert len(store) == 0
+        assert store.index_names() == ["k"]
+        assert store.lookup_ids("k", "v") == []
+
+
+class TestProperties:
+    @given(
+        st.lists(
+            st.dictionaries(st.sampled_from("abc"), st.integers(), max_size=3),
+            max_size=20,
+        )
+    )
+    def test_insert_then_get_roundtrips(self, payloads):
+        store = DocumentStore()
+        inserted = [store.insert(p) for p in payloads]
+        for doc, payload in zip(inserted, payloads):
+            assert store.get(doc.doc_id).payload == payload
+
+    @given(st.lists(st.sampled_from("abcde"), min_size=1, max_size=30))
+    def test_index_is_consistent_with_scan(self, keys):
+        store = DocumentStore()
+        store.create_index("key", lambda d: d["key"])
+        for key in keys:
+            store.insert({"key": key})
+        for key in set(keys):
+            via_index = len(store.lookup_ids("key", key))
+            via_scan = sum(1 for d in store.scan() if d.payload["key"] == key)
+            assert via_index == via_scan

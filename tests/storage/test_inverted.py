@@ -1,0 +1,162 @@
+"""Unit and property tests for the inverted index."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.storage.inverted import InvertedIndex, Posting
+
+
+@pytest.fixture()
+def index():
+    idx = InvertedIndex()
+    idx.add("alice", {"rdf": 2.0, "sparql": 1.0})
+    idx.add("bob", {"rdf": 1.0, "ml": 3.0})
+    idx.add("carol", {"ml": 1.0})
+    return idx
+
+
+class TestAddRemove:
+    def test_len_counts_documents(self, index):
+        assert len(index) == 3
+
+    def test_contains(self, index):
+        assert "alice" in index
+        assert "dave" not in index
+
+    def test_term_count(self, index):
+        assert index.term_count == 3
+
+    def test_zero_weight_rejected(self):
+        with pytest.raises(ValueError):
+            InvertedIndex().add("d", {"t": 0.0})
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            InvertedIndex().add("d", {"t": -1.0})
+
+    def test_re_add_overwrites_weight(self, index):
+        index.add("alice", {"rdf": 5.0})
+        postings = index.postings("rdf")
+        alice = next(p for p in postings if p.doc_id == "alice")
+        assert alice.weight == 5.0
+
+    def test_remove_drops_all_postings(self, index):
+        index.remove("alice")
+        assert "alice" not in index
+        assert all(p.doc_id != "alice" for p in index.postings("rdf"))
+
+    def test_remove_unknown_is_noop(self, index):
+        index.remove("nobody")
+        assert len(index) == 3
+
+    def test_remove_cleans_empty_terms(self):
+        idx = InvertedIndex()
+        idx.add("only", {"term": 1.0})
+        idx.remove("only")
+        assert idx.term_count == 0
+
+    def test_terms_of(self, index):
+        assert index.terms_of("alice") == {"rdf", "sparql"}
+        assert index.terms_of("nobody") == set()
+
+
+class TestPostings:
+    def test_sorted_by_weight_desc(self, index):
+        postings = index.postings("rdf")
+        assert postings == [Posting("alice", 2.0), Posting("bob", 1.0)]
+
+    def test_unknown_term_empty(self, index):
+        assert index.postings("nope") == []
+
+    def test_document_frequency(self, index):
+        assert index.document_frequency("rdf") == 2
+        assert index.document_frequency("nope") == 0
+
+
+class TestRankedSearch:
+    def test_single_term(self, index):
+        results = index.search(["rdf"], use_idf=False)
+        assert [p.doc_id for p in results] == ["alice", "bob"]
+
+    def test_multi_term_accumulates(self, index):
+        results = index.search(["rdf", "ml"], use_idf=False)
+        scores = {p.doc_id: p.weight for p in results}
+        assert scores["bob"] == pytest.approx(4.0)
+
+    def test_query_weights_scale(self, index):
+        results = index.search(
+            ["rdf", "ml"], query_weights={"ml": 0.1}, use_idf=False
+        )
+        scores = {p.doc_id: p.weight for p in results}
+        assert scores["alice"] > scores["carol"]
+
+    def test_limit(self, index):
+        assert len(index.search(["rdf", "ml"], limit=1)) == 1
+
+    def test_limit_keeps_best(self, index):
+        best = index.search(["rdf"], use_idf=False, limit=1)[0]
+        assert best.doc_id == "alice"
+
+    def test_idf_downweights_common_terms(self):
+        idx = InvertedIndex()
+        for i in range(10):
+            idx.add(f"d{i}", {"common": 1.0})
+        idx.add("d0", {"rare": 1.0})
+        results = idx.search(["common", "rare"])
+        assert results[0].doc_id == "d0"
+
+    def test_unknown_terms_ignored(self, index):
+        assert index.search(["nope"]) == []
+
+    def test_empty_query(self, index):
+        assert index.search([]) == []
+
+
+class TestBooleanSearch:
+    def test_and_semantics(self, index):
+        assert index.search_all(["rdf", "ml"]) == ["bob"]
+
+    def test_and_with_missing_term_is_empty(self, index):
+        assert index.search_all(["rdf", "nope"]) == []
+
+    def test_and_empty_query(self, index):
+        assert index.search_all([]) == []
+
+    def test_or_semantics(self, index):
+        assert index.search_any(["sparql", "ml"]) == ["alice", "bob", "carol"]
+
+    def test_or_unknown_terms(self, index):
+        assert index.search_any(["nope"]) == []
+
+
+class TestProperties:
+    @given(
+        st.dictionaries(
+            st.sampled_from(["d1", "d2", "d3", "d4"]),
+            st.dictionaries(
+                st.sampled_from(["t1", "t2", "t3"]),
+                st.floats(0.1, 5.0),
+                min_size=1,
+                max_size=3,
+            ),
+            max_size=4,
+        )
+    )
+    def test_search_any_matches_union_of_postings(self, corpus):
+        index = InvertedIndex()
+        for doc_id, weights in corpus.items():
+            index.add(doc_id, weights)
+        all_terms = {t for weights in corpus.values() for t in weights}
+        expected = sorted(corpus)
+        assert index.search_any(all_terms) == expected
+
+    @given(st.lists(st.sampled_from(["a", "b", "c"]), min_size=1, max_size=10))
+    def test_remove_everything_empties_index(self, doc_ids):
+        index = InvertedIndex()
+        for i, doc in enumerate(doc_ids):
+            index.add(f"{doc}{i}", {"t": 1.0})
+        for i, doc in enumerate(doc_ids):
+            index.remove(f"{doc}{i}")
+        assert len(index) == 0
+        assert index.term_count == 0

@@ -1,0 +1,130 @@
+"""Tests for ordered indexes and range lookups."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.storage.documents import DocumentStore
+from repro.storage.errors import IndexError_
+from repro.storage.ordered import OrderedIndex, OrderedIndexManager
+
+
+class TestOrderedIndex:
+    @pytest.fixture()
+    def index(self):
+        idx = OrderedIndex()
+        for year, doc in ((2015, "a"), (2018, "b"), (2016, "c"), (2016, "d")):
+            idx.add(year, doc)
+        return idx
+
+    def test_range_closed(self, index):
+        assert index.range(2015, 2016) == ["a", "c", "d"]
+
+    def test_range_single_key(self, index):
+        assert index.range(2016, 2016) == ["c", "d"]
+
+    def test_range_open_low(self, index):
+        assert index.range(None, 2015) == ["a"]
+
+    def test_range_open_high(self, index):
+        assert index.range(2018, None) == ["b"]
+
+    def test_range_fully_open(self, index):
+        assert index.range() == ["a", "c", "d", "b"]
+
+    def test_range_empty_interval(self, index):
+        assert index.range(2019, 2025) == []
+
+    def test_duplicate_pair_ignored(self, index):
+        index.add(2015, "a")
+        assert len(index) == 4
+
+    def test_remove(self, index):
+        index.remove(2016, "c")
+        assert index.range(2016, 2016) == ["d"]
+
+    def test_remove_absent_is_noop(self, index):
+        index.remove(1999, "zzz")
+        assert len(index) == 4
+
+    def test_min_max(self, index):
+        assert index.min_key() == 2015
+        assert index.max_key() == 2018
+
+    def test_empty_min_max(self):
+        idx = OrderedIndex()
+        assert idx.min_key() is None
+        assert idx.max_key() is None
+
+    @given(st.lists(st.tuples(st.integers(0, 50), st.integers(0, 20)), max_size=60))
+    def test_range_matches_filter(self, pairs):
+        index = OrderedIndex()
+        seen = set()
+        for key, doc_number in pairs:
+            doc_id = f"d{doc_number}"
+            index.add(key, doc_id)
+            seen.add((key, doc_id))
+        low, high = 10, 30
+        expected = sorted(
+            doc_id for key, doc_id in seen if low <= key <= high
+        )
+        assert sorted(index.range(low, high)) == expected
+
+
+class TestManager:
+    @pytest.fixture()
+    def managed(self):
+        store = DocumentStore()
+        store.insert({"year": 2015, "t": "x"}, doc_id="a")
+        store.insert({"year": 2018, "t": "y"}, doc_id="b")
+        manager = OrderedIndexManager(store)
+        manager.create_index("year", lambda d: d.get("year"))
+        return store, manager
+
+    def test_backfill(self, managed):
+        __, manager = managed
+        assert manager.range_lookup("year", 2015, 2018) == ["a", "b"]
+
+    def test_duplicate_index_rejected(self, managed):
+        __, manager = managed
+        with pytest.raises(IndexError_):
+            manager.create_index("year", lambda d: None)
+
+    def test_unknown_index_rejected(self, managed):
+        __, manager = managed
+        with pytest.raises(IndexError_):
+            manager.range_lookup("nope")
+
+    def test_on_insert_and_delete(self, managed):
+        store, manager = managed
+        doc = store.insert({"year": 2016}, doc_id="c")
+        manager.on_insert("c", {"year": 2016})
+        assert manager.range_lookup("year", 2016, 2016) == ["c"]
+        manager.on_delete("c", {"year": 2016})
+        assert manager.range_lookup("year", 2016, 2016) == []
+
+    def test_none_key_skipped(self, managed):
+        store, manager = managed
+        manager.on_insert("d", {"no_year": True})
+        assert "d" not in manager.range_lookup("year")
+
+
+class TestDblpYearSearch:
+    def test_year_range_query(self, shared_hub, world):
+        hits = shared_hub.dblp.publications_by_year(2015, 2016, limit=1000)
+        expected = sum(
+            1 for p in world.publications.values() if 2015 <= p.year <= 2016
+        )
+        assert len(hits) == expected
+        assert all(2015 <= h["year"] <= 2016 for h in hits)
+
+    def test_venue_type_filter(self, shared_hub):
+        hits = shared_hub.dblp.publications_by_year(
+            2010, 2019, venue_type="journal", limit=1000
+        )
+        assert hits
+        assert all(h["venue_type"] == "journal" for h in hits)
+
+    def test_limit_respected(self, shared_hub):
+        hits = shared_hub.dblp.publications_by_year(2000, 2019, limit=5)
+        assert len(hits) <= 5

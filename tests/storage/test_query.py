@@ -1,0 +1,136 @@
+"""Unit tests for the predicate language."""
+
+import pytest
+
+from repro.storage.documents import DocumentStore
+from repro.storage.query import (
+    And,
+    Contains,
+    Eq,
+    Gte,
+    In,
+    Lte,
+    Not,
+    Or,
+    Range,
+    field_value,
+    select,
+)
+
+
+class TestFieldValue:
+    def test_flat(self):
+        assert field_value({"a": 1}, "a") == 1
+
+    def test_nested(self):
+        assert field_value({"m": {"h": 12}}, "m.h") == 12
+
+    def test_missing(self):
+        assert field_value({}, "a") is None
+
+    def test_missing_nested(self):
+        assert field_value({"m": 5}, "m.h") is None
+
+
+class TestLeafPredicates:
+    def test_eq(self):
+        assert Eq("x", 1).matches({"x": 1})
+        assert not Eq("x", 1).matches({"x": 2})
+        assert not Eq("x", 1).matches({})
+
+    def test_in(self):
+        assert In("x", [1, 2]).matches({"x": 2})
+        assert not In("x", [1, 2]).matches({"x": 3})
+
+    def test_contains(self):
+        assert Contains("tags", "a").matches({"tags": ["a", "b"]})
+        assert not Contains("tags", "z").matches({"tags": ["a"]})
+        assert not Contains("tags", "a").matches({})
+
+    def test_contains_non_container(self):
+        assert not Contains("tags", "a").matches({"tags": 42})
+
+    def test_gte(self):
+        assert Gte("x", 5).matches({"x": 5})
+        assert not Gte("x", 5).matches({"x": 4})
+        assert not Gte("x", 5).matches({})
+
+    def test_lte(self):
+        assert Lte("x", 5).matches({"x": 5})
+        assert not Lte("x", 5).matches({"x": 6})
+
+    def test_incomparable_type_fails_closed(self):
+        assert not Gte("x", 5).matches({"x": "string"})
+
+
+class TestRange:
+    def test_closed_interval(self):
+        predicate = Range("h", 3, 10)
+        assert predicate.matches({"h": 3})
+        assert predicate.matches({"h": 10})
+        assert not predicate.matches({"h": 2})
+        assert not predicate.matches({"h": 11})
+
+    def test_open_low(self):
+        assert Range("h", None, 10).matches({"h": -100})
+
+    def test_open_high(self):
+        assert Range("h", 3, None).matches({"h": 1_000_000})
+
+    def test_missing_field_fails(self):
+        assert not Range("h", 0, 10).matches({})
+
+
+class TestCombinators:
+    def test_and(self):
+        predicate = Eq("a", 1) & Eq("b", 2)
+        assert predicate.matches({"a": 1, "b": 2})
+        assert not predicate.matches({"a": 1, "b": 3})
+
+    def test_empty_and_is_true(self):
+        assert And([]).matches({})
+
+    def test_or(self):
+        predicate = Eq("a", 1) | Eq("a", 2)
+        assert predicate.matches({"a": 2})
+        assert not predicate.matches({"a": 3})
+
+    def test_empty_or_is_false(self):
+        assert not Or([]).matches({})
+
+    def test_not(self):
+        assert (~Eq("a", 1)).matches({"a": 2})
+        assert not (~Eq("a", 1)).matches({"a": 1})
+
+    def test_nested_combination(self):
+        predicate = And([Or([Eq("a", 1), Eq("a", 2)]), Not(Eq("b", 0))])
+        assert predicate.matches({"a": 2, "b": 1})
+        assert not predicate.matches({"a": 2, "b": 0})
+
+
+class TestSelect:
+    @pytest.fixture()
+    def store(self):
+        store = DocumentStore()
+        store.create_index("country", lambda d: d.get("country"))
+        store.insert({"name": "a", "country": "EE", "h": 10})
+        store.insert({"name": "b", "country": "DE", "h": 5})
+        store.insert({"name": "c", "country": "EE", "h": 2})
+        return store
+
+    def test_full_scan_select(self, store):
+        results = select(store, Gte("h", 5))
+        assert {d.payload["name"] for d in results} == {"a", "b"}
+
+    def test_eq_on_indexed_field_uses_index(self, store):
+        store.reset_stats()
+        results = select(store, Eq("country", "EE"))
+        assert {d.payload["name"] for d in results} == {"a", "c"}
+        assert store.stats.index_lookups == 1
+        assert store.stats.scans == 0
+
+    def test_eq_on_unindexed_field_scans(self, store):
+        store.reset_stats()
+        results = select(store, Eq("name", "b"))
+        assert len(results) == 1
+        assert store.stats.scans == 1

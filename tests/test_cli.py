@@ -1,0 +1,202 @@
+"""Tests for the command-line demo."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestExpandCommand:
+    def test_expand_rdf(self, capsys):
+        assert main(["expand", "--keyword", "RDF"]) == 0
+        output = capsys.readouterr().out
+        assert "Semantic Web" in output
+        assert "SPARQL" in output
+
+    def test_expand_depth_zero(self, capsys):
+        assert main(["expand", "--keyword", "RDF", "--max-depth", "0"]) == 0
+        output = capsys.readouterr().out.strip().splitlines()
+        assert len(output) == 1
+
+    def test_multiple_keywords(self, capsys):
+        assert main(["expand", "--keyword", "RDF", "--keyword", "Big Data"]) == 0
+        output = capsys.readouterr().out
+        assert "Big Data" in output
+
+
+class TestStatsCommand:
+    def test_stats_table(self, capsys):
+        assert main(["stats", "--authors", "60", "--seed", "3"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert "journal" in lines[0]
+        assert len(lines) > 10
+
+
+class TestDemoCommand:
+    def test_full_demo_runs(self, capsys):
+        assert main(["demo", "--authors", "80", "--seed", "4", "--top", "5"]) == 0
+        output = capsys.readouterr().out
+        assert "identity verification" in output
+        assert "keyword expansion" in output
+        assert "Recommended reviewers" in output
+        assert "extract_candidates" in output
+
+
+class TestGenerateAndRecommend:
+    @pytest.fixture()
+    def dataset(self, tmp_path, capsys):
+        path = tmp_path / "world.json"
+        assert main(["generate", "--authors", "60", "--seed", "9", "--out", str(path)]) == 0
+        capsys.readouterr()
+        return path
+
+    def manuscript_file(self, tmp_path, dataset):
+        from repro.world.io import load_world
+
+        world = load_world(dataset)
+        author = next(
+            a
+            for a in world.authors.values()
+            if len(world.authors_by_name(a.name)) == 1
+        )
+        topics = sorted(author.topic_expertise)[:2]
+        path = tmp_path / "manuscript.json"
+        import json
+
+        path.write_text(
+            json.dumps(
+                {
+                    "title": "CLI Test Paper",
+                    "keywords": [world.ontology.topic(t).label for t in topics],
+                    "authors": [
+                        {
+                            "name": author.name,
+                            "affiliation": author.affiliations[-1].institution,
+                        }
+                    ],
+                }
+            )
+        )
+        return path
+
+    def test_generate_writes_dataset(self, dataset):
+        assert dataset.exists()
+        assert dataset.stat().st_size > 1000
+
+    def test_recommend_table_output(self, tmp_path, dataset, capsys):
+        manuscript = self.manuscript_file(tmp_path, dataset)
+        code = main(
+            ["recommend", "--world", str(dataset), "--manuscript", str(manuscript)]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "Recommended reviewers" in output
+        assert "total=" in output
+
+    def test_recommend_json_output(self, tmp_path, dataset, capsys):
+        import json
+
+        manuscript = self.manuscript_file(tmp_path, dataset)
+        code = main(
+            [
+                "recommend",
+                "--world", str(dataset),
+                "--manuscript", str(manuscript),
+                "--json",
+                "--top", "3",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["recommendations"]) <= 3
+        assert payload["phases"]
+
+    def test_recommend_missing_world_errors(self, tmp_path, capsys):
+        manuscript = tmp_path / "m.json"
+        manuscript.write_text("{}")
+        code = main(
+            ["recommend", "--world", "/nonexistent.json", "--manuscript", str(manuscript)]
+        )
+        assert code == 1
+        assert "cannot load world" in capsys.readouterr().err
+
+    def test_recommend_bad_manuscript_errors(self, tmp_path, dataset, capsys):
+        manuscript = tmp_path / "bad.json"
+        manuscript.write_text('{"title": "no keywords"}')
+        code = main(
+            ["recommend", "--world", str(dataset), "--manuscript", str(manuscript)]
+        )
+        assert code == 1
+        assert "cannot load manuscript" in capsys.readouterr().err
+
+
+class TestAssignCommand:
+    def batch_file(self, tmp_path, dataset):
+        import json
+
+        from repro.world.io import load_world
+
+        world = load_world(dataset)
+        entries = []
+        for author in world.authors.values():
+            if len(entries) >= 2:
+                break
+            if len(world.authors_by_name(author.name)) > 1:
+                continue
+            topics = sorted(author.topic_expertise)[:2]
+            entries.append(
+                {
+                    "paper_id": f"paper-{len(entries)}",
+                    "manuscript": {
+                        "title": "Batch Paper",
+                        "keywords": [
+                            world.ontology.topic(t).label for t in topics
+                        ],
+                        "authors": [
+                            {
+                                "name": author.name,
+                                "affiliation": author.affiliations[-1].institution,
+                            }
+                        ],
+                    },
+                }
+            )
+        path = tmp_path / "batch.json"
+        path.write_text(json.dumps(entries))
+        return path
+
+    @pytest.fixture()
+    def dataset(self, tmp_path, capsys):
+        path = tmp_path / "world.json"
+        assert main(["generate", "--authors", "60", "--seed", "9", "--out", str(path)]) == 0
+        capsys.readouterr()
+        return path
+
+    def test_assign_runs(self, tmp_path, dataset, capsys):
+        batch = self.batch_file(tmp_path, dataset)
+        code = main(
+            [
+                "assign",
+                "--world", str(dataset),
+                "--batch", str(batch),
+                "--reviewers-per-paper", "2",
+                "--solver", "optimal",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "Assignment (optimal)" in output
+        assert "paper-0:" in output
+        assert "paper-1:" in output
+
+    def test_assign_bad_batch_errors(self, tmp_path, dataset, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('[{"paper_id": "p"}]')
+        code = main(["assign", "--world", str(dataset), "--batch", str(bad)])
+        assert code == 1
+        assert "cannot load inputs" in capsys.readouterr().err
+
+
+class TestNoCommand:
+    def test_prints_help(self, capsys):
+        assert main([]) == 2
+        assert "minaret" in capsys.readouterr().out

@@ -1,0 +1,39 @@
+"""Run every docstring example in the library as a test.
+
+Docstrings carry executable examples throughout the codebase; stale
+examples are worse than none, so they are all executed here.
+"""
+
+import doctest
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+# Modules whose doctests need heavyweight setup are exercised by their
+# regular test suites instead.
+_SKIP = {
+    "repro.cli",
+}
+
+
+def _all_modules():
+    names = []
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if info.name not in _SKIP:
+            names.append(info.name)
+    return sorted(names)
+
+
+@pytest.mark.parametrize("module_name", _all_modules())
+def test_module_doctests(module_name):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(
+        module,
+        optionflags=doctest.NORMALIZE_WHITESPACE | doctest.ELLIPSIS,
+    )
+    assert results.failed == 0, (
+        f"{results.failed} doctest failure(s) in {module_name}"
+    )

@@ -1,0 +1,102 @@
+"""Unit tests for the TF-IDF vectorizer."""
+
+import math
+
+import pytest
+
+from repro.text.tfidf import TfidfVectorizer, sparse_cosine
+
+CORPUS = [
+    "rdf stores and query processing",
+    "sparql query engines for rdf",
+    "cache coherence protocols",
+    "deep learning for image classification",
+]
+
+
+@pytest.fixture()
+def fitted():
+    return TfidfVectorizer().fit(CORPUS)
+
+
+class TestFitting:
+    def test_unfitted_transform_raises(self):
+        with pytest.raises(RuntimeError):
+            TfidfVectorizer().transform("anything")
+
+    def test_is_fitted_flag(self, fitted):
+        assert fitted.is_fitted
+        assert not TfidfVectorizer().is_fitted
+
+    def test_vocabulary_size(self, fitted):
+        assert fitted.vocabulary_size > 0
+
+    def test_fit_returns_self(self):
+        vectorizer = TfidfVectorizer()
+        assert vectorizer.fit(["a b"]) is vectorizer
+
+    def test_refit_replaces_state(self, fitted):
+        old_vocab = fitted.vocabulary_size
+        fitted.fit(["one tiny document"])
+        assert fitted.vocabulary_size != old_vocab
+
+
+class TestTransform:
+    def test_vectors_are_l2_normalized(self, fitted):
+        vector = fitted.transform("rdf query processing")
+        norm = math.sqrt(sum(w * w for w in vector.values()))
+        assert norm == pytest.approx(1.0)
+
+    def test_empty_document_gives_empty_vector(self, fitted):
+        assert fitted.transform("") == {}
+
+    def test_stopwords_excluded(self, fitted):
+        assert "and" not in fitted.transform("rdf and stores")
+
+    def test_unseen_terms_get_high_idf(self, fitted):
+        vector = fitted.transform("rdf zeppelin")
+        # "zeppelin" is unseen and should dominate "rdf", which occurs in
+        # half the corpus.
+        assert vector["zeppelin"] > vector["rdf"]
+
+
+class TestSimilarity:
+    def test_related_documents_score_positive(self, fitted):
+        assert fitted.cosine_similarity("rdf engines", "sparql rdf") > 0.2
+
+    def test_unrelated_documents_score_low(self, fitted):
+        related = fitted.cosine_similarity("rdf stores", "sparql rdf engines")
+        unrelated = fitted.cosine_similarity("rdf stores", "image classification")
+        assert unrelated < related
+
+    def test_self_similarity(self, fitted):
+        assert fitted.cosine_similarity("rdf stores", "rdf stores") == pytest.approx(
+            1.0
+        )
+
+
+class TestRank:
+    def test_orders_by_relevance(self, fitted):
+        ranking = fitted.rank("rdf query", CORPUS)
+        top_index, top_score = ranking[0]
+        assert top_index in (0, 1)
+        assert top_score > 0
+
+    def test_returns_all_documents(self, fitted):
+        assert len(fitted.rank("rdf", CORPUS)) == len(CORPUS)
+
+    def test_deterministic_tiebreak(self, fitted):
+        documents = ["same text", "same text"]
+        ranking = fitted.rank("same text", documents)
+        assert [index for index, __ in ranking] == [0, 1]
+
+
+class TestSparseCosine:
+    def test_empty_vectors(self):
+        assert sparse_cosine({}, {}) == 0.0
+
+    def test_orthogonal(self):
+        assert sparse_cosine({"a": 1.0}, {"b": 1.0}) == 0.0
+
+    def test_dot_product(self):
+        assert sparse_cosine({"a": 0.6, "b": 0.8}, {"a": 1.0}) == pytest.approx(0.6)

@@ -1,0 +1,114 @@
+"""Unit tests for tokenization and n-grams."""
+
+import pytest
+
+from repro.text.tokenize import (
+    DEFAULT_STOPWORDS,
+    character_ngrams,
+    sentences,
+    tokenize,
+    word_ngrams,
+)
+
+
+class TestTokenize:
+    def test_basic_split(self):
+        assert tokenize("Efficient RDF Processing") == [
+            "efficient",
+            "rdf",
+            "processing",
+        ]
+
+    def test_stopwords_removed(self):
+        assert tokenize("the internet of things") == ["internet", "things"]
+
+    def test_stopwords_disabled(self):
+        assert tokenize("internet of things", stopwords=None) == [
+            "internet",
+            "of",
+            "things",
+        ]
+
+    def test_min_length(self):
+        assert tokenize("a bb ccc", stopwords=None, min_length=3) == ["ccc"]
+
+    def test_punctuation_ignored(self):
+        assert tokenize("graphs, trees; forests!") == ["graphs", "trees", "forests"]
+
+    def test_empty(self):
+        assert tokenize("") == []
+
+    def test_numbers_kept(self):
+        assert "5g" in tokenize("5g networks")
+
+
+class TestWordNgrams:
+    def test_bigrams(self):
+        assert word_ngrams(["linked", "open", "data"], 2) == [
+            ("linked", "open"),
+            ("open", "data"),
+        ]
+
+    def test_n_equals_length(self):
+        assert word_ngrams(["a", "b"], 2) == [("a", "b")]
+
+    def test_n_longer_than_input(self):
+        assert word_ngrams(["a"], 2) == []
+
+    def test_unigrams(self):
+        assert word_ngrams(["x", "y"], 1) == [("x",), ("y",)]
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            word_ngrams(["a"], 0)
+
+    def test_accepts_generators(self):
+        assert word_ngrams((t for t in ["a", "b", "c"]), 3) == [("a", "b", "c")]
+
+
+class TestCharacterNgrams:
+    def test_padded_bigrams(self):
+        assert character_ngrams("rdf", 2) == ["#r", "rd", "df", "f#"]
+
+    def test_unpadded(self):
+        assert character_ngrams("rdf", 2, pad=False) == ["rd", "df"]
+
+    def test_short_string(self):
+        assert character_ngrams("a", 3, pad=False) == ["a"]
+
+    def test_empty(self):
+        assert character_ngrams("", 2) == []
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            character_ngrams("abc", 0)
+
+    def test_unigrams_never_padded(self):
+        assert character_ngrams("ab", 1) == ["a", "b"]
+
+
+class TestSentences:
+    def test_splits_on_terminators(self):
+        text = "First sentence. Second one! Third?"
+        assert list(sentences(text)) == [
+            "First sentence.",
+            "Second one!",
+            "Third?",
+        ]
+
+    def test_empty(self):
+        assert list(sentences("")) == []
+
+    def test_no_terminator(self):
+        assert list(sentences("just a fragment")) == ["just a fragment"]
+
+
+class TestStopwords:
+    def test_is_frozenset(self):
+        assert isinstance(DEFAULT_STOPWORDS, frozenset)
+
+    def test_contains_core_function_words(self):
+        assert {"the", "of", "and"} <= DEFAULT_STOPWORDS
+
+    def test_does_not_contain_content_words(self):
+        assert "data" not in DEFAULT_STOPWORDS

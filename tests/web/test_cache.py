@@ -1,0 +1,116 @@
+"""Unit tests for the TTL response cache."""
+
+import pytest
+
+from repro.web.cache import TTLCache
+from repro.web.clock import SimulatedClock
+
+
+@pytest.fixture()
+def clock():
+    return SimulatedClock()
+
+
+class TestBasics:
+    def test_put_get(self, clock):
+        cache = TTLCache(ttl=10.0, capacity=10, clock=clock)
+        cache.put("k", "v")
+        assert cache.get("k") == "v"
+
+    def test_miss_returns_none(self, clock):
+        cache = TTLCache(ttl=10.0, capacity=10, clock=clock)
+        assert cache.get("missing") is None
+
+    def test_invalidate(self, clock):
+        cache = TTLCache(ttl=10.0, capacity=10, clock=clock)
+        cache.put("k", "v")
+        cache.invalidate("k")
+        assert cache.get("k") is None
+
+    def test_clear(self, clock):
+        cache = TTLCache(ttl=10.0, capacity=10, clock=clock)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_overwrite(self, clock):
+        cache = TTLCache(ttl=10.0, capacity=10, clock=clock)
+        cache.put("k", "old")
+        cache.put("k", "new")
+        assert cache.get("k") == "new"
+
+
+class TestExpiry:
+    def test_entry_expires_after_ttl(self, clock):
+        cache = TTLCache(ttl=10.0, capacity=10, clock=clock)
+        cache.put("k", "v")
+        clock.advance(10.1)
+        assert cache.get("k") is None
+
+    def test_entry_survives_within_ttl(self, clock):
+        cache = TTLCache(ttl=10.0, capacity=10, clock=clock)
+        cache.put("k", "v")
+        clock.advance(9.9)
+        assert cache.get("k") == "v"
+
+    def test_ttl_zero_disables_caching(self, clock):
+        cache = TTLCache(ttl=0, capacity=10, clock=clock)
+        cache.put("k", "v")
+        assert cache.get("k") is None
+        assert len(cache) == 0
+
+    def test_ttl_none_is_immortal(self, clock):
+        cache = TTLCache(ttl=None, capacity=10, clock=clock)
+        cache.put("k", "v")
+        clock.advance(1e9)
+        assert cache.get("k") == "v"
+
+    def test_len_evicts_expired(self, clock):
+        cache = TTLCache(ttl=5.0, capacity=10, clock=clock)
+        cache.put("a", 1)
+        clock.advance(6.0)
+        cache.put("b", 2)
+        assert len(cache) == 1
+
+    def test_negative_ttl_rejected(self, clock):
+        with pytest.raises(ValueError):
+            TTLCache(ttl=-1.0, capacity=10, clock=clock)
+
+
+class TestCapacity:
+    def test_lru_eviction(self, clock):
+        cache = TTLCache(ttl=None, capacity=2, clock=clock)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh a
+        cache.put("c", 3)  # evicts b
+        assert cache.get("a") == 1
+        assert cache.get("b") is None
+        assert cache.get("c") == 3
+
+    def test_capacity_one(self, clock):
+        cache = TTLCache(ttl=None, capacity=1, clock=clock)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") is None
+        assert cache.get("b") == 2
+
+    def test_invalid_capacity_rejected(self, clock):
+        with pytest.raises(ValueError):
+            TTLCache(ttl=None, capacity=0, clock=clock)
+
+
+class TestCounters:
+    def test_hit_rate(self, clock):
+        cache = TTLCache(ttl=None, capacity=10, clock=clock)
+        cache.put("k", "v")
+        cache.get("k")
+        cache.get("missing")
+        assert cache.hits == 1
+        assert cache.misses == 1
+        assert cache.hit_rate() == 0.5
+
+    def test_hit_rate_no_queries(self, clock):
+        cache = TTLCache(ttl=None, capacity=10, clock=clock)
+        assert cache.hit_rate() == 0.0

@@ -1,0 +1,87 @@
+"""Unit tests for the virtual clock and token bucket."""
+
+import pytest
+
+from repro.web.clock import SimulatedClock
+from repro.web.ratelimit import TokenBucket
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert SimulatedClock().now() == 0.0
+
+    def test_custom_start(self):
+        assert SimulatedClock(start=5.0).now() == 5.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            SimulatedClock(start=-1.0)
+
+    def test_advance_accumulates(self):
+        clock = SimulatedClock()
+        clock.advance(1.5)
+        clock.advance(0.5)
+        assert clock.now() == 2.0
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            SimulatedClock().advance(-0.1)
+
+    def test_sleep_is_advance(self):
+        clock = SimulatedClock()
+        clock.sleep(3.0)
+        assert clock.now() == 3.0
+
+
+class TestTokenBucket:
+    @pytest.fixture()
+    def clock(self):
+        return SimulatedClock()
+
+    def test_burst_up_to_capacity(self, clock):
+        bucket = TokenBucket(capacity=2, refill_rate=1.0, clock=clock)
+        assert bucket.try_acquire()
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_refills_over_time(self, clock):
+        bucket = TokenBucket(capacity=1, refill_rate=2.0, clock=clock)
+        bucket.try_acquire()
+        clock.advance(0.5)  # 1 token refilled at 2/s
+        assert bucket.try_acquire()
+
+    def test_never_exceeds_capacity(self, clock):
+        bucket = TokenBucket(capacity=2, refill_rate=10.0, clock=clock)
+        clock.advance(100.0)
+        assert bucket.available() == pytest.approx(2.0)
+
+    def test_time_until_available(self, clock):
+        bucket = TokenBucket(capacity=1, refill_rate=0.5, clock=clock)
+        bucket.try_acquire()
+        assert bucket.time_until_available() == pytest.approx(2.0)
+
+    def test_time_until_available_zero_when_ready(self, clock):
+        bucket = TokenBucket(capacity=1, refill_rate=1.0, clock=clock)
+        assert bucket.time_until_available() == 0.0
+
+    def test_requesting_over_capacity_rejected(self, clock):
+        bucket = TokenBucket(capacity=1, refill_rate=1.0, clock=clock)
+        with pytest.raises(ValueError):
+            bucket.time_until_available(5.0)
+
+    def test_invalid_parameters_rejected(self, clock):
+        with pytest.raises(ValueError):
+            TokenBucket(capacity=0, refill_rate=1.0, clock=clock)
+        with pytest.raises(ValueError):
+            TokenBucket(capacity=1, refill_rate=0.0, clock=clock)
+
+    def test_invalid_acquire_rejected(self, clock):
+        bucket = TokenBucket(capacity=1, refill_rate=1.0, clock=clock)
+        with pytest.raises(ValueError):
+            bucket.try_acquire(0)
+
+    def test_fractional_tokens(self, clock):
+        bucket = TokenBucket(capacity=1, refill_rate=1.0, clock=clock)
+        assert bucket.try_acquire(0.5)
+        assert bucket.try_acquire(0.5)
+        assert not bucket.try_acquire(0.5)

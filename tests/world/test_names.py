@@ -1,0 +1,57 @@
+"""Tests for the name factory."""
+
+import random
+
+import pytest
+
+from repro.world.names import (
+    COLLISION_GIVEN_NAMES,
+    FAMILY_NAMES,
+    GIVEN_NAMES,
+    POPULAR_FAMILY_NAMES,
+    NameFactory,
+)
+
+
+class TestPools:
+    def test_pools_nonempty_and_unique(self):
+        assert len(set(GIVEN_NAMES)) == len(GIVEN_NAMES)
+        assert len(set(FAMILY_NAMES)) == len(FAMILY_NAMES)
+
+    def test_popular_names_are_family_names(self):
+        assert set(POPULAR_FAMILY_NAMES) <= set(FAMILY_NAMES)
+
+    def test_collision_givens_are_given_names(self):
+        assert set(COLLISION_GIVEN_NAMES) <= set(GIVEN_NAMES)
+
+
+class TestFactory:
+    def test_unique_names_never_repeat(self):
+        factory = NameFactory(random.Random(1))
+        names = [factory.make_unique() for __ in range(500)]
+        assert len(set(names)) == 500
+
+    def test_deterministic(self):
+        a = NameFactory(random.Random(7))
+        b = NameFactory(random.Random(7))
+        assert [a.make_unique() for __ in range(20)] == [
+            b.make_unique() for __ in range(20)
+        ]
+
+    def test_collision_names_use_popular_pool(self):
+        factory = NameFactory(random.Random(3))
+        name = factory.make_collision_name()
+        given, family = name.split(" ")
+        assert given in COLLISION_GIVEN_NAMES
+        assert family in POPULAR_FAMILY_NAMES
+
+    def test_unique_avoids_collision_names(self):
+        factory = NameFactory(random.Random(3))
+        collision = factory.make_collision_name()
+        uniques = {factory.make_unique() for __ in range(300)}
+        assert collision not in uniques
+
+    def test_middle_initial_probability_zero(self):
+        factory = NameFactory(random.Random(3))
+        names = [factory.make_unique(with_middle_probability=0.0) for __ in range(50)]
+        assert all(len(name.split(" ")) == 2 for name in names)
