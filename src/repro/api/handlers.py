@@ -16,7 +16,8 @@ Endpoints
     Batch mode (§3): run the workflow for several manuscripts and solve
     the cross-paper assignment under load constraints:
     ``{manuscripts: [{paper_id, manuscript}], reviewers_per_paper?,
-    max_load?, solver?, config?}``.
+    max_load?, solver?, config?, workers?}``.  ``workers > 1`` runs the
+    per-paper pipelines in parallel with identical output.
 """
 
 from __future__ import annotations
@@ -197,27 +198,19 @@ class MinaretApi:
         return result_to_payload(result, top_k=top_k)
 
     def _assign(self, request: ApiRequest) -> dict:
-        from repro.assignment import (
-            assess_assignment,
-            greedy_assignment,
-            optimal_assignment,
-            problem_from_results,
-            random_assignment,
-        )
+        from repro.assignment import assign_batch, solver_by_name
 
         manuscripts_payload = request.require("manuscripts")
         if not isinstance(manuscripts_payload, list) or not manuscripts_payload:
             raise ApiError(400, "manuscripts must be a non-empty list")
         solver_name = str(request.body.get("solver", "optimal"))
-        solvers = {
-            "optimal": optimal_assignment,
-            "greedy": greedy_assignment,
-            "random": lambda p: random_assignment(p, seed=0),
-        }
-        if solver_name not in solvers:
-            raise ApiError(
-                400, f"unknown solver {solver_name!r}; use one of {sorted(solvers)}"
-            )
+        try:
+            solver_by_name(solver_name)
+        except ValueError as exc:
+            raise ApiError(400, str(exc)) from exc
+        workers = int(request.body.get("workers", 1))
+        if workers < 1:
+            raise ApiError(400, "workers must be >= 1")
         config = config_from_payload(request.body.get("config", {}))
         pipeline = Minaret(
             self._sources,
@@ -225,50 +218,46 @@ class MinaretApi:
             config=config,
             resolver=self._resolver,
         )
-        results = []
-        names: dict[str, str] = {}
+        entries = []
         for entry in manuscripts_payload:
             paper_id = str(entry.get("paper_id", ""))
             if not paper_id:
                 raise ApiError(400, "each batch entry needs a paper_id")
-            manuscript = manuscript_from_payload(entry.get("manuscript", {}))
-            try:
-                result = pipeline.recommend(manuscript)
-            except AmbiguousIdentityError as exc:
-                raise ApiError(409, str(exc)) from exc
-            except IdentityVerificationError as exc:
-                raise ApiError(404, str(exc)) from exc
-            for scored in result.ranked:
-                names[scored.candidate.candidate_id] = scored.name
-            results.append((paper_id, result))
+            entries.append((paper_id, manuscript_from_payload(entry.get("manuscript", {}))))
         try:
-            problem = problem_from_results(
-                results,
+            batch = assign_batch(
+                pipeline,
+                entries,
                 reviewers_per_paper=int(
                     request.body.get("reviewers_per_paper", 3)
                 ),
                 max_load=int(request.body.get("max_load", 2)),
                 top_k=request.body.get("top_k"),
+                solver=solver_name,
+                workers=workers,
             )
+        except AmbiguousIdentityError as exc:
+            raise ApiError(409, str(exc)) from exc
+        except IdentityVerificationError as exc:
+            raise ApiError(404, str(exc)) from exc
         except ValueError as exc:
             raise ApiError(400, str(exc)) from exc
-        assignment = solvers[solver_name](problem)
-        quality = assess_assignment(problem, assignment)
+        names = batch.reviewer_names
         return {
             "solver": solver_name,
             "assignments": {
                 paper_id: [
                     {"candidate_id": reviewer, "name": names.get(reviewer, reviewer)}
-                    for reviewer in assignment.reviewers_of(paper_id)
+                    for reviewer in batch.assignment.reviewers_of(paper_id)
                 ]
-                for paper_id in problem.papers()
+                for paper_id in batch.problem.papers()
             },
             "quality": {
-                "total_score": quality.total_score,
-                "mean_paper_score": quality.mean_paper_score,
-                "min_paper_score": quality.min_paper_score,
-                "unfilled_slots": quality.unfilled_slots,
-                "max_load": quality.max_load,
-                "load_stddev": quality.load_stddev,
+                "total_score": batch.quality.total_score,
+                "mean_paper_score": batch.quality.mean_paper_score,
+                "min_paper_score": batch.quality.min_paper_score,
+                "unfilled_slots": batch.quality.unfilled_slots,
+                "max_load": batch.quality.max_load,
+                "load_stddev": batch.quality.load_stddev,
             },
         }

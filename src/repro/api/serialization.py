@@ -57,7 +57,8 @@ def config_from_payload(payload: dict) -> PipelineConfig:
     component → weight map), ``impact_metric``, ``min_keyword_score``,
     ``coi`` (``check_coauthorship``, ``affiliation_level``,
     ``lookback_years``), ``constraints`` (the six range bounds),
-    ``pc_members`` and ``max_candidates``.
+    ``pc_members``, ``max_candidates`` and ``workers`` (extraction
+    fan-out; output is identical at any value).
     """
     try:
         weights = RankingWeights(**payload.get("weights", {}))
@@ -86,6 +87,7 @@ def config_from_payload(payload: dict) -> PipelineConfig:
             owa_weights=tuple(owa_weights) if owa_weights is not None else None,
             impact_metric=ImpactMetric(payload.get("impact_metric", "h_index")),
             max_candidates=int(payload.get("max_candidates", 50)),
+            workers=int(payload.get("workers", 1)),
         )
     except (TypeError, ValueError) as exc:
         raise ApiError(400, f"invalid config payload: {exc}") from exc

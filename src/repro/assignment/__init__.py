@@ -26,6 +26,12 @@ from repro.assignment.models import (
     AssignmentQuality,
     assess_assignment,
 )
+from repro.assignment.batch import (
+    BatchAssignment,
+    assign_batch,
+    recommend_batch,
+    solver_by_name,
+)
 from repro.assignment.builder import problem_from_results
 from repro.assignment.solvers import (
     greedy_assignment,
@@ -37,9 +43,13 @@ __all__ = [
     "Assignment",
     "AssignmentProblem",
     "AssignmentQuality",
+    "BatchAssignment",
     "assess_assignment",
+    "assign_batch",
     "greedy_assignment",
     "optimal_assignment",
     "problem_from_results",
     "random_assignment",
+    "recommend_batch",
+    "solver_by_name",
 ]

@@ -1,0 +1,121 @@
+"""Parallel batch recommendation and one-call assignment.
+
+Batch mode runs one full pipeline per manuscript — embarrassingly
+parallel work that the CLI and API used to do in a sequential loop.
+:func:`recommend_batch` fans those runs out over a
+:class:`~repro.concurrency.Executor`; because every simulated-web
+decision is keyed by request content rather than arrival order (see
+:mod:`repro.concurrency`), the per-paper results are bit-identical to a
+sequential walk, whatever the worker count.
+
+:func:`assign_batch` is the full §3 batch story in one call: recommend
+for every paper, assemble the cross-paper
+:class:`~repro.assignment.models.AssignmentProblem`, solve it, and
+assess the solution.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.assignment.builder import problem_from_results
+from repro.assignment.models import (
+    Assignment,
+    AssignmentProblem,
+    AssignmentQuality,
+    assess_assignment,
+)
+from repro.assignment.solvers import (
+    greedy_assignment,
+    optimal_assignment,
+    random_assignment,
+)
+from repro.concurrency import Executor, create_executor
+from repro.core.models import Manuscript, RecommendationResult
+
+#: Solver registry shared by the CLI and the API.  ``random`` is seeded
+#: so batch runs stay reproducible.
+SOLVERS = {
+    "optimal": optimal_assignment,
+    "greedy": greedy_assignment,
+    "random": lambda problem: random_assignment(problem, seed=0),
+}
+
+
+def solver_by_name(name: str):
+    """Look up a solver; raises ``ValueError`` with the known names."""
+    try:
+        return SOLVERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown solver {name!r}; use one of {sorted(SOLVERS)}"
+        ) from None
+
+
+def recommend_batch(
+    minaret,
+    entries: Sequence[tuple[str, Manuscript]],
+    executor: Executor | None = None,
+    workers: int = 1,
+) -> list[tuple[str, RecommendationResult]]:
+    """Run ``minaret.recommend`` for every ``(paper_id, manuscript)``.
+
+    Results come back in input order regardless of completion order.
+    When a run raises, every run still completes and the exception of
+    the earliest entry propagates (the executor contract) — matching
+    what the old sequential loop would have surfaced first.
+
+    Pass either a prebuilt ``executor`` or a ``workers`` count; the
+    pipeline itself may *additionally* parallelize extraction via its
+    own ``config.workers`` — the two pools nest safely because each
+    ``map`` call runs on its own pool.
+    """
+    executor = executor or create_executor(workers)
+    results = executor.map(minaret.recommend, [m for _, m in entries])
+    return [(paper_id, result) for (paper_id, _), result in zip(entries, results)]
+
+
+@dataclass(frozen=True)
+class BatchAssignment:
+    """Everything a batch run produced, for rendering or inspection."""
+
+    results: tuple[tuple[str, RecommendationResult], ...]
+    problem: AssignmentProblem
+    assignment: Assignment
+    quality: AssignmentQuality
+    reviewer_names: dict[str, str]
+
+
+def assign_batch(
+    minaret,
+    entries: Sequence[tuple[str, Manuscript]],
+    reviewers_per_paper: int = 3,
+    max_load: int = 2,
+    top_k: int | None = None,
+    solver: str = "optimal",
+    executor: Executor | None = None,
+    workers: int = 1,
+) -> BatchAssignment:
+    """Recommend for a batch and solve the cross-paper assignment."""
+    solve = solver_by_name(solver)
+    results = recommend_batch(minaret, entries, executor=executor, workers=workers)
+    names: dict[str, str] = {}
+    for _, result in results:
+        for scored in result.ranked:
+            names[scored.candidate.candidate_id] = scored.name
+    problem = problem_from_results(
+        results,
+        reviewers_per_paper=reviewers_per_paper,
+        max_load=max_load,
+        top_k=top_k,
+    )
+    assignment = solve(problem)
+    quality = assess_assignment(problem, assignment)
+    return BatchAssignment(
+        results=tuple(results),
+        problem=problem,
+        assignment=assignment,
+        quality=quality,
+        reviewer_names=names,
+    )

@@ -82,6 +82,12 @@ def _build_parser() -> argparse.ArgumentParser:
     rec.add_argument("--manuscript", required=True, help="manuscript JSON file")
     rec.add_argument("--top", type=int, default=10)
     rec.add_argument("--json", action="store_true", help="emit JSON instead of a table")
+    rec.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="extraction fan-out threads (output identical at any value)",
+    )
     assign = subparsers.add_parser("assign", help="batch paper-reviewer assignment")
     assign.add_argument("--world", required=True, help="world dataset JSON")
     assign.add_argument("--batch", required=True, help="batch JSON: [{paper_id, manuscript}]")
@@ -89,6 +95,12 @@ def _build_parser() -> argparse.ArgumentParser:
     assign.add_argument("--max-load", type=int, default=2)
     assign.add_argument(
         "--solver", choices=("optimal", "greedy", "random"), default="optimal"
+    )
+    assign.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="parallel per-paper pipeline runs (output identical at any value)",
     )
     return parser
 
@@ -260,7 +272,8 @@ def _run_recommend(args) -> int:
         )
         return 1
     hub = ScholarlyHub.deploy(world)
-    result = Minaret(hub).recommend(manuscript)
+    config = PipelineConfig(workers=max(1, args.workers))
+    result = Minaret(hub, config=config).recommend(manuscript)
     if args.json:
         print(json.dumps(result_to_payload(result, top_k=args.top), indent=2))
         return 0
@@ -277,20 +290,9 @@ def _run_recommend(args) -> int:
 def _run_assign(args) -> int:
     from repro.api.router import ApiError
     from repro.api.serialization import manuscript_from_payload
-    from repro.assignment import (
-        assess_assignment,
-        greedy_assignment,
-        optimal_assignment,
-        problem_from_results,
-        random_assignment,
-    )
+    from repro.assignment import assign_batch
     from repro.world.io import load_world
 
-    solvers = {
-        "optimal": optimal_assignment,
-        "greedy": greedy_assignment,
-        "random": lambda p: random_assignment(p, seed=0),
-    }
     try:
         world = load_world(args.world)
         with open(args.batch, encoding="utf-8") as handle:
@@ -304,28 +306,23 @@ def _run_assign(args) -> int:
         return 1
     hub = ScholarlyHub.deploy(world)
     minaret = Minaret(hub)
-    names: dict[str, str] = {}
-    results = []
-    for paper_id, manuscript in entries:
-        result = minaret.recommend(manuscript)
-        for scored in result.ranked:
-            names[scored.candidate.candidate_id] = scored.name
-        results.append((paper_id, result))
-    problem = problem_from_results(
-        results,
+    batch = assign_batch(
+        minaret,
+        entries,
         reviewers_per_paper=args.reviewers_per_paper,
         max_load=args.max_load,
+        solver=args.solver,
+        workers=max(1, args.workers),
     )
-    assignment = solvers[args.solver](problem)
-    quality = assess_assignment(problem, assignment)
+    quality = batch.quality
     print(
         f"Assignment ({args.solver}): total={quality.total_score:.3f} "
         f"min-paper={quality.min_paper_score:.3f} "
         f"unfilled={quality.unfilled_slots} max-load={quality.max_load}"
     )
-    for paper_id in problem.papers():
-        reviewers = assignment.reviewers_of(paper_id)
-        rendered = ", ".join(names.get(r, r) for r in reviewers) or "(none)"
+    for paper_id in batch.problem.papers():
+        reviewers = batch.assignment.reviewers_of(paper_id)
+        rendered = ", ".join(batch.reviewer_names.get(r, r) for r in reviewers) or "(none)"
         print(f"  {paper_id}: {rendered}")
     return 0
 

@@ -1,0 +1,134 @@
+"""The worker-pool ``Executor`` abstraction.
+
+Two backends behind one interface: :class:`SequentialExecutor` runs
+tasks inline (no threads, no scheduling — the reference semantics), and
+:class:`ThreadExecutor` fans tasks out over a bounded
+:class:`concurrent.futures.ThreadPoolExecutor`.
+
+Both uphold the same observable contract:
+
+- ``map(fn, items)`` returns results **in input order**;
+- if any task raises, the exception of the **lowest-index** failing task
+  propagates (after every task has finished), so which worker crashed
+  first is never observable;
+- the ambient :mod:`contextvars` context at the ``map`` call site is
+  propagated into every task, so request-accounting scopes (see
+  :mod:`repro.web.accounting`) attribute work done in pool threads to
+  the caller that submitted it.
+
+``ThreadExecutor`` deliberately builds a fresh pool per ``map`` call:
+pools are cheap at this scale, nothing leaks when callers forget to
+close anything, and nested fan-out (a batch of manuscripts each running
+parallel extraction) can never deadlock on a shared bounded pool.
+"""
+
+from __future__ import annotations
+
+import contextvars
+from abc import ABC, abstractmethod
+from collections.abc import Callable, Iterable, Sequence
+from concurrent.futures import ThreadPoolExecutor
+
+
+class Executor(ABC):
+    """Ordered fan-out over a bounded worker pool."""
+
+    @property
+    @abstractmethod
+    def workers(self) -> int:
+        """Maximum number of tasks in flight at once (>= 1)."""
+
+    @abstractmethod
+    def map(self, fn: Callable, items: Iterable) -> list:
+        """Apply ``fn`` to every item; results come back in input order.
+
+        If one or more tasks raise, every task still runs to completion
+        and the exception of the lowest-index failing task is re-raised.
+        """
+
+
+class SequentialExecutor(Executor):
+    """The no-pool backend: tasks run inline, one after another.
+
+    Example
+    -------
+    >>> SequentialExecutor().map(lambda x: x * 2, [1, 2, 3])
+    [2, 4, 6]
+    """
+
+    @property
+    def workers(self) -> int:
+        return 1
+
+    def map(self, fn: Callable, items: Iterable) -> list:
+        return [fn(item) for item in items]
+
+
+class ThreadExecutor(Executor):
+    """Bounded thread-pool backend with contextvars propagation.
+
+    Example
+    -------
+    >>> ThreadExecutor(4).map(lambda x: x * 2, [1, 2, 3])
+    [2, 4, 6]
+    """
+
+    def __init__(self, workers: int):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self._workers = int(workers)
+
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    def map(self, fn: Callable, items: Iterable) -> list:
+        tasks: Sequence = list(items)
+        if not tasks:
+            return []
+        if len(tasks) == 1:
+            # No point spinning a pool up for a single task.
+            return [fn(tasks[0])]
+        outcomes: list = [None] * len(tasks)
+        errors: list[tuple[int, BaseException]] = []
+        with ThreadPoolExecutor(max_workers=self._workers) as pool:
+            futures = [
+                # One context copy per task: a Context object can only
+                # be entered by one thread at a time.
+                pool.submit(contextvars.copy_context().run, fn, task)
+                for task in tasks
+            ]
+            for index, future in enumerate(futures):
+                try:
+                    outcomes[index] = future.result()
+                except BaseException as exc:  # noqa: BLE001 — re-raised below
+                    errors.append((index, exc))
+        if errors:
+            raise min(errors)[1]
+        return outcomes
+
+
+def create_executor(workers: int | None, backend: str = "auto") -> Executor:
+    """Build an executor from a worker count and backend name.
+
+    ``backend``:
+
+    - ``"auto"`` (default): ``SequentialExecutor`` for ``workers`` of
+      ``None``/``1``, ``ThreadExecutor`` otherwise;
+    - ``"sequential"``: always inline, whatever ``workers`` says;
+    - ``"thread"``: always a thread pool (of at least one worker).
+    """
+    count = 1 if workers is None else int(workers)
+    if count < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if backend == "sequential":
+        return SequentialExecutor()
+    if backend == "thread":
+        return ThreadExecutor(count)
+    if backend == "auto":
+        if count == 1:
+            return SequentialExecutor()
+        return ThreadExecutor(count)
+    raise ValueError(
+        f"unknown executor backend {backend!r}; use 'auto', 'sequential' or 'thread'"
+    )

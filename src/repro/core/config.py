@@ -221,6 +221,12 @@ class PipelineConfig:
         extraction (more requests, better corroboration).
     current_year:
         "Today" for recency computations.
+    workers:
+        Worker-pool size for the extraction phase's fan-out (per-keyword
+        retrieval and per-candidate profile assembly).  ``1`` (the
+        default) runs inline with no pool; any value produces
+        bit-identical recommendation output — parallelism only buys
+        wall-clock time (see :mod:`repro.concurrency`).
     """
 
     expansion: ExpansionConfig = field(default_factory=ExpansionConfig)
@@ -234,12 +240,15 @@ class PipelineConfig:
     recency_half_life_years: float = 3.0
     use_all_sources: bool = False
     current_year: int = 2019
+    workers: int = 1
 
     def __post_init__(self):
         if self.max_candidates < 1:
             raise ValueError(f"max_candidates must be >= 1, got {self.max_candidates}")
         if self.per_keyword_retrieval_limit < 1:
             raise ValueError("per_keyword_retrieval_limit must be >= 1")
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
         if self.recency_half_life_years <= 0:
             raise ValueError("recency_half_life_years must be > 0")
         if self.owa_weights is not None:

@@ -12,10 +12,22 @@ All of this happens through the simulated HTTP layer — profile assembly
 is where the bulk of the pipeline's on-the-fly request volume goes,
 which is what :class:`~repro.core.config.PipelineConfig.max_candidates`
 exists to bound.
+
+Both hot loops fan out through an :class:`~repro.concurrency.Executor`:
+interest queries are independent per expanded keyword, and profile
+assemblies are independent per candidate.  Parallel runs produce the
+same candidate list as sequential runs because the fan-out only
+*computes* outcomes — selection (ranking, budget, name de-duplication)
+is always replayed afterwards in ranked order, and the simulated web's
+latency/fault draws are keyed by request content rather than arrival
+order.
 """
 
 from __future__ import annotations
 
+import threading
+
+from repro.concurrency import Executor, create_executor
 from repro.core.config import PipelineConfig
 from repro.core.models import Candidate
 from repro.ontology.expansion import ExpandedKeyword
@@ -24,17 +36,30 @@ from repro.scholarly.records import SourceProfile
 from repro.text.normalize import canonical_person_name, normalize_keyword
 from repro.web.crawler import CrawlError
 
+#: Task outcome marking "a source stayed down through every retry".
+_FAILED = object()
+#: Queue marker for a Publons summary that has not been fetched yet.
+_UNFETCHED = object()
+
 
 class CandidateExtractor:
     """Retrieves candidate reviewers and assembles their profiles.
 
     ``sources`` is any object exposing the six typed clients as
-    attributes (``ScholarlyHub`` qualifies).
+    attributes (``ScholarlyHub`` qualifies).  ``executor`` overrides the
+    worker pool; by default one is built from ``config.workers``.
     """
 
-    def __init__(self, sources, config: PipelineConfig | None = None):
+    def __init__(
+        self,
+        sources,
+        config: PipelineConfig | None = None,
+        executor: Executor | None = None,
+    ):
         self._sources = sources
         self._config = config or PipelineConfig()
+        self._executor = executor or create_executor(self._config.workers)
+        self._counter_lock = threading.Lock()
         #: Candidates dropped because a source stayed down through every
         #: retry while assembling their profile.
         self.assembly_failures = 0
@@ -54,34 +79,52 @@ class CandidateExtractor:
         Returns two maps — Scholar users and Publons reviewers — each of
         the form ``source_id -> {normalized keyword: best sc}``.
         """
-        limit = self._config.per_keyword_retrieval_limit
         scholar_matches: dict[str, dict[str, float]] = {}
         publons_matches: dict[str, dict[str, float]] = {}
-        for expansion in expanded:
+        outcomes = self._executor.map(self._query_interest_indexes, expanded)
+        failures = 0
+        # Merge in input order so the dicts (and their insertion order)
+        # are identical at every worker count.
+        for expansion, (users, reviewers) in zip(expanded, outcomes):
             keyword = normalize_keyword(expansion.keyword)
-            # Each interest query degrades independently: a source outage
-            # costs one expanded keyword's contribution, never the run.
-            try:
-                users = self._sources.scholar.scholars_by_interest(
-                    expansion.keyword, limit=limit
-                )
-            except CrawlError:
-                self.retrieval_failures += 1
+            if users is None:
+                failures += 1
                 users = []
             for user in users:
                 bucket = scholar_matches.setdefault(user, {})
                 bucket[keyword] = max(bucket.get(keyword, 0.0), expansion.score)
-            try:
-                reviewers = self._sources.publons.reviewers_by_interest(
-                    expansion.keyword, limit=limit
-                )
-            except CrawlError:
-                self.retrieval_failures += 1
+            if reviewers is None:
+                failures += 1
                 reviewers = []
             for reviewer in reviewers:
                 bucket = publons_matches.setdefault(reviewer, {})
                 bucket[keyword] = max(bucket.get(keyword, 0.0), expansion.score)
+        if failures:
+            with self._counter_lock:
+                self.retrieval_failures += failures
         return scholar_matches, publons_matches
+
+    def _query_interest_indexes(self, expansion: ExpandedKeyword):
+        """Query both interest indexes for one expanded keyword.
+
+        Each interest query degrades independently: a source outage
+        (``None`` in the returned pair) costs one expanded keyword's
+        contribution, never the run.
+        """
+        limit = self._config.per_keyword_retrieval_limit
+        try:
+            users = self._sources.scholar.scholars_by_interest(
+                expansion.keyword, limit=limit
+            )
+        except CrawlError:
+            users = None
+        try:
+            reviewers = self._sources.publons.reviewers_by_interest(
+                expansion.keyword, limit=limit
+            )
+        except CrawlError:
+            reviewers = None
+        return users, reviewers
 
     def extract_candidates(
         self, expanded: list[ExpandedKeyword]
@@ -93,6 +136,13 @@ class CandidateExtractor:
         skipping anyone whose name already appeared — the name is the
         only cross-service key available at this stage, exactly as in
         the real system.
+
+        Assemblies run through the executor in *waves* sized to the
+        remaining candidate budget; selection is then replayed over the
+        wave's outcomes in ranked order.  Because a wave never exceeds
+        the remaining budget and skipped items simply roll into the next
+        wave, the requests issued and the candidates kept are the same
+        as a one-at-a-time walk — at any worker count.
         """
         scholar_matches, publons_matches = self.retrieve_candidate_ids(expanded)
         ranked_scholar = self._rank_matches(scholar_matches)
@@ -100,43 +150,135 @@ class CandidateExtractor:
         budget = self._config.max_candidates
         candidates: list[Candidate] = []
         seen_names: set[str] = set()
-        for user, matched in ranked_scholar:
-            if len(candidates) >= budget:
-                break
-            try:
-                candidate = self._assemble_from_scholar(user, matched)
-            except CrawlError:
-                # A source stayed down through every retry.  Losing one
-                # candidate beats aborting the whole recommendation; the
-                # skip is visible in the extraction phase's items_out.
-                self.assembly_failures += 1
-                continue
-            if candidate is None:
-                continue
-            key = canonical_person_name(candidate.name)
-            if key in seen_names:
-                continue
-            seen_names.add(key)
-            candidates.append(candidate)
-        for reviewer, matched in ranked_publons:
-            if len(candidates) >= budget:
-                break
-            try:
-                summary = self._sources.publons.reviewer_summary(reviewer)
+        self._extend_from_scholar(ranked_scholar, budget, candidates, seen_names)
+        self._extend_from_publons(ranked_publons, budget, candidates, seen_names)
+        return candidates
+
+    def _extend_from_scholar(
+        self,
+        ranked: list[tuple[str, dict[str, float]]],
+        budget: int,
+        candidates: list[Candidate],
+        seen_names: set[str],
+    ) -> None:
+        """Assemble Scholar-anchored candidates wave by wave."""
+        cursor = 0
+        failures = 0
+        while cursor < len(ranked) and len(candidates) < budget:
+            wave = ranked[cursor : cursor + (budget - len(candidates))]
+            cursor += len(wave)
+            assembled = self._executor.map(self._scholar_assembly_task, wave)
+            for outcome in assembled:
+                if outcome is _FAILED:
+                    # A source stayed down through every retry.  Losing
+                    # one candidate beats aborting the whole
+                    # recommendation; the skip is visible in the
+                    # extraction phase's items_out.
+                    failures += 1
+                    continue
+                if outcome is None:
+                    continue
+                key = canonical_person_name(outcome.name)
+                if key in seen_names:
+                    continue
+                seen_names.add(key)
+                candidates.append(outcome)
+        if failures:
+            with self._counter_lock:
+                self.assembly_failures += failures
+
+    def _scholar_assembly_task(self, item: tuple[str, dict[str, float]]):
+        user, matched = item
+        try:
+            return self._assemble_from_scholar(user, matched)
+        except CrawlError:
+            return _FAILED
+
+    def _extend_from_publons(
+        self,
+        ranked: list[tuple[str, dict[str, float]]],
+        budget: int,
+        candidates: list[Candidate],
+        seen_names: set[str],
+    ) -> None:
+        """Add Publons-only candidates, two fan-outs per wave.
+
+        The summary fetch is cheap and yields the candidate's name (the
+        de-duplication key), so each wave first fetches summaries, then
+        assembles only the reviewers that survive the replayed skip
+        rules.  A reviewer whose name collides with an *unresolved*
+        earlier wave member is deferred — sequentially it would only be
+        skipped if that earlier assembly succeeds — carrying its fetched
+        summary so no request is re-issued.
+        """
+        queue: list[tuple[str, dict[str, float], object]] = [
+            (reviewer, matched, _UNFETCHED) for reviewer, matched in ranked
+        ]
+        failures = 0
+        while queue and len(candidates) < budget:
+            wave = queue[: budget - len(candidates)]
+            queue = queue[len(wave) :]
+            summaries = self._executor.map(self._publons_summary_task, wave)
+            chosen: list[tuple[str, dict[str, float], dict]] = []
+            wave_keys: set[str] = set()
+            deferred = None
+            for index, ((reviewer, matched, __), summary) in enumerate(
+                zip(wave, summaries)
+            ):
+                if summary is _FAILED:
+                    failures += 1
+                    continue
                 if summary is None:
                     continue
                 key = canonical_person_name(summary["name"])
                 if key in seen_names:
                     continue
-                candidate = self._assemble_from_publons(reviewer, summary, matched)
-            except CrawlError:
-                self.assembly_failures += 1
-                continue
-            if candidate is None:
-                continue
-            seen_names.add(key)
-            candidates.append(candidate)
-        return candidates
+                if key in wave_keys:
+                    # Same name as a wave member whose assembly hasn't
+                    # resolved yet; push the rest of the wave back (with
+                    # summaries attached) and settle it next round.
+                    deferred = index
+                    break
+                wave_keys.add(key)
+                chosen.append((reviewer, matched, summary))
+            if deferred is not None:
+                queue = [
+                    (reviewer, matched, summary)
+                    for (reviewer, matched, __), summary in zip(
+                        wave[deferred:], summaries[deferred:]
+                    )
+                ] + queue
+            assembled = self._executor.map(self._publons_assembly_task, chosen)
+            for (reviewer, matched, summary), outcome in zip(chosen, assembled):
+                if outcome is _FAILED:
+                    failures += 1
+                    continue
+                if outcome is None:
+                    continue
+                key = canonical_person_name(summary["name"])
+                if key in seen_names:
+                    continue
+                seen_names.add(key)
+                candidates.append(outcome)
+        if failures:
+            with self._counter_lock:
+                self.assembly_failures += failures
+
+    def _publons_summary_task(self, item: tuple[str, dict[str, float], object]):
+        reviewer, __, cached = item
+        if cached is not _UNFETCHED:
+            return cached
+        try:
+            return self._sources.publons.reviewer_summary(reviewer)
+        except CrawlError:
+            return _FAILED
+
+    def _publons_assembly_task(self, item: tuple[str, dict[str, float], dict]):
+        reviewer, matched, summary = item
+        try:
+            return self._assemble_from_publons(reviewer, summary, matched)
+        except CrawlError:
+            return _FAILED
 
     @staticmethod
     def _rank_matches(

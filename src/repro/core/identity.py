@@ -17,6 +17,7 @@ Verification proceeds the way the paper's demo does (Fig. 4):
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Callable
 
 from repro.core.errors import AmbiguousIdentityError, IdentityVerificationError
@@ -139,6 +140,7 @@ class ProfileLinker:
     def __init__(self, sources, use_all_sources: bool = False):
         self._sources = sources
         self._use_all_sources = use_all_sources
+        self._counter_lock = threading.Lock()
         #: Source links abandoned because the source stayed down.
         self.link_failures = 0
 
@@ -168,7 +170,8 @@ class ProfileLinker:
             try:
                 profile = link()
             except CrawlError:
-                self.link_failures += 1
+                with self._counter_lock:
+                    self.link_failures += 1
                 continue
             if profile is not None:
                 profiles.append(profile)

@@ -12,6 +12,7 @@ from __future__ import annotations
 import dataclasses
 import time
 
+from repro.concurrency import create_executor
 from repro.core.config import (
     AggregationMethod,
     ImpactMetric,
@@ -26,6 +27,7 @@ from repro.core.ranking import Ranker
 from repro.ontology.data import build_seed_ontology
 from repro.ontology.expansion import KeywordExpander
 from repro.ontology.graph import TopicOntology
+from repro.web.accounting import RequestScope
 
 
 class Minaret:
@@ -73,7 +75,10 @@ class Minaret:
             resolver=resolver,
             use_all_sources=self._config.use_all_sources,
         )
-        self._extractor = CandidateExtractor(sources, self._config)
+        self._executor = create_executor(self._config.workers)
+        self._extractor = CandidateExtractor(
+            sources, self._config, executor=self._executor
+        )
         self._filter = FilterPhase(
             self._config.filters, current_year=self._config.current_year
         )
@@ -204,7 +209,15 @@ class Minaret:
 
 
 class _PhaseTimer:
-    """Context manager populating a :class:`PhaseReport`."""
+    """Context manager populating a :class:`PhaseReport`.
+
+    Request and virtual-time accounting runs through a
+    :class:`~repro.web.accounting.RequestScope` rather than deltas of
+    the client's global counters: scopes follow fan-out work into pool
+    threads (the executors propagate context) and ignore requests issued
+    by concurrently running phases of *other* pipeline runs, so batch
+    parallelism cannot cross-pollute phase reports.
+    """
 
     def __init__(self, name: str, reports: list[PhaseReport], sources):
         self._report = PhaseReport(phase=name)
@@ -212,25 +225,26 @@ class _PhaseTimer:
         self._sources = sources
         self._wall_start = 0.0
         self._virtual_start = 0.0
-        self._requests_start = 0
+        self._scope: RequestScope | None = None
 
     def __enter__(self) -> PhaseReport:
         self._wall_start = time.perf_counter()
-        clock = getattr(self._sources, "clock", None)
-        if clock is not None:
-            self._virtual_start = clock.now()
-        http = getattr(self._sources, "http", None)
-        if http is not None:
-            self._requests_start = http.total_requests()
+        if getattr(self._sources, "http", None) is not None:
+            self._scope = RequestScope(label=self._report.phase)
+            self._scope.__enter__()
+        elif getattr(self._sources, "clock", None) is not None:
+            self._virtual_start = self._sources.clock.now()
         return self._report
 
     def __exit__(self, exc_type, exc, tb) -> None:
         self._report.wall_seconds = time.perf_counter() - self._wall_start
-        clock = getattr(self._sources, "clock", None)
-        if clock is not None:
-            self._report.virtual_seconds = clock.now() - self._virtual_start
-        http = getattr(self._sources, "http", None)
-        if http is not None:
-            self._report.requests = http.total_requests() - self._requests_start
+        if self._scope is not None:
+            self._scope.__exit__(exc_type, exc, tb)
+            self._report.requests = self._scope.requests
+            self._report.virtual_seconds = self._scope.virtual_seconds
+        elif getattr(self._sources, "clock", None) is not None:
+            self._report.virtual_seconds = (
+                self._sources.clock.now() - self._virtual_start
+            )
         if exc_type is None:
             self._reports.append(self._report)

@@ -14,6 +14,7 @@ paths.  Traversal stops at a configurable depth and score threshold.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field, replace
 
 from repro.ontology.graph import Relation, Topic, TopicOntology
@@ -118,7 +119,10 @@ class KeywordExpander:
         # Editors re-run searches with overlapping keywords constantly;
         # per-(seed, config) memoization makes repeats free.  Safe
         # because the ontology is treated as immutable once wrapped.
+        # The lock keeps the memo and its hit counter exact when one
+        # expander serves a parallel batch of manuscripts.
         self._memo: dict[tuple, list[ExpandedKeyword]] = {}
+        self._memo_lock = threading.Lock()
         self.memo_hits = 0
 
     @property
@@ -180,12 +184,14 @@ class KeywordExpander:
             tuple(sorted((r.value, d) for r, d in config.relation_decay.items())),
             config.max_results_per_keyword,
         )
-        cached = self._memo.get(key)
-        if cached is not None:
-            self.memo_hits += 1
-            return cached
+        with self._memo_lock:
+            cached = self._memo.get(key)
+            if cached is not None:
+                self.memo_hits += 1
+                return cached
         result = self._expand_one(seed, config)
-        self._memo[key] = result
+        with self._memo_lock:
+            self._memo[key] = result
         return result
 
     def _expand_one(

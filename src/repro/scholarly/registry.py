@@ -90,6 +90,7 @@ class ScholarlyHub:
         retry: RetryPolicy | None = None,
         fault_seed: int = 0,
         trace_capacity: int = 0,
+        wall_latency_scale: float = 0.0,
     ) -> "ScholarlyHub":
         """Stand up the whole simulated scholarly web.
 
@@ -99,10 +100,18 @@ class ScholarlyHub:
         knob.  ``trace_capacity > 0`` records the most recent requests
         (host, path, status, latency) for inspection via
         ``hub.http.traces()`` or the API's ``/api/v1/trace``.
+        ``wall_latency_scale > 0`` makes each request really sleep that
+        fraction of its virtual latency — the concurrency benchmarks use
+        it to expose thread-level speedup that the instantaneous clock
+        would otherwise hide.
         """
         behaviour = behaviour or DEFAULT_BEHAVIOUR
         clock = SimulatedClock()
-        http = SimulatedHttpClient(clock, trace_capacity=trace_capacity)
+        http = SimulatedHttpClient(
+            clock,
+            trace_capacity=trace_capacity,
+            wall_latency_scale=wall_latency_scale,
+        )
         services = {
             SourceName.DBLP: DblpService(world),
             SourceName.GOOGLE_SCHOLAR: GoogleScholarService(world),

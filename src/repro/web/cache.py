@@ -8,6 +8,7 @@ TTL 0 is the paper's pure on-the-fly mode, TTL ∞ is a static snapshot.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from collections.abc import Hashable
 
@@ -19,6 +20,10 @@ class TTLCache:
 
     ``ttl=0`` disables caching entirely (every get misses); ``ttl=None``
     means entries never expire.  Capacity-bound with LRU eviction.
+
+    Thread-safe: one crawler cache is shared by every worker in a
+    parallel extraction, so lookup, insert and eviction each happen
+    atomically and the capacity bound holds under any interleaving.
 
     Example
     -------
@@ -44,62 +49,75 @@ class TTLCache:
         self._capacity = capacity
         self._clock = clock
         self._entries: OrderedDict[Hashable, tuple[float, object]] = OrderedDict()
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
 
     def __len__(self) -> int:
-        self._evict_expired()
-        return len(self._entries)
+        with self._lock:
+            self._evict_expired()
+            return len(self._entries)
 
     @property
     def ttl(self) -> float | None:
         """Entry lifetime in virtual seconds (None = immortal)."""
         return self._ttl
 
+    @property
+    def capacity(self) -> int:
+        """Maximum number of live entries."""
+        return self._capacity
+
     def get(self, key: Hashable) -> object | None:
         """Return the cached value, or ``None`` on miss/expiry."""
-        if self._ttl == 0:
-            self.misses += 1
-            return None
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        stored_at, value = entry
-        if self._ttl is not None and self._clock.now() - stored_at > self._ttl:
-            del self._entries[key]
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return value
+        with self._lock:
+            if self._ttl == 0:
+                self.misses += 1
+                return None
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            stored_at, value = entry
+            if self._ttl is not None and self._clock.now() - stored_at > self._ttl:
+                del self._entries[key]
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return value
 
     def put(self, key: Hashable, value: object) -> None:
         """Store a value, evicting the LRU entry when over capacity."""
-        if self._ttl == 0:
-            return
-        if key in self._entries:
-            del self._entries[key]
-        self._entries[key] = (self._clock.now(), value)
-        while len(self._entries) > self._capacity:
-            self._entries.popitem(last=False)
+        with self._lock:
+            if self._ttl == 0:
+                return
+            if key in self._entries:
+                del self._entries[key]
+            self._entries[key] = (self._clock.now(), value)
+            while len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
 
     def invalidate(self, key: Hashable) -> None:
         """Drop one entry if present."""
-        self._entries.pop(key, None)
+        with self._lock:
+            self._entries.pop(key, None)
 
     def clear(self) -> None:
         """Drop every entry; counters are preserved."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def hit_rate(self) -> float:
         """Fraction of gets served from cache (0.0 when never queried)."""
-        total = self.hits + self.misses
-        if total == 0:
-            return 0.0
-        return self.hits / total
+        with self._lock:
+            total = self.hits + self.misses
+            if total == 0:
+                return 0.0
+            return self.hits / total
 
     def _evict_expired(self) -> None:
+        # Caller holds self._lock.
         if self._ttl is None:
             return
         now = self._clock.now()

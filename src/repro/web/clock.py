@@ -7,9 +7,16 @@ report deterministic *simulated* latencies, and tests never sleep.
 
 from __future__ import annotations
 
+import threading
+
 
 class SimulatedClock:
     """A monotonically advancing virtual clock (seconds as float).
+
+    Thread-safe: worker pools advance one shared clock concurrently, and
+    since advances only ever add non-negative amounts, the final reading
+    after a parallel stage equals the sum of everything charged —
+    independent of interleaving.
 
     Example
     -------
@@ -23,16 +30,19 @@ class SimulatedClock:
         if start < 0:
             raise ValueError(f"start must be >= 0, got {start}")
         self._now = float(start)
+        self._lock = threading.Lock()
 
     def now(self) -> float:
         """Current virtual time in seconds."""
-        return self._now
+        with self._lock:
+            return self._now
 
     def advance(self, seconds: float) -> None:
         """Move time forward; negative advances are rejected."""
         if seconds < 0:
             raise ValueError(f"cannot advance clock by {seconds}")
-        self._now += seconds
+        with self._lock:
+            self._now += seconds
 
     def sleep(self, seconds: float) -> None:
         """Alias for :meth:`advance` — reads naturally at call sites that

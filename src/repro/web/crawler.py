@@ -8,6 +8,7 @@ bucket's retry-after), and an optional TTL response cache.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 from repro.web.cache import TTLCache
@@ -85,6 +86,7 @@ class Crawler:
         self._client = client
         self._retry = retry or RetryPolicy()
         self._cache = cache
+        self._lock = threading.Lock()
         self.fetches = 0
         self.cache_hits = 0
         self.retries = 0
@@ -100,7 +102,8 @@ class Crawler:
         404s are *not* retried — a missing profile is a semantic answer,
         not a transient fault — and propagate as-is.
         """
-        self.fetches += 1
+        with self._lock:
+            self.fetches += 1
         cache_key = None
         if self._cache is not None:
             from repro.web.http import HttpRequest
@@ -108,33 +111,45 @@ class Crawler:
             cache_key = HttpRequest.create(host, path, params).cache_key()
             cached = self._cache.get(cache_key)
             if cached is not None:
-                self.cache_hits += 1
+                with self._lock:
+                    self.cache_hits += 1
                 return HttpResponse(
                     status=200, payload=cached, latency=0.0, from_cache=True
                 )
         last_error: HttpError | None = None
         for attempt in range(1, self._retry.max_attempts + 1):
             try:
-                response = self._client.get(host, path, params)
+                response = self._client.get(host, path, params, attempt=attempt)
             except RateLimitedError as exc:
                 last_error = exc
                 if attempt == self._retry.max_attempts:
                     break
-                self.retries += 1
+                with self._lock:
+                    self.retries += 1
                 wait = max(exc.retry_after, self._retry.backoff_for(attempt))
-                self._client.clock.sleep(wait)
+                self._sleep(wait)
             except ServiceUnavailableError as exc:
                 last_error = exc
                 if attempt == self._retry.max_attempts:
                     break
-                self.retries += 1
-                self._client.clock.sleep(self._retry.backoff_for(attempt))
+                with self._lock:
+                    self.retries += 1
+                self._sleep(self._retry.backoff_for(attempt))
             else:
                 if self._cache is not None and cache_key is not None:
                     self._cache.put(cache_key, response.payload)
                 return response
         assert last_error is not None
         raise CrawlError(host, path, self._retry.max_attempts, last_error)
+
+    def _sleep(self, seconds: float) -> None:
+        # Route waits through the client when it supports scoped
+        # accounting, so phase reports attribute the backoff correctly.
+        sleeper = getattr(self._client, "sleep", None)
+        if sleeper is not None:
+            sleeper(seconds)
+        else:
+            self._client.clock.sleep(seconds)
 
     def fetch_or_none(
         self, host: str, path: str, params: Params | None = None

@@ -3,13 +3,26 @@
 Live scraping fails intermittently — markup changes, 5xx blips,
 connection resets.  The extraction pipeline must tolerate these, and the
 tests must be able to *provoke* them deterministically.  A
-:class:`FaultPolicy` decides, per request, whether to fail it, using a
-seeded RNG keyed by request ordinal so runs are reproducible.
+:class:`FaultPolicy` decides, per request, whether to fail it.
+
+Every decision is a **pure function of (seed, ordinal)** — see
+:meth:`FaultPolicy.decide`.  There is no shared RNG advanced per call:
+a shared stream would make outcome *k* depend on how many draws other
+threads made first, so a thread-pool run could reorder which requests
+fail relative to a sequential run.  Keying each draw by its ordinal
+makes the fail/pass sequence identical under any call interleaving,
+which is what lets parallel extraction reproduce sequential output
+bit-for-bit even with faults injected.
+
+The stateful :meth:`should_fail` is kept for callers that just want
+"the next request's fate": it assigns arrival ordinals from an internal
+thread-safe counter and delegates to :meth:`decide`.
 """
 
 from __future__ import annotations
 
 import random
+import threading
 
 
 class FaultPolicy:
@@ -21,11 +34,11 @@ class FaultPolicy:
         Chance in [0, 1] that any given request fails.
     burst_every / burst_length:
         Optionally, a deterministic outage: every ``burst_every``-th
-        request starts a streak of ``burst_length`` consecutive failures.
-        Models a site going down for a stretch rather than flaking
-        independently.
+        ordinal starts a streak of ``burst_length`` consecutive
+        failures.  Models a site going down for a stretch rather than
+        flaking independently.
     seed:
-        RNG seed for the probabilistic component.
+        Keys the probabilistic component's per-ordinal draws.
 
     Example
     -------
@@ -52,24 +65,61 @@ class FaultPolicy:
         self._failure_probability = failure_probability
         self._burst_every = burst_every
         self._burst_length = burst_length
-        self._rng = random.Random(seed)
+        self._seed = seed
         self._request_ordinal = 0
-        self._burst_remaining = 0
+        self._lock = threading.Lock()
 
     @classmethod
     def never(cls) -> "FaultPolicy":
         """A policy that never fails anything."""
         return cls(failure_probability=0.0)
 
-    def should_fail(self) -> bool:
-        """Decide the fate of the next request (stateful)."""
-        self._request_ordinal += 1
-        if self._burst_remaining > 0:
-            self._burst_remaining -= 1
-            return True
-        if self._burst_every and self._request_ordinal % self._burst_every == 0:
-            self._burst_remaining = self._burst_length - 1
+    @property
+    def seed(self) -> int:
+        """The seed keying the probabilistic draws."""
+        return self._seed
+
+    def decide(self, ordinal: int) -> bool:
+        """The fate of request ``ordinal`` (1-based): pure and stateless.
+
+        Same seed + same ordinal ⇒ same answer, on any thread, in any
+        order, any number of times.
+
+        The burst schedule is the closed form of the sequential process
+        "every ``burst_every``-th request starts a ``burst_length``
+        streak; requests already inside a streak don't start new ones":
+        with ``b = burst_every`` and ``L = burst_length``, streaks begin
+        at ``b``, then every ``b·ceil(L/b)`` ordinals after that.
+        """
+        if ordinal < 1:
+            raise ValueError(f"ordinal must be >= 1, got {ordinal}")
+        if self._burst_every is not None and self._burst_fails(ordinal):
             return True
         if self._failure_probability > 0.0:
-            return self._rng.random() < self._failure_probability
+            draw = random.Random(f"{self._seed}:{ordinal}").random()
+            return draw < self._failure_probability
         return False
+
+    def should_fail(self, ordinal: int | None = None) -> bool:
+        """Decide the fate of a request.
+
+        With an explicit ``ordinal`` this is exactly :meth:`decide`.
+        Without one, the next arrival ordinal is taken from an internal
+        counter (thread-safe, but then outcomes follow arrival order —
+        callers needing interleaving-independence must pass ordinals).
+        """
+        if ordinal is None:
+            with self._lock:
+                self._request_ordinal += 1
+                ordinal = self._request_ordinal
+        return self.decide(ordinal)
+
+    def _burst_fails(self, ordinal: int) -> bool:
+        b = self._burst_every
+        length = self._burst_length
+        if ordinal < b:
+            return False
+        # Streak starts repeat with this period (next multiple of b at or
+        # after a streak's end).
+        period = b * -(-length // b)
+        return (ordinal - b) % period < length

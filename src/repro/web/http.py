@@ -11,15 +11,30 @@ MINARET immediately parses scraped pages into structured records, and
 simulating the markup layer would add fragility without exercising any
 additional pipeline behaviour (every source already has its own response
 schema, which is the part that matters).
+
+Concurrency and determinism
+---------------------------
+The client is safe to hammer from a worker pool: per-host statistics and
+the trace ring mutate under one lock, the clock and token buckets guard
+themselves, and — crucially — latency and fault draws are keyed by
+**request content and attempt number**, not by arrival order.  The same
+logical request therefore draws the same latency and the same fate
+whether it is issued first, last, or concurrently with fifty others,
+which is what makes parallel pipeline runs reproduce sequential output
+exactly.
 """
 
 from __future__ import annotations
 
 import random
+import threading
+import time
+import zlib
 from collections import deque
 from collections.abc import Callable, Mapping
 from dataclasses import dataclass, field
 
+from repro.web import accounting
 from repro.web.clock import SimulatedClock
 from repro.web.faults import FaultPolicy
 from repro.web.ratelimit import TokenBucket
@@ -52,6 +67,17 @@ class HttpRequest:
     def cache_key(self) -> tuple:
         """Canonical key identifying this request for response caching."""
         return (self.host, self.path, self.params)
+
+    def ordinal(self, attempt: int = 1) -> int:
+        """A stable 1-based ordinal keying this request's RNG draws.
+
+        Derived from the request content plus the attempt number, so a
+        retry draws differently from the first try, but the *k*-th
+        attempt at one logical request always draws the same — on any
+        thread, under any interleaving.
+        """
+        digest = zlib.crc32(repr((self.host, self.path, self.params)).encode())
+        return (digest & 0x3FFFFFF) * 64 + attempt
 
 
 @dataclass(frozen=True)
@@ -113,23 +139,35 @@ class LatencyModel:
 
     Real scholarly sites differ wildly (DBLP's API is fast; Scholar is
     slow and defensive), so each registered host gets its own model.
+
+    Passing an ``ordinal`` to :meth:`sample` makes the draw a pure
+    function of (seed, ordinal) — the simulated client does this so that
+    concurrent runs charge identical latencies.  Without an ordinal a
+    legacy shared stream is used (thread-safe, arrival-ordered).
     """
 
     base: float = 0.05
     jitter: float = 0.02
     seed: int = 0
     _rng: random.Random = field(init=False, repr=False)
+    _lock: threading.Lock = field(init=False, repr=False)
 
     def __post_init__(self):
         if self.base < 0 or self.jitter < 0:
             raise ValueError("latency parameters must be non-negative")
         self._rng = random.Random(self.seed)
+        self._lock = threading.Lock()
 
-    def sample(self) -> float:
+    def sample(self, ordinal: int | None = None) -> float:
         """Draw one latency value."""
         if self.jitter == 0:
             return self.base
-        return self.base + self._rng.uniform(0.0, self.jitter)
+        if ordinal is not None:
+            return self.base + random.Random(
+                f"{self.seed}:{ordinal}"
+            ).uniform(0.0, self.jitter)
+        with self._lock:
+            return self.base + self._rng.uniform(0.0, self.jitter)
 
 
 @dataclass
@@ -158,6 +196,12 @@ class RequestTrace:
 class SimulatedHttpClient:
     """Routes requests to registered endpoints with realistic failure modes.
 
+    ``wall_latency_scale`` optionally converts a fraction of each
+    request's *virtual* latency into a real ``time.sleep`` — zero (the
+    default) for instant tests, a small positive value for benchmarks
+    that want parallelism to buy real wall-clock time the way network
+    I/O does.  It never affects payloads, virtual time, or accounting.
+
     Example
     -------
     >>> clock = SimulatedClock()
@@ -167,7 +211,16 @@ class SimulatedHttpClient:
     {'hi': 'rdf'}
     """
 
-    def __init__(self, clock: SimulatedClock, trace_capacity: int = 0):
+    def __init__(
+        self,
+        clock: SimulatedClock,
+        trace_capacity: int = 0,
+        wall_latency_scale: float = 0.0,
+    ):
+        if wall_latency_scale < 0:
+            raise ValueError(
+                f"wall_latency_scale must be >= 0, got {wall_latency_scale}"
+            )
         self._clock = clock
         self._endpoints: dict[str, Endpoint] = {}
         self._latency: dict[str, LatencyModel] = {}
@@ -177,6 +230,8 @@ class SimulatedHttpClient:
         self._traces: deque[RequestTrace] | None = (
             deque(maxlen=trace_capacity) if trace_capacity > 0 else None
         )
+        self._wall_latency_scale = wall_latency_scale
+        self._lock = threading.Lock()
 
     @property
     def clock(self) -> SimulatedClock:
@@ -197,18 +252,20 @@ class SimulatedHttpClient:
         JSON payload; raising :class:`NotFoundError` (or ``KeyError``,
         which is translated) produces a 404.
         """
-        if host in self._endpoints:
-            raise ValueError(f"host already registered: {host!r}")
-        self._endpoints[host] = endpoint
-        self._latency[host] = latency or LatencyModel()
-        if rate_limit is not None:
-            self._buckets[host] = rate_limit
-        self._faults[host] = faults or FaultPolicy.never()
-        self.stats[host] = HostStats()
+        with self._lock:
+            if host in self._endpoints:
+                raise ValueError(f"host already registered: {host!r}")
+            self._endpoints[host] = endpoint
+            self._latency[host] = latency or LatencyModel()
+            if rate_limit is not None:
+                self._buckets[host] = rate_limit
+            self._faults[host] = faults or FaultPolicy.never()
+            self.stats[host] = HostStats()
 
     def hosts(self) -> list[str]:
         """All registered host names."""
-        return list(self._endpoints)
+        with self._lock:
+            return list(self._endpoints)
 
     def replace_endpoint(self, host: str, endpoint: Endpoint) -> None:
         """Swap a registered host's endpoint, keeping its behaviour models.
@@ -217,60 +274,93 @@ class SimulatedHttpClient:
         fault behaviour and accumulated statistics are unchanged — only
         the answers are new.
         """
-        if host not in self._endpoints:
-            raise ValueError(f"host not registered: {host!r}")
-        self._endpoints[host] = endpoint
+        with self._lock:
+            if host not in self._endpoints:
+                raise ValueError(f"host not registered: {host!r}")
+            self._endpoints[host] = endpoint
 
     def get(
-        self, host: str, path: str, params: Params | None = None
+        self,
+        host: str,
+        path: str,
+        params: Params | None = None,
+        attempt: int = 1,
     ) -> HttpResponse:
         """Issue a GET; raises typed :class:`HttpError` subclasses on failure.
 
-        Every attempt — successful or not — advances the virtual clock by
-        a sampled latency and is recorded in :attr:`stats`.
+        Every attempt — successful or not — advances the virtual clock
+        by a sampled latency and is recorded in :attr:`stats`.
+        ``attempt`` is the caller's retry counter (1-based); together
+        with the request content it keys the latency and fault draws.
         """
         request = HttpRequest.create(host, path, params)
-        if host not in self._endpoints:
-            raise NotFoundError(request, f"unknown host {host!r}")
-        stats = self.stats[host]
-        stats.requests += 1
-        latency = self._latency[host].sample()
+        with self._lock:
+            if host not in self._endpoints:
+                raise NotFoundError(request, f"unknown host {host!r}")
+            endpoint = self._endpoints[host]
+            latency_model = self._latency[host]
+            bucket = self._buckets.get(host)
+            fault_policy = self._faults[host]
+            stats = self.stats[host]
+        ordinal = request.ordinal(attempt)
+        latency = latency_model.sample(ordinal)
         self._clock.advance(latency)
-        stats.total_latency += latency
-        bucket = self._buckets.get(host)
+        accounting.charge_request(latency)
+        with self._lock:
+            stats.requests += 1
+            stats.total_latency += latency
+        if self._wall_latency_scale > 0:
+            time.sleep(latency * self._wall_latency_scale)
         if bucket is not None and not bucket.try_acquire():
-            stats.rate_limited += 1
+            retry_after = bucket.time_until_available()
+            with self._lock:
+                stats.rate_limited += 1
             self._trace(request, 429, latency)
-            raise RateLimitedError(request, bucket.time_until_available())
-        if self._faults[host].should_fail():
-            stats.faults += 1
+            raise RateLimitedError(request, retry_after)
+        if fault_policy.should_fail(ordinal):
+            with self._lock:
+                stats.faults += 1
             self._trace(request, 503, latency)
             raise ServiceUnavailableError(request)
         try:
-            payload = self._endpoints[host](request)
+            payload = endpoint(request)
         except NotFoundError:
-            stats.not_found += 1
+            with self._lock:
+                stats.not_found += 1
             self._trace(request, 404, latency)
             raise
         except KeyError as exc:
-            stats.not_found += 1
+            with self._lock:
+                stats.not_found += 1
             self._trace(request, 404, latency)
             raise NotFoundError(request, f"not found: {exc}") from exc
         self._trace(request, 200, latency)
         return HttpResponse(status=200, payload=payload, latency=latency)
 
+    def sleep(self, seconds: float) -> None:
+        """Advance the clock for a modelled wait, charging active scopes.
+
+        The crawler routes its backoff and rate-limit waits through here
+        so phase reports attribute the waiting to the run that waited.
+        """
+        self._clock.sleep(seconds)
+        accounting.charge_wait(seconds)
+
     def total_requests(self) -> int:
         """Requests issued across all hosts."""
-        return sum(s.requests for s in self.stats.values())
+        with self._lock:
+            return sum(s.requests for s in self.stats.values())
 
     def total_latency(self) -> float:
         """Virtual seconds spent waiting on responses, across all hosts."""
-        return sum(s.total_latency for s in self.stats.values())
+        with self._lock:
+            return sum(s.total_latency for s in self.stats.values())
 
     def reset_stats(self) -> None:
         """Zero all per-host counters."""
-        for host in self.stats:
-            self.stats[host] = HostStats()
+        with self._lock:
+            for host in self.stats:
+                self.stats[host] = HostStats()
 
     # ------------------------------------------------------------------
     # Tracing
@@ -285,23 +375,26 @@ class SimulatedHttpClient:
         """Recent request traces, oldest first (empty unless enabled)."""
         if self._traces is None:
             return []
-        return list(self._traces)
+        with self._lock:
+            return list(self._traces)
 
     def clear_traces(self) -> None:
         """Drop all recorded traces."""
         if self._traces is not None:
-            self._traces.clear()
+            with self._lock:
+                self._traces.clear()
 
     def _trace(self, request: HttpRequest, status: int, latency: float) -> None:
         if self._traces is None:
             return
-        self._traces.append(
-            RequestTrace(
-                host=request.host,
-                path=request.path,
-                params=request.params,
-                status=status,
-                latency=latency,
-                at=self._clock.now(),
+        with self._lock:
+            self._traces.append(
+                RequestTrace(
+                    host=request.host,
+                    path=request.path,
+                    params=request.params,
+                    status=status,
+                    latency=latency,
+                    at=self._clock.now(),
+                )
             )
-        )

@@ -9,11 +9,16 @@ deployment has to engineer around.
 
 from __future__ import annotations
 
+import threading
+
 from repro.web.clock import SimulatedClock
 
 
 class TokenBucket:
     """Classic token bucket: ``capacity`` burst, ``refill_rate`` tokens/s.
+
+    Thread-safe: refill-and-take is one atomic step, so hammering
+    threads can never jointly overdraw the bucket.
 
     Example
     -------
@@ -35,6 +40,7 @@ class TokenBucket:
         self._clock = clock
         self._tokens = float(capacity)
         self._last_refill = clock.now()
+        self._lock = threading.Lock()
 
     @property
     def capacity(self) -> float:
@@ -48,18 +54,20 @@ class TokenBucket:
 
     def available(self) -> float:
         """Tokens currently available (after lazy refill)."""
-        self._refill()
-        return self._tokens
+        with self._lock:
+            self._refill()
+            return self._tokens
 
     def try_acquire(self, tokens: float = 1.0) -> bool:
         """Take ``tokens`` if available; return whether it succeeded."""
         if tokens <= 0:
             raise ValueError(f"tokens must be > 0, got {tokens}")
-        self._refill()
-        if self._tokens >= tokens:
-            self._tokens -= tokens
-            return True
-        return False
+        with self._lock:
+            self._refill()
+            if self._tokens >= tokens:
+                self._tokens -= tokens
+                return True
+            return False
 
     def time_until_available(self, tokens: float = 1.0) -> float:
         """Virtual seconds until ``tokens`` will be available (0 if now).
@@ -73,13 +81,15 @@ class TokenBucket:
             raise ValueError(
                 f"requested {tokens} tokens exceeds capacity {self._capacity}"
             )
-        self._refill()
-        deficit = tokens - self._tokens
-        if deficit <= 0:
-            return 0.0
-        return deficit / self._refill_rate
+        with self._lock:
+            self._refill()
+            deficit = tokens - self._tokens
+            if deficit <= 0:
+                return 0.0
+            return deficit / self._refill_rate
 
     def _refill(self) -> None:
+        # Caller holds self._lock.
         now = self._clock.now()
         elapsed = now - self._last_refill
         if elapsed > 0:

@@ -1,0 +1,1 @@
+"""Concurrency suite: executor contract, determinism, thread safety."""

@@ -88,17 +88,18 @@ class TestSustainedOutage:
 
         hub = ScholarlyHub.deploy(
             world,
-            behaviour=flaky_behaviour(0.85, sources={SourceName.ORCID}),
+            behaviour=flaky_behaviour(0.6, sources={SourceName.ORCID}),
             retry=RetryPolicy(max_attempts=1, base_backoff=0.001),
         )
         extractor = CandidateExtractor(hub)
         minaret = Minaret(hub)
         expanded = minaret.expander.expand(list(manuscript.keywords))
         candidates = extractor.extract_candidates(expanded)
-        # With an 85% failure rate and single attempts, some assemblies
+        # With a 60% failure rate and single attempts, some assemblies
         # must have died on the ORCID leg...
         assert extractor.assembly_failures > 0
-        # ...but not all: others never had an ORCID hit to fetch.
+        # ...but not all: others got lucky draws or never had an ORCID
+        # hit to fetch.
         assert candidates
 
 
