@@ -18,9 +18,20 @@ Endpoints
     ``{manuscripts: [{paper_id, manuscript}], reviewers_per_paper?,
     max_load?, solver?, config?, workers?}``.  ``workers > 1`` runs the
     per-paper pipelines in parallel with identical output.
+``GET  /api/v1/metrics``
+    The deployment's observability snapshot: counters, gauges and
+    histograms from the ambient :mod:`repro.obs` registry (per-host
+    request/latency series among them), plus per-host HTTP statistics
+    and the crawler cache's hit ratio.
+``GET  /api/v1/trace`` / ``GET /api/v1/trace/{trace_id}``
+    Request traces *and* the span forest: every finished span as a
+    nested tree (phases above their fan-out tasks), optionally filtered
+    to a single trace id.
 """
 
 from __future__ import annotations
+
+import time
 
 from repro.api.router import ApiError, ApiRequest, ApiResponse, Router
 from repro.api.serialization import (
@@ -32,8 +43,14 @@ from repro.core.errors import AmbiguousIdentityError, IdentityVerificationError
 from repro.core.identity import IdentityVerifier
 from repro.core.models import ManuscriptAuthor
 from repro.core.pipeline import Minaret
+from repro.obs import Observability, use
 from repro.ontology.expansion import ExpansionConfig, KeywordExpander
 from repro.ontology.graph import TopicOntology
+
+#: Trace-ring capacity the API applies when its HTTP client has tracing
+#: off — a client built with ``trace_capacity=0`` would otherwise leave
+#: ``GET /api/v1/trace`` permanently empty.
+DEFAULT_TRACE_CAPACITY = 256
 
 
 class MinaretApi:
@@ -42,26 +59,71 @@ class MinaretApi:
     ``sources`` is the usual six-client bundle (a ``ScholarlyHub``);
     one :class:`Minaret` pipeline is built per ``/recommend`` call so
     that per-request config overrides apply cleanly.
+
+    Each API instance owns an :class:`~repro.obs.Observability` (pass
+    ``obs`` to share one) and installs it as the ambient instance for
+    the duration of every request, so all telemetry produced while
+    handling — spans, metrics, events, from any pool thread — lands in
+    this deployment's registry and is served back by ``/api/v1/metrics``
+    and ``/api/v1/trace``.
     """
 
-    def __init__(self, sources, ontology: TopicOntology | None = None, resolver=None):
+    def __init__(
+        self,
+        sources,
+        ontology: TopicOntology | None = None,
+        resolver=None,
+        obs: Observability | None = None,
+        trace_capacity: int = DEFAULT_TRACE_CAPACITY,
+    ):
         from repro.ontology.data import build_seed_ontology
 
         self._sources = sources
         self._ontology = ontology or build_seed_ontology()
         self._resolver = resolver
+        self._obs = obs or Observability()
+        http = getattr(sources, "http", None)
+        if (
+            http is not None
+            and trace_capacity > 0
+            and not getattr(http, "tracing_enabled", True)
+        ):
+            http.enable_tracing(trace_capacity)
         self._router = Router()
         self._router.add("GET", "/api/v1/health", self._health)
         self._router.add("GET", "/api/v1/sources", self._source_stats)
+        self._router.add("GET", "/api/v1/metrics", self._metrics)
         self._router.add("GET", "/api/v1/trace", self._trace)
+        self._router.add("GET", "/api/v1/trace/{trace_id}", self._trace)
         self._router.add("POST", "/api/v1/expand", self._expand)
         self._router.add("POST", "/api/v1/verify-authors", self._verify_authors)
         self._router.add("POST", "/api/v1/recommend", self._recommend)
         self._router.add("POST", "/api/v1/assign", self._assign)
 
+    @property
+    def obs(self) -> Observability:
+        """This deployment's observability instance."""
+        return self._obs
+
     def handle(self, method: str, path: str, body: dict | None = None) -> ApiResponse:
         """Entry point: dispatch one API call."""
-        return self._router.dispatch(method, path, body)
+        start = time.perf_counter()
+        with use(self._obs):
+            with self._obs.span(
+                "api.request",
+                clock=getattr(self._sources, "clock", None),
+                method=method,
+                path=path,
+            ) as span:
+                response = self._router.dispatch(method, path, body)
+                span.set_label("status", response.status)
+        self._obs.inc(
+            "api_requests_total", route=path, method=method, status=str(response.status)
+        )
+        self._obs.observe(
+            "api_latency_seconds", time.perf_counter() - start, route=path
+        )
+        return response
 
     def routes(self) -> list[tuple[str, str]]:
         """All exposed ``(method, path)`` pairs."""
@@ -93,10 +155,47 @@ class MinaretApi:
             ]
         }
 
+    def _metrics(self, request: ApiRequest) -> dict:
+        http = getattr(self._sources, "http", None)
+        hosts = {}
+        if http is not None:
+            hosts = {
+                host: {
+                    "requests": stats.requests,
+                    "rate_limited": stats.rate_limited,
+                    "faults": stats.faults,
+                    "not_found": stats.not_found,
+                    "total_latency": round(stats.total_latency, 4),
+                }
+                for host, stats in sorted(http.stats.items())
+            }
+        cache = getattr(getattr(self._sources, "crawler", None), "cache", None)
+        cache_stats = None
+        if cache is not None:
+            cache_stats = {
+                "name": cache.name,
+                "hits": cache.hits,
+                "misses": cache.misses,
+                "hit_rate": round(cache.hit_rate(), 4),
+                "entries": len(cache),
+            }
+        return {
+            "metrics": self._obs.metrics.snapshot(),
+            "http": hosts,
+            "cache": cache_stats,
+        }
+
     def _trace(self, request: ApiRequest) -> dict:
+        trace_id = request.path_params.get("trace_id")
+        if trace_id is not None:
+            try:
+                trace_id = int(trace_id)
+            except ValueError as exc:
+                raise ApiError(400, f"trace_id must be an integer: {trace_id!r}") from exc
+        spans = self._obs.tracer.span_trees(trace_id=trace_id)
         http = getattr(self._sources, "http", None)
         if http is None:
-            return {"traces": [], "enabled": False}
+            return {"traces": [], "enabled": False, "spans": spans}
         traces = http.traces()
         return {
             "enabled": bool(getattr(http, "tracing_enabled", False)),
@@ -111,6 +210,7 @@ class MinaretApi:
                 }
                 for trace in traces
             ],
+            "spans": spans,
         }
 
     def _expand(self, request: ApiRequest) -> dict:

@@ -33,6 +33,7 @@ from repro.assignment.solvers import (
 )
 from repro.concurrency import Executor, create_executor
 from repro.core.models import Manuscript, RecommendationResult
+from repro.obs import get_obs
 
 #: Solver registry shared by the CLI and the API.  ``random`` is seeded
 #: so batch runs stay reproducible.
@@ -72,7 +73,20 @@ def recommend_batch(
     ``map`` call runs on its own pool.
     """
     executor = executor or create_executor(workers)
-    results = executor.map(minaret.recommend, [m for _, m in entries])
+    obs = get_obs()
+    clock = getattr(getattr(minaret, "sources", None), "clock", None)
+
+    def run_one(entry: tuple[str, Manuscript]) -> RecommendationResult:
+        paper_id, manuscript = entry
+        # The span opens inside the fan-out task, so per-manuscript work
+        # parents under the batch span through the propagated context.
+        with obs.span("manuscript.recommend", clock=clock, paper_id=paper_id):
+            return minaret.recommend(manuscript)
+
+    with obs.span(
+        "batch.recommend", clock=clock, papers=len(entries), workers=executor.workers
+    ):
+        results = executor.map(run_one, list(entries))
     return [(paper_id, result) for (paper_id, _), result in zip(entries, results)]
 
 

@@ -18,6 +18,10 @@ Subcommands
 ``minaret assign --world world.json --batch batch.json``
     Batch mode (§3): recommend for every manuscript in the batch file
     and solve the cross-paper reviewer assignment.
+
+``demo``, ``recommend`` and ``assign`` additionally accept
+``--log-json PATH`` (stream structured telemetry events to a JSONL
+file) and ``--metrics`` (print the run's metrics summary to stderr).
 """
 
 from __future__ import annotations
@@ -41,7 +45,7 @@ def main(argv: list[str] | None = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
     if args.command == "demo":
-        return _run_demo(args)
+        return _observed_run(args, _run_demo)
     if args.command == "expand":
         return _run_expand(args)
     if args.command == "stats":
@@ -49,11 +53,35 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "generate":
         return _run_generate(args)
     if args.command == "recommend":
-        return _run_recommend(args)
+        return _observed_run(args, _run_recommend)
     if args.command == "assign":
-        return _run_assign(args)
+        return _observed_run(args, _run_assign)
     parser.print_help()
     return 2
+
+
+def _observed_run(args, run) -> int:
+    """Run a pipeline subcommand under its own observability instance.
+
+    ``--log-json PATH`` streams every structured event (span ends, HTTP
+    retries, fault injections, WAL appends ...) to ``PATH`` as one JSON
+    object per line; ``--metrics`` prints the run's metrics summary to
+    stderr on exit.  Both default off, in which case telemetry still
+    accumulates in the per-run instance and simply vanishes with it.
+    """
+    from repro.obs import Observability, use
+
+    obs = Observability()
+    sink = obs.add_jsonl_sink(args.log_json) if args.log_json else None
+    try:
+        with use(obs):
+            return run(args)
+    finally:
+        if sink is not None:
+            obs.events.remove_sink(sink)
+            sink.close()
+        if args.metrics:
+            print(json.dumps(obs.summary(), indent=2), file=sys.stderr)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -102,6 +130,18 @@ def _build_parser() -> argparse.ArgumentParser:
         default=1,
         help="parallel per-paper pipeline runs (output identical at any value)",
     )
+    for sub in (demo, rec, assign):
+        sub.add_argument(
+            "--log-json",
+            metavar="PATH",
+            default=None,
+            help="append telemetry events to PATH, one JSON object per line",
+        )
+        sub.add_argument(
+            "--metrics",
+            action="store_true",
+            help="print a metrics summary (JSON) to stderr on exit",
+        )
     return parser
 
 

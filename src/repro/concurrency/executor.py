@@ -25,9 +25,12 @@ parallel extraction) can never deadlock on a shared bounded pool.
 from __future__ import annotations
 
 import contextvars
+import time
 from abc import ABC, abstractmethod
 from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import ThreadPoolExecutor
+
+from repro.obs import get_obs
 
 
 class Executor(ABC):
@@ -47,6 +50,34 @@ class Executor(ABC):
         """
 
 
+def _run_task(fn: Callable, item, index: int, backend: str, submitted_at: float):
+    """Run one task under a span with queue/run metrics.
+
+    Shared by both backends so the telemetry a caller sees is identical
+    whichever pool executed the work.  The span opens in the task's own
+    (copied) context, so it parents under whatever span was current at
+    the ``map`` call site — a pipeline phase, a batch entry, an API
+    request.
+    """
+    obs = get_obs()
+    start = time.perf_counter()
+    obs.observe("executor_queue_seconds", start - submitted_at, backend=backend)
+    obs.gauge_add("executor_inflight", 1.0, backend=backend)
+    try:
+        with obs.span("executor.task", index=index, backend=backend):
+            result = fn(item)
+    except BaseException:
+        obs.inc("executor_tasks_total", backend=backend, outcome="error")
+        raise
+    finally:
+        obs.observe(
+            "executor_task_seconds", time.perf_counter() - start, backend=backend
+        )
+        obs.gauge_add("executor_inflight", -1.0, backend=backend)
+    obs.inc("executor_tasks_total", backend=backend, outcome="ok")
+    return result
+
+
 class SequentialExecutor(Executor):
     """The no-pool backend: tasks run inline, one after another.
 
@@ -61,7 +92,10 @@ class SequentialExecutor(Executor):
         return 1
 
     def map(self, fn: Callable, items: Iterable) -> list:
-        return [fn(item) for item in items]
+        return [
+            _run_task(fn, item, index, "sequential", time.perf_counter())
+            for index, item in enumerate(items)
+        ]
 
 
 class ThreadExecutor(Executor):
@@ -88,15 +122,23 @@ class ThreadExecutor(Executor):
             return []
         if len(tasks) == 1:
             # No point spinning a pool up for a single task.
-            return [fn(tasks[0])]
+            return [_run_task(fn, tasks[0], 0, "thread", time.perf_counter())]
         outcomes: list = [None] * len(tasks)
         errors: list[tuple[int, BaseException]] = []
         with ThreadPoolExecutor(max_workers=self._workers) as pool:
             futures = [
                 # One context copy per task: a Context object can only
                 # be entered by one thread at a time.
-                pool.submit(contextvars.copy_context().run, fn, task)
-                for task in tasks
+                pool.submit(
+                    contextvars.copy_context().run,
+                    _run_task,
+                    fn,
+                    task,
+                    index,
+                    "thread",
+                    time.perf_counter(),
+                )
+                for index, task in enumerate(tasks)
             ]
             for index, future in enumerate(futures):
                 try:

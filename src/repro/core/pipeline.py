@@ -24,6 +24,7 @@ from repro.core.filtering import FilterPhase
 from repro.core.identity import IdentityResolver, IdentityVerifier
 from repro.core.models import Manuscript, PhaseReport, RecommendationResult
 from repro.core.ranking import Ranker
+from repro.obs import get_obs
 from repro.ontology.data import build_seed_ontology
 from repro.ontology.expansion import KeywordExpander
 from repro.ontology.graph import TopicOntology
@@ -90,12 +91,26 @@ class Minaret:
         return self._config
 
     @property
+    def sources(self):
+        """The source bundle this pipeline queries."""
+        return self._sources
+
+    @property
     def expander(self) -> KeywordExpander:
         """The keyword-expansion engine (exposed for experiments)."""
         return self._expander
 
     def recommend(self, manuscript: Manuscript) -> RecommendationResult:
         """Run the full three-phase workflow on one manuscript."""
+        with get_obs().span(
+            "pipeline.recommend",
+            clock=getattr(self._sources, "clock", None),
+            title=manuscript.title,
+            workers=self._config.workers,
+        ):
+            return self._recommend(manuscript)
+
+    def _recommend(self, manuscript: Manuscript) -> RecommendationResult:
         reports: list[PhaseReport] = []
 
         with self._phase("verify_authors", reports) as report:
@@ -226,8 +241,14 @@ class _PhaseTimer:
         self._wall_start = 0.0
         self._virtual_start = 0.0
         self._scope: RequestScope | None = None
+        self._span = None
 
     def __enter__(self) -> PhaseReport:
+        self._span = get_obs().span(
+            f"phase.{self._report.phase}",
+            clock=getattr(self._sources, "clock", None),
+        )
+        self._span.__enter__()
         self._wall_start = time.perf_counter()
         if getattr(self._sources, "http", None) is not None:
             self._scope = RequestScope(label=self._report.phase)
@@ -246,5 +267,11 @@ class _PhaseTimer:
             self._report.virtual_seconds = (
                 self._sources.clock.now() - self._virtual_start
             )
+        if self._span is not None:
+            self._span.set_label("items_in", self._report.items_in)
+            self._span.set_label("items_out", self._report.items_out)
+            self._span.set_label("requests", self._report.requests)
+            self._span.__exit__(exc_type, exc, tb)
+            self._span = None
         if exc_type is None:
             self._reports.append(self._report)

@@ -1,0 +1,38 @@
+"""``repro.obs`` — the deterministic observability subsystem.
+
+Three primitives behind one façade:
+
+- **spans** (:mod:`repro.obs.spans`): hierarchical, contextvars-
+  propagated timing with both wall and virtual durations;
+- **metrics** (:mod:`repro.obs.metrics`): thread-safe counters, gauges
+  and fixed-bucket histograms;
+- **events** (:mod:`repro.obs.events`): JSON-serialisable records fanned
+  out to pluggable sinks (in-memory ring, JSONL file).
+
+Instrumented layers resolve the ambient :class:`Observability` with
+:func:`get_obs`; callers scope their own instance with :func:`use`.
+Instrumentation is read-only with respect to the simulation: it draws no
+randomness and advances no clock, so enabling or disabling it cannot
+change rankings, request counts, or any other pipeline output.
+"""
+
+from repro.obs.events import Event, EventBus, JsonlSink, RingSink
+from repro.obs.metrics import DEFAULT_BUCKETS, MetricsRegistry
+from repro.obs.runtime import Observability, default_observability, get_obs, use
+from repro.obs.spans import Span, Tracer, current_span
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Event",
+    "EventBus",
+    "JsonlSink",
+    "MetricsRegistry",
+    "Observability",
+    "RingSink",
+    "Span",
+    "Tracer",
+    "current_span",
+    "default_observability",
+    "get_obs",
+    "use",
+]

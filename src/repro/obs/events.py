@@ -1,0 +1,163 @@
+"""Structured events and pluggable sinks.
+
+An :class:`Event` is a flat, JSON-serialisable record — a name, a wall
+timestamp, an optional virtual timestamp, and free-form fields.  The
+:class:`EventBus` fans each emitted event out to every attached sink:
+
+- :class:`RingSink` keeps the most recent events in memory (tests, the
+  API's introspection endpoints);
+- :class:`JsonlSink` appends one JSON object per line to a file (the
+  CLI's ``--log-json``).
+
+Sinks never feed back into the system under observation: emitting draws
+no randomness, advances no clock, and a slow or failed file write only
+affects the log, not the run.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Event:
+    """One structured telemetry record."""
+
+    name: str
+    wall_time: float
+    virtual_time: float | None = None
+    fields: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        record: dict = {"event": self.name, "wall_time": self.wall_time}
+        if self.virtual_time is not None:
+            record["virtual_time"] = self.virtual_time
+        record.update(self.fields)
+        return record
+
+
+class RingSink:
+    """Keeps the last ``capacity`` events in memory.
+
+    Example
+    -------
+    >>> sink = RingSink(capacity=2)
+    >>> bus = EventBus([sink])
+    >>> for i in range(3):
+    ...     _ = bus.emit("tick", i=i)
+    >>> [e.fields["i"] for e in sink.events()]
+    [1, 2]
+    """
+
+    def __init__(self, capacity: int = 2048):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._events: deque[Event] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+
+    def write(self, event: Event) -> None:
+        with self._lock:
+            self._events.append(event)
+
+    def events(self, name: str | None = None) -> list[Event]:
+        """Recorded events, oldest first, optionally filtered by name."""
+        with self._lock:
+            events = list(self._events)
+        if name is not None:
+            events = [e for e in events if e.name == name]
+        return events
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()
+
+
+class JsonlSink:
+    """Appends one JSON object per event to a file.
+
+    Values that are not natively JSON-serialisable are stringified so a
+    telemetry bug can never crash the run being observed.
+    """
+
+    def __init__(self, path):
+        self._path = path
+        self._file = open(path, "a", encoding="utf-8")
+        self._lock = threading.Lock()
+
+    @property
+    def path(self):
+        """Where the log lines go."""
+        return self._path
+
+    def write(self, event: Event) -> None:
+        # Writes ride the file object's own buffer; lines only reach the
+        # disk on :meth:`flush`/:meth:`close`.  Keeps the per-event cost
+        # out of the run being observed.
+        line = json.dumps(event.to_dict(), default=str)
+        with self._lock:
+            if self._file.closed:
+                return
+            self._file.write(line + "\n")
+
+    def flush(self) -> None:
+        """Push buffered lines to disk."""
+        with self._lock:
+            if not self._file.closed:
+                self._file.flush()
+
+    def close(self) -> None:
+        """Flush and close the underlying file."""
+        with self._lock:
+            if not self._file.closed:
+                self._file.flush()
+                self._file.close()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class EventBus:
+    """Distributes emitted events to every attached sink."""
+
+    def __init__(self, sinks: list | None = None):
+        self._sinks = list(sinks or [])
+        self._lock = threading.Lock()
+
+    def add_sink(self, sink) -> None:
+        """Attach a sink; it sees events emitted from now on."""
+        with self._lock:
+            self._sinks.append(sink)
+
+    def remove_sink(self, sink) -> None:
+        """Detach a sink if attached."""
+        with self._lock:
+            if sink in self._sinks:
+                self._sinks.remove(sink)
+
+    def sinks(self) -> list:
+        """The currently attached sinks."""
+        with self._lock:
+            return list(self._sinks)
+
+    def emit(self, name: str, clock=None, **fields: object) -> Event:
+        """Build an :class:`Event` and hand it to every sink.
+
+        ``clock`` (anything with a ``now()``) stamps the event with
+        virtual time alongside the wall timestamp.
+        """
+        event = Event(
+            name=name,
+            wall_time=time.time(),
+            virtual_time=clock.now() if clock is not None else None,
+            fields=dict(fields),
+        )
+        for sink in self.sinks():
+            sink.write(event)
+        return event

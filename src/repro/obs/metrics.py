@@ -1,0 +1,206 @@
+"""Thread-safe metrics: counters, gauges, fixed-bucket histograms.
+
+The registry is deliberately Prometheus-shaped without being Prometheus:
+metrics are identified by a name plus a small label set (``host``,
+``route``, ``cache`` ...), histograms use **fixed bucket bounds** chosen
+at first observation, and :meth:`MetricsRegistry.snapshot` returns a
+plain JSON-serialisable dict the API and CLI can ship as-is.
+
+Everything mutates under one lock.  Critical sections are a handful of
+dict operations, so a single registry comfortably absorbs writes from
+every worker-pool thread — and, crucially for the determinism contract,
+recording a metric never draws randomness or advances any clock.
+"""
+
+from __future__ import annotations
+
+import threading
+
+#: Default histogram bounds, tuned for the simulated web's latencies
+#: (tens of milliseconds) while still resolving multi-second waits.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, object]) -> LabelKey:
+    # Hot path: most values are already strings, so convert in place
+    # rather than paying a generator + str() for every pair.
+    items = sorted(labels.items())
+    for i, (key, value) in enumerate(items):
+        if type(value) is not str:
+            items[i] = (key, str(value))
+    return tuple(items)
+
+
+class _Histogram:
+    """One histogram series: cumulative bucket counts + sum + count."""
+
+    __slots__ = ("bounds", "bucket_counts", "total", "count")
+
+    def __init__(self, bounds: tuple[float, ...]):
+        self.bounds = bounds
+        self.bucket_counts = [0] * (len(bounds) + 1)  # +1 for +Inf
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.total += value
+        self.count += 1
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    def to_dict(self) -> dict:
+        cumulative, running = {}, 0
+        for bound, bucket in zip(self.bounds, self.bucket_counts):
+            running += bucket
+            cumulative[str(bound)] = running
+        cumulative["+Inf"] = running + self.bucket_counts[-1]
+        return {
+            "buckets": cumulative,
+            "sum": self.total,
+            "count": self.count,
+        }
+
+
+class MetricsRegistry:
+    """Counters, gauges and histograms keyed by ``(name, labels)``.
+
+    Example
+    -------
+    >>> registry = MetricsRegistry()
+    >>> registry.inc("http_requests_total", host="dblp", status="200")
+    >>> registry.inc("http_requests_total", host="dblp", status="200")
+    >>> registry.counter_value("http_requests_total", host="dblp", status="200")
+    2.0
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: dict[str, dict[LabelKey, float]] = {}
+        self._gauges: dict[str, dict[LabelKey, float]] = {}
+        self._histograms: dict[str, dict[LabelKey, _Histogram]] = {}
+        self._histogram_bounds: dict[str, tuple[float, ...]] = {}
+
+    # -- counters ------------------------------------------------------
+
+    def inc(self, name: str, value: float = 1.0, **labels: object) -> None:
+        """Add ``value`` (default 1) to a counter series."""
+        key = _label_key(labels)
+        with self._lock:
+            series = self._counters.setdefault(name, {})
+            series[key] = series.get(key, 0.0) + value
+
+    def counter_value(self, name: str, **labels: object) -> float:
+        """Current value of one counter series (0 when never written)."""
+        with self._lock:
+            return self._counters.get(name, {}).get(_label_key(labels), 0.0)
+
+    def counter_total(self, name: str) -> float:
+        """Sum of a counter across all label sets."""
+        with self._lock:
+            return sum(self._counters.get(name, {}).values())
+
+    # -- gauges --------------------------------------------------------
+
+    def gauge_set(self, name: str, value: float, **labels: object) -> None:
+        """Set a gauge series to ``value``."""
+        with self._lock:
+            self._gauges.setdefault(name, {})[_label_key(labels)] = float(value)
+
+    def gauge_add(self, name: str, delta: float, **labels: object) -> None:
+        """Add ``delta`` (may be negative) to a gauge series."""
+        key = _label_key(labels)
+        with self._lock:
+            series = self._gauges.setdefault(name, {})
+            series[key] = series.get(key, 0.0) + delta
+
+    def gauge_value(self, name: str, **labels: object) -> float:
+        """Current value of one gauge series (0 when never written)."""
+        with self._lock:
+            return self._gauges.get(name, {}).get(_label_key(labels), 0.0)
+
+    # -- histograms ----------------------------------------------------
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        buckets: tuple[float, ...] | None = None,
+        **labels: object,
+    ) -> None:
+        """Record ``value`` into a histogram series.
+
+        The first observation of ``name`` fixes its bucket bounds
+        (``buckets`` or :data:`DEFAULT_BUCKETS`); later ``buckets``
+        arguments are ignored so every series of one metric stays
+        comparable.
+        """
+        key = _label_key(labels)
+        with self._lock:
+            bounds = self._histogram_bounds.setdefault(
+                name, tuple(buckets) if buckets else DEFAULT_BUCKETS
+            )
+            series = self._histograms.setdefault(name, {})
+            histogram = series.get(key)
+            if histogram is None:
+                histogram = series[key] = _Histogram(bounds)
+            histogram.observe(value)
+
+    def histogram_stats(self, name: str, **labels: object) -> dict | None:
+        """``{"buckets": ..., "sum": ..., "count": ...}`` or ``None``."""
+        with self._lock:
+            histogram = self._histograms.get(name, {}).get(_label_key(labels))
+            return histogram.to_dict() if histogram else None
+
+    # -- export --------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A JSON-serialisable dump of every series, sorted for stability."""
+        with self._lock:
+            return {
+                "counters": {
+                    name: [
+                        {"labels": dict(key), "value": value}
+                        for key, value in sorted(series.items())
+                    ]
+                    for name, series in sorted(self._counters.items())
+                },
+                "gauges": {
+                    name: [
+                        {"labels": dict(key), "value": value}
+                        for key, value in sorted(series.items())
+                    ]
+                    for name, series in sorted(self._gauges.items())
+                },
+                "histograms": {
+                    name: [
+                        {"labels": dict(key), **histogram.to_dict()}
+                        for key, histogram in sorted(series.items())
+                    ]
+                    for name, series in sorted(self._histograms.items())
+                },
+            }
+
+    def reset(self) -> None:
+        """Drop every series (bucket-bound registrations included)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+            self._histogram_bounds.clear()

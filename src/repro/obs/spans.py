@@ -1,0 +1,272 @@
+"""Hierarchical spans with dual wall/virtual timing.
+
+A :class:`Span` measures one unit of work: a pipeline phase, a fan-out
+task, an API request.  Spans form trees — each span records its trace id
+(shared by everything one root span caused), its own id, and its
+parent's id.  Parentage is propagated through a :mod:`contextvars`
+variable, so a span opened in a pipeline phase is the parent of spans
+opened by tasks the phase fanned out through a worker pool: the
+executors submit each task under a copy of the caller's context (see
+:mod:`repro.concurrency`), and the copy carries the current span along.
+
+Every span carries **two** timings:
+
+- ``wall_seconds`` — real elapsed time (``time.perf_counter``), what a
+  human watching the process experiences;
+- ``virtual_seconds`` — simulated-clock time, what the modelled network
+  charged (absent when no clock was in reach).
+
+They answer different questions (\"is the code slow?\" vs \"is the
+workload expensive?\"), and diverge by design: a parallel run shrinks
+wall time while virtual time — a property of the workload, not the
+schedule — stays put.
+
+Opening and closing spans never draws randomness or advances the
+simulated clock, so tracing cannot perturb the deterministic run it
+observes.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from contextvars import ContextVar
+
+_CURRENT_SPAN: ContextVar["Span | None"] = ContextVar(
+    "repro_obs_current_span", default=None
+)
+
+
+def current_span() -> "Span | None":
+    """The innermost open span in the calling context, if any."""
+    return _CURRENT_SPAN.get()
+
+
+class Span:
+    """One timed, labelled unit of work; use as a context manager.
+
+    Spans are produced by :meth:`Tracer.span` (or the
+    :class:`~repro.obs.runtime.Observability` façade) rather than
+    constructed directly.
+    """
+
+    __slots__ = (
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "name",
+        "labels",
+        "wall_start",
+        "wall_end",
+        "virtual_start",
+        "virtual_end",
+        "error",
+        "_tracer",
+        "_clock",
+        "_token",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        trace_id: int,
+        span_id: int,
+        parent_id: int | None,
+        labels: dict,
+        clock=None,
+    ):
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.labels = labels
+        self.wall_start = 0.0
+        self.wall_end: float | None = None
+        self.virtual_start: float | None = None
+        self.virtual_end: float | None = None
+        self.error: str | None = None
+        self._tracer = tracer
+        self._clock = clock
+        self._token = None
+
+    def set_label(self, key: str, value: object) -> None:
+        """Attach or overwrite one label."""
+        self.labels[key] = value
+
+    @property
+    def wall_seconds(self) -> float:
+        """Wall-clock duration (up to now while still open)."""
+        end = self.wall_end if self.wall_end is not None else time.perf_counter()
+        return end - self.wall_start
+
+    @property
+    def virtual_seconds(self) -> float | None:
+        """Simulated-clock duration, or ``None`` without a clock."""
+        if self.virtual_start is None:
+            return None
+        end = self.virtual_end
+        if end is None:
+            end = self._clock.now() if self._clock is not None else None
+        if end is None:
+            return None
+        return end - self.virtual_start
+
+    def to_dict(self) -> dict:
+        """A JSON-serialisable rendering of this span."""
+        record = {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "labels": dict(self.labels),
+            "wall_seconds": self.wall_seconds,
+        }
+        virtual = self.virtual_seconds
+        if virtual is not None:
+            record["virtual_seconds"] = virtual
+        if self.error is not None:
+            record["error"] = self.error
+        return record
+
+    def __enter__(self) -> "Span":
+        self._token = _CURRENT_SPAN.set(self)
+        self.wall_start = time.perf_counter()
+        if self._clock is not None:
+            self.virtual_start = self._clock.now()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.wall_end = time.perf_counter()
+        if self._clock is not None:
+            self.virtual_end = self._clock.now()
+        if exc_type is not None:
+            self.error = f"{exc_type.__name__}: {exc}"
+        if self._token is not None:
+            _CURRENT_SPAN.reset(self._token)
+            self._token = None
+        self._tracer._record(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, trace={self.trace_id}, id={self.span_id}, "
+            f"parent={self.parent_id})"
+        )
+
+
+class _NullSpan:
+    """The do-nothing span a disabled tracer hands out."""
+
+    __slots__ = ()
+    labels: dict = {}
+
+    def set_label(self, key: str, value: object) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Allocates span/trace ids and keeps finished spans in a ring.
+
+    ``events`` (an :class:`~repro.obs.events.EventBus`) receives one
+    ``span_end`` event per finished span, which is how span data reaches
+    the CLI's JSONL log.
+
+    Example
+    -------
+    >>> tracer = Tracer()
+    >>> with tracer.span("outer") as outer:
+    ...     with tracer.span("inner") as inner:
+    ...         pass
+    >>> inner.parent_id == outer.span_id and inner.trace_id == outer.trace_id
+    True
+    """
+
+    def __init__(self, capacity: int = 4096, events=None):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._finished: deque[Span] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._span_ids = itertools.count(1)
+        self._trace_ids = itertools.count(1)
+        self._events = events
+
+    def span(self, name: str, clock=None, **labels: object) -> Span:
+        """Open a new span (enter the returned object as a context).
+
+        The parent is the calling context's current span; a span with no
+        parent starts a fresh trace.  ``clock`` provides virtual-time
+        stamps and defaults to the parent's clock, so fan-out spans time
+        against the same simulated clock their phase does.
+        """
+        parent = _CURRENT_SPAN.get()
+        with self._lock:
+            span_id = next(self._span_ids)
+            trace_id = parent.trace_id if parent is not None else next(self._trace_ids)
+        if clock is None and parent is not None:
+            clock = parent._clock
+        return Span(
+            tracer=self,
+            name=name,
+            trace_id=trace_id,
+            span_id=span_id,
+            parent_id=parent.span_id if parent is not None else None,
+            labels=dict(labels),
+            clock=clock,
+        )
+
+    def _record(self, span: Span) -> None:
+        with self._lock:
+            self._finished.append(span)
+        if self._events is not None:
+            fields = span.to_dict()
+            # ``name`` would collide with the event's own name.
+            fields["span"] = fields.pop("name")
+            self._events.emit("span_end", clock=span._clock, **fields)
+
+    def finished(self, name: str | None = None) -> list[Span]:
+        """Finished spans, oldest first, optionally filtered by name."""
+        with self._lock:
+            spans = list(self._finished)
+        if name is not None:
+            spans = [s for s in spans if s.name == name]
+        return spans
+
+    def span_trees(self, trace_id: int | None = None) -> list[dict]:
+        """Finished spans as nested trees (JSON-serialisable).
+
+        Children sit under their parent's ``"children"`` list, ordered
+        by span id; spans whose parent has fallen out of the ring (or is
+        still open) surface as roots.  ``trace_id`` restricts the forest
+        to one trace.
+        """
+        spans = self.finished()
+        if trace_id is not None:
+            spans = [s for s in spans if s.trace_id == trace_id]
+        nodes: dict[int, dict] = {
+            s.span_id: {**s.to_dict(), "children": []} for s in spans
+        }
+        roots = []
+        for span in sorted(spans, key=lambda s: s.span_id):
+            node = nodes[span.span_id]
+            parent = nodes.get(span.parent_id) if span.parent_id is not None else None
+            if parent is not None:
+                parent["children"].append(node)
+            else:
+                roots.append(node)
+        return roots
+
+    def clear(self) -> None:
+        """Drop all finished spans."""
+        with self._lock:
+            self._finished.clear()

@@ -18,6 +18,7 @@ materializes inverses automatically.
 
 from __future__ import annotations
 
+from repro.obs import get_obs
 from repro.ontology.graph import Relation, TopicOntology
 
 # (id, label, alt labels, broader parents, related topics)
@@ -379,13 +380,18 @@ def build_seed_ontology() -> TopicOntology:
     the catalogue; a broken reference is a programming error and raises.
     """
     ontology = TopicOntology()
+    edges = 0
     for topic_id, label, alt_labels, __, __unused in _TOPICS:
         ontology.add_topic(topic_id, label, alt_labels=alt_labels)
     for topic_id, __, __unused, broader, related in _TOPICS:
         for parent in broader:
             ontology.add_edge(topic_id, Relation.BROADER, parent)
+            edges += 1
         for other in related:
             ontology.add_edge(topic_id, Relation.RELATED, other)
+            edges += 1
+    # Telemetry goes through repro.obs like every other subsystem.
+    get_obs().emit("ontology_built", topics=len(_TOPICS), edges=edges)
     return ontology
 
 

@@ -99,7 +99,11 @@ class ScholarlyHub:
         for immortal entries) enables response caching — the EXP-SCALE
         knob.  ``trace_capacity > 0`` records the most recent requests
         (host, path, status, latency) for inspection via
-        ``hub.http.traces()`` or the API's ``/api/v1/trace``.
+        ``hub.http.traces()`` or the API's ``/api/v1/trace``; the
+        default of 0 keeps bare library use allocation-free, and
+        :class:`~repro.api.handlers.MinaretApi` turns the ring on
+        itself (``http.enable_tracing``) so API deployments never
+        serve a permanently empty trace endpoint.
         ``wall_latency_scale > 0`` makes each request really sleep that
         fraction of its virtual latency — the concurrency benchmarks use
         it to expose thread-level speedup that the instantaneous clock
@@ -124,7 +128,12 @@ class ScholarlyHub:
             model = behaviour.get(source, SourceBehaviour(0.05, 0.02))
             bucket = None
             if model.rate_capacity is not None and model.rate_refill is not None:
-                bucket = TokenBucket(model.rate_capacity, model.rate_refill, clock)
+                bucket = TokenBucket(
+                    model.rate_capacity,
+                    model.rate_refill,
+                    clock,
+                    name=service.host,
+                )
             http.register_host(
                 service.host,
                 service.endpoint,
@@ -139,9 +148,12 @@ class ScholarlyHub:
                 faults=FaultPolicy(
                     failure_probability=model.failure_probability,
                     seed=fault_seed + (zlib.crc32(source.value.encode()) & 0xFF),
+                    name=source.value,
                 ),
             )
-        cache = TTLCache(ttl=cache_ttl, capacity=cache_capacity, clock=clock)
+        cache = TTLCache(
+            ttl=cache_ttl, capacity=cache_capacity, clock=clock, name="crawler"
+        )
         crawler = Crawler(http, retry=retry or RetryPolicy(), cache=cache)
         return cls(
             world=world,

@@ -21,6 +21,7 @@ import json
 import os
 from pathlib import Path
 
+from repro.obs import get_obs
 from repro.storage.documents import DocumentStore
 
 _FORMAT = "minaret-wal/1"
@@ -179,7 +180,16 @@ class JournaledStore:
         self._wal_file.close()
         self._wal_path.write_text("")
         self._wal_file = open(self._wal_path, "a", encoding="utf-8")
+        truncated = self._entries_since_snapshot
         self._entries_since_snapshot = 0
+        obs = get_obs()
+        obs.inc("snapshots_total", store=self._store.name)
+        obs.emit(
+            "snapshot_written",
+            store=self._store.name,
+            documents=len(documents),
+            wal_entries_truncated=truncated,
+        )
 
     @property
     def entries_since_snapshot(self) -> int:
@@ -194,8 +204,18 @@ class JournaledStore:
         self._wal_file.write(json.dumps(entry) + "\n")
         self._wal_file.flush()
         self._entries_since_snapshot += 1
+        # Telemetry goes through repro.obs like every other subsystem.
+        obs = get_obs()
+        obs.inc("wal_appends_total", store=self._store.name, op=entry.get("op", "?"))
+        obs.emit(
+            "wal_append",
+            store=self._store.name,
+            op=entry.get("op", "?"),
+            entries_since_snapshot=self._entries_since_snapshot,
+        )
 
     def _recover(self) -> None:
+        snapshot_documents = 0
         if self._snapshot_path.exists():
             data = json.loads(self._snapshot_path.read_text())
             if data.get("format") != _FORMAT:
@@ -204,18 +224,28 @@ class JournaledStore:
                 )
             for doc_id, payload in data["documents"].items():
                 self._store.insert(payload, doc_id=doc_id)
-        if not self._wal_path.exists():
-            return
-        with open(self._wal_path, encoding="utf-8") as wal:
-            for line in wal:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    entry = json.loads(line)
-                except json.JSONDecodeError:
-                    break  # torn tail: durable prefix ends here
-                self._apply(entry)
+                snapshot_documents += 1
+        replayed, torn_tail = 0, False
+        if self._wal_path.exists():
+            with open(self._wal_path, encoding="utf-8") as wal:
+                for line in wal:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        entry = json.loads(line)
+                    except json.JSONDecodeError:
+                        torn_tail = True
+                        break  # torn tail: durable prefix ends here
+                    self._apply(entry)
+                    replayed += 1
+        get_obs().emit(
+            "wal_recovered",
+            store=self._store.name,
+            snapshot_documents=snapshot_documents,
+            replayed=replayed,
+            torn_tail=torn_tail,
+        )
 
     def _apply(self, entry: dict) -> None:
         operation = entry.get("op")

@@ -47,7 +47,10 @@ class RequestScope:
         self._lock = threading.Lock()
         self._requests = 0
         self._virtual = 0.0
-        self._token = None
+        # A stack, not a single token: a scope may be re-entered while
+        # already active (it is then charged once per activation), and
+        # each exit must restore exactly the matching activation.
+        self._tokens: list = []
 
     @property
     def requests(self) -> int:
@@ -73,13 +76,12 @@ class RequestScope:
             self._virtual += seconds
 
     def __enter__(self) -> "RequestScope":
-        self._token = _ACTIVE.set(_ACTIVE.get() + (self,))
+        self._tokens.append(_ACTIVE.set(_ACTIVE.get() + (self,)))
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        if self._token is not None:
-            _ACTIVE.reset(self._token)
-            self._token = None
+        if self._tokens:
+            _ACTIVE.reset(self._tokens.pop())
 
 
 def active_scopes() -> tuple[RequestScope, ...]:

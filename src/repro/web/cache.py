@@ -12,6 +12,7 @@ import threading
 from collections import OrderedDict
 from collections.abc import Hashable
 
+from repro.obs import get_obs
 from repro.web.clock import SimulatedClock
 
 
@@ -24,6 +25,9 @@ class TTLCache:
     Thread-safe: one crawler cache is shared by every worker in a
     parallel extraction, so lookup, insert and eviction each happen
     atomically and the capacity bound holds under any interleaving.
+
+    ``name`` labels this cache's hit/miss/eviction metrics in the
+    ambient :mod:`repro.obs` registry.
 
     Example
     -------
@@ -40,6 +44,7 @@ class TTLCache:
         ttl: float | None,
         capacity: int,
         clock: SimulatedClock,
+        name: str = "cache",
     ):
         if ttl is not None and ttl < 0:
             raise ValueError(f"ttl must be >= 0 or None, got {ttl}")
@@ -48,6 +53,7 @@ class TTLCache:
         self._ttl = ttl
         self._capacity = capacity
         self._clock = clock
+        self._name = name
         self._entries: OrderedDict[Hashable, tuple[float, object]] = OrderedDict()
         self._lock = threading.RLock()
         self.hits = 0
@@ -57,6 +63,11 @@ class TTLCache:
         with self._lock:
             self._evict_expired()
             return len(self._entries)
+
+    @property
+    def name(self) -> str:
+        """The label this cache's metrics are tagged with."""
+        return self._name
 
     @property
     def ttl(self) -> float | None:
@@ -73,18 +84,24 @@ class TTLCache:
         with self._lock:
             if self._ttl == 0:
                 self.misses += 1
+                get_obs().inc("cache_misses_total", cache=self._name)
                 return None
             entry = self._entries.get(key)
             if entry is None:
                 self.misses += 1
+                get_obs().inc("cache_misses_total", cache=self._name)
                 return None
             stored_at, value = entry
             if self._ttl is not None and self._clock.now() - stored_at > self._ttl:
                 del self._entries[key]
                 self.misses += 1
+                obs = get_obs()
+                obs.inc("cache_misses_total", cache=self._name)
+                obs.inc("cache_evictions_total", cache=self._name, reason="expired")
                 return None
             self._entries.move_to_end(key)
             self.hits += 1
+            get_obs().inc("cache_hits_total", cache=self._name)
             return value
 
     def put(self, key: Hashable, value: object) -> None:
@@ -97,6 +114,9 @@ class TTLCache:
             self._entries[key] = (self._clock.now(), value)
             while len(self._entries) > self._capacity:
                 self._entries.popitem(last=False)
+                get_obs().inc(
+                    "cache_evictions_total", cache=self._name, reason="capacity"
+                )
 
     def invalidate(self, key: Hashable) -> None:
         """Drop one entry if present."""
@@ -128,3 +148,10 @@ class TTLCache:
         ]
         for key in expired:
             del self._entries[key]
+        if expired:
+            get_obs().inc(
+                "cache_evictions_total",
+                len(expired),
+                cache=self._name,
+                reason="expired",
+            )

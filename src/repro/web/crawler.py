@@ -11,6 +11,7 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass
 
+from repro.obs import get_obs
 from repro.web.cache import TTLCache
 from repro.web.http import (
     HttpError,
@@ -96,6 +97,11 @@ class Crawler:
         """The underlying HTTP client."""
         return self._client
 
+    @property
+    def cache(self) -> TTLCache | None:
+        """The response cache, when one was configured."""
+        return self._cache
+
     def fetch(self, host: str, path: str, params: Params | None = None) -> HttpResponse:
         """GET with caching and retries; raises :class:`CrawlError` on defeat.
 
@@ -124,23 +130,47 @@ class Crawler:
                 last_error = exc
                 if attempt == self._retry.max_attempts:
                     break
-                with self._lock:
-                    self.retries += 1
                 wait = max(exc.retry_after, self._retry.backoff_for(attempt))
+                self._note_retry(host, path, attempt, wait, status=429)
                 self._sleep(wait)
             except ServiceUnavailableError as exc:
                 last_error = exc
                 if attempt == self._retry.max_attempts:
                     break
-                with self._lock:
-                    self.retries += 1
-                self._sleep(self._retry.backoff_for(attempt))
+                wait = self._retry.backoff_for(attempt)
+                self._note_retry(host, path, attempt, wait, status=503)
+                self._sleep(wait)
             else:
                 if self._cache is not None and cache_key is not None:
                     self._cache.put(cache_key, response.payload)
                 return response
         assert last_error is not None
+        get_obs().emit(
+            "crawl_abandoned",
+            clock=self._client.clock,
+            host=host,
+            path=path,
+            attempts=self._retry.max_attempts,
+            status=last_error.status,
+        )
         raise CrawlError(host, path, self._retry.max_attempts, last_error)
+
+    def _note_retry(
+        self, host: str, path: str, attempt: int, backoff: float, status: int
+    ) -> None:
+        with self._lock:
+            self.retries += 1
+        obs = get_obs()
+        obs.inc("crawler_retries_total", host=host, status=str(status))
+        obs.emit(
+            "http_retry",
+            clock=self._client.clock,
+            host=host,
+            path=path,
+            attempt=attempt,
+            backoff=backoff,
+            status=status,
+        )
 
     def _sleep(self, seconds: float) -> None:
         # Route waits through the client when it supports scoped

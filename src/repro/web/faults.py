@@ -24,6 +24,8 @@ from __future__ import annotations
 import random
 import threading
 
+from repro.obs import get_obs
+
 
 class FaultPolicy:
     """Decides which requests fail transiently.
@@ -39,6 +41,9 @@ class FaultPolicy:
         flaking independently.
     seed:
         Keys the probabilistic component's per-ordinal draws.
+    name:
+        Labels this policy's injected-fault counter in the ambient
+        :mod:`repro.obs` registry (deployments pass the source name).
 
     Example
     -------
@@ -53,6 +58,7 @@ class FaultPolicy:
         burst_every: int | None = None,
         burst_length: int = 1,
         seed: int = 0,
+        name: str = "policy",
     ):
         if not 0.0 <= failure_probability <= 1.0:
             raise ValueError(
@@ -66,6 +72,7 @@ class FaultPolicy:
         self._burst_every = burst_every
         self._burst_length = burst_length
         self._seed = seed
+        self._name = name
         self._request_ordinal = 0
         self._lock = threading.Lock()
 
@@ -93,12 +100,14 @@ class FaultPolicy:
         """
         if ordinal < 1:
             raise ValueError(f"ordinal must be >= 1, got {ordinal}")
-        if self._burst_every is not None and self._burst_fails(ordinal):
-            return True
-        if self._failure_probability > 0.0:
+        failed = self._burst_every is not None and self._burst_fails(ordinal)
+        if not failed and self._failure_probability > 0.0:
             draw = random.Random(f"{self._seed}:{ordinal}").random()
-            return draw < self._failure_probability
-        return False
+            failed = draw < self._failure_probability
+        if failed:
+            # Observational only: the decision above is already made.
+            get_obs().inc("faults_injected_total", policy=self._name)
+        return failed
 
     def should_fail(self, ordinal: int | None = None) -> bool:
         """Decide the fate of a request.

@@ -34,6 +34,7 @@ from collections import deque
 from collections.abc import Callable, Mapping
 from dataclasses import dataclass, field
 
+from repro.obs import get_obs
 from repro.web import accounting
 from repro.web.clock import SimulatedClock
 from repro.web.faults import FaultPolicy
@@ -309,32 +310,49 @@ class SimulatedHttpClient:
         with self._lock:
             stats.requests += 1
             stats.total_latency += latency
+        obs = get_obs()
+        obs.observe("http_request_latency_seconds", latency, host=host)
         if self._wall_latency_scale > 0:
             time.sleep(latency * self._wall_latency_scale)
         if bucket is not None and not bucket.try_acquire():
             retry_after = bucket.time_until_available()
             with self._lock:
                 stats.rate_limited += 1
-            self._trace(request, 429, latency)
+            self._finish(obs, request, 429, latency)
+            obs.emit(
+                "rate_limited",
+                clock=self._clock,
+                host=host,
+                path=path,
+                attempt=attempt,
+                retry_after=retry_after,
+            )
             raise RateLimitedError(request, retry_after)
         if fault_policy.should_fail(ordinal):
             with self._lock:
                 stats.faults += 1
-            self._trace(request, 503, latency)
+            self._finish(obs, request, 503, latency)
+            obs.emit(
+                "fault_injected",
+                clock=self._clock,
+                host=host,
+                path=path,
+                attempt=attempt,
+            )
             raise ServiceUnavailableError(request)
         try:
             payload = endpoint(request)
         except NotFoundError:
             with self._lock:
                 stats.not_found += 1
-            self._trace(request, 404, latency)
+            self._finish(obs, request, 404, latency)
             raise
         except KeyError as exc:
             with self._lock:
                 stats.not_found += 1
-            self._trace(request, 404, latency)
+            self._finish(obs, request, 404, latency)
             raise NotFoundError(request, f"not found: {exc}") from exc
-        self._trace(request, 200, latency)
+        self._finish(obs, request, 200, latency)
         return HttpResponse(status=200, payload=payload, latency=latency)
 
     def sleep(self, seconds: float) -> None:
@@ -345,6 +363,7 @@ class SimulatedHttpClient:
         """
         self._clock.sleep(seconds)
         accounting.charge_wait(seconds)
+        get_obs().observe("throttle_wait_seconds", seconds)
 
     def total_requests(self) -> int:
         """Requests issued across all hosts."""
@@ -368,8 +387,28 @@ class SimulatedHttpClient:
 
     @property
     def tracing_enabled(self) -> bool:
-        """Whether request tracing was configured at construction."""
+        """Whether request tracing is currently active."""
         return self._traces is not None
+
+    @property
+    def trace_capacity(self) -> int:
+        """The trace ring's capacity (0 when tracing is off)."""
+        with self._lock:
+            return self._traces.maxlen if self._traces is not None else 0
+
+    def enable_tracing(self, capacity: int = 256) -> None:
+        """Turn the trace ring on after construction (idempotent).
+
+        A client built with ``trace_capacity=0`` records nothing, which
+        leaves every trace endpoint permanently empty — service setups
+        (the API) call this to get a bounded ring without re-deploying.
+        An already-active ring is kept, traces and all.
+        """
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        with self._lock:
+            if self._traces is None:
+                self._traces = deque(maxlen=capacity)
 
     def traces(self) -> list[RequestTrace]:
         """Recent request traces, oldest first (empty unless enabled)."""
@@ -383,6 +422,11 @@ class SimulatedHttpClient:
         if self._traces is not None:
             with self._lock:
                 self._traces.clear()
+
+    def _finish(self, obs, request: HttpRequest, status: int, latency: float) -> None:
+        """Record one completed attempt: per-host metrics + trace ring."""
+        obs.inc("http_requests_total", host=request.host, status=str(status))
+        self._trace(request, status, latency)
 
     def _trace(self, request: HttpRequest, status: int, latency: float) -> None:
         if self._traces is None:

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import threading
 
+from repro.obs import get_obs
 from repro.web.clock import SimulatedClock
 
 
@@ -19,6 +20,9 @@ class TokenBucket:
 
     Thread-safe: refill-and-take is one atomic step, so hammering
     threads can never jointly overdraw the bucket.
+
+    ``name`` labels this bucket's grant/denial metrics in the ambient
+    :mod:`repro.obs` registry (deployments pass the host being limited).
 
     Example
     -------
@@ -30,7 +34,13 @@ class TokenBucket:
     True
     """
 
-    def __init__(self, capacity: float, refill_rate: float, clock: SimulatedClock):
+    def __init__(
+        self,
+        capacity: float,
+        refill_rate: float,
+        clock: SimulatedClock,
+        name: str = "bucket",
+    ):
         if capacity <= 0:
             raise ValueError(f"capacity must be > 0, got {capacity}")
         if refill_rate <= 0:
@@ -38,6 +48,7 @@ class TokenBucket:
         self._capacity = float(capacity)
         self._refill_rate = float(refill_rate)
         self._clock = clock
+        self._name = name
         self._tokens = float(capacity)
         self._last_refill = clock.now()
         self._lock = threading.Lock()
@@ -66,8 +77,14 @@ class TokenBucket:
             self._refill()
             if self._tokens >= tokens:
                 self._tokens -= tokens
-                return True
-            return False
+                granted = True
+            else:
+                granted = False
+        get_obs().inc(
+            "ratelimit_granted_total" if granted else "ratelimit_denied_total",
+            bucket=self._name,
+        )
+        return granted
 
     def time_until_available(self, tokens: float = 1.0) -> float:
         """Virtual seconds until ``tokens`` will be available (0 if now).

@@ -256,3 +256,137 @@ class TestSourceStats:
         assert response.ok
         by_host = {s["host"]: s for s in response.body["sources"]}
         assert by_host["scholar.google.com"]["requests"] > 0
+
+
+class TestMetricsEndpoint:
+    def test_per_host_counters_and_histograms(self, api, manuscript):
+        api.handle(
+            "POST",
+            "/api/v1/recommend",
+            {"manuscript": manuscript_payload(manuscript)},
+        )
+        response = api.handle("GET", "/api/v1/metrics")
+        assert response.ok
+        metrics = response.body["metrics"]
+        request_hosts = {
+            series["labels"]["host"]
+            for series in metrics["counters"]["http_requests_total"]
+        }
+        assert "dblp.org" in request_hosts
+        assert "scholar.google.com" in request_hosts
+        latency_series = metrics["histograms"]["http_request_latency_seconds"]
+        by_host = {series["labels"]["host"]: series for series in latency_series}
+        assert by_host["dblp.org"]["count"] > 0
+        assert by_host["dblp.org"]["buckets"]["+Inf"] == by_host["dblp.org"]["count"]
+
+    def test_http_and_cache_sections(self, api, manuscript):
+        api.handle(
+            "POST",
+            "/api/v1/recommend",
+            {"manuscript": manuscript_payload(manuscript)},
+        )
+        body = api.handle("GET", "/api/v1/metrics").body
+        assert body["http"]["scholar.google.com"]["requests"] > 0
+        cache = body["cache"]
+        assert cache["name"] == "crawler"
+        # Default deployment has caching off (ttl=0): every get misses.
+        assert cache["misses"] > 0
+        assert cache["hit_rate"] == pytest.approx(0.0)
+
+    def test_cache_hit_ratio_reported(self, world, manuscript):
+        from repro.scholarly.registry import ScholarlyHub
+
+        api = MinaretApi(ScholarlyHub.deploy(world, cache_ttl=None))
+        payload = {"manuscript": manuscript_payload(manuscript)}
+        api.handle("POST", "/api/v1/recommend", payload)
+        api.handle("POST", "/api/v1/recommend", payload)
+        cache = api.handle("GET", "/api/v1/metrics").body["cache"]
+        assert cache["hits"] > 0
+        assert 0.0 < cache["hit_rate"] <= 1.0
+
+    def test_api_request_counters(self, api):
+        api.handle("GET", "/api/v1/health")
+        body = api.handle("GET", "/api/v1/metrics").body
+        series = body["metrics"]["counters"]["api_requests_total"]
+        by_route = {s["labels"]["route"]: s["value"] for s in series}
+        assert by_route["/api/v1/health"] == 1.0
+
+    def test_body_is_json_serialisable(self, api, manuscript):
+        import json
+
+        api.handle(
+            "POST",
+            "/api/v1/recommend",
+            {"manuscript": manuscript_payload(manuscript)},
+        )
+        json.dumps(api.handle("GET", "/api/v1/metrics").body)
+
+
+def _walk(spans):
+    for span in spans:
+        yield span
+        yield from _walk(span["children"])
+
+
+class TestTraceEndpoint:
+    def test_ring_enabled_by_default(self, api, manuscript):
+        # ScholarlyHub.deploy defaults to trace_capacity=0; the API must
+        # turn the ring on itself so /api/v1/trace is never dead.
+        api.handle(
+            "POST",
+            "/api/v1/recommend",
+            {"manuscript": manuscript_payload(manuscript)},
+        )
+        body = api.handle("GET", "/api/v1/trace").body
+        assert body["enabled"] is True
+        assert len(body["traces"]) > 0
+
+    def test_span_tree_fanout_parents_under_phase(self, api, manuscript):
+        api.handle(
+            "POST",
+            "/api/v1/recommend",
+            {
+                "manuscript": manuscript_payload(manuscript),
+                "config": {"workers": 2},
+            },
+        )
+        body = api.handle("GET", "/api/v1/trace").body
+        roots = body["spans"]
+        assert roots, "span forest should not be empty"
+        api_roots = [s for s in roots if s["name"] == "api.request"]
+        assert api_roots, "api.request must be a root span"
+        request = api_roots[0]
+        pipeline = [c for c in request["children"] if c["name"] == "pipeline.recommend"]
+        assert pipeline, "pipeline span must parent under the API request"
+        phases = {c["name"]: c for c in pipeline[0]["children"]}
+        extract = phases["phase.extract_candidates"]
+        tasks = [c for c in extract["children"] if c["name"] == "executor.task"]
+        assert len(tasks) > 1, "fan-out tasks must parent under their phase"
+        assert all(t["labels"]["backend"] == "thread" for t in tasks)
+        trace_ids = {s["trace_id"] for s in _walk([request])}
+        assert trace_ids == {request["trace_id"]}
+
+    def test_trace_id_filter(self, api, manuscript):
+        api.handle("GET", "/api/v1/health")
+        api.handle(
+            "POST",
+            "/api/v1/recommend",
+            {"manuscript": manuscript_payload(manuscript)},
+        )
+        all_roots = api.handle("GET", "/api/v1/trace").body["spans"]
+        assert len({s["trace_id"] for s in all_roots}) >= 2
+        wanted = all_roots[-1]["trace_id"]
+        filtered = api.handle("GET", f"/api/v1/trace/{wanted}").body["spans"]
+        assert filtered
+        assert {s["trace_id"] for s in _walk(filtered)} == {wanted}
+
+    def test_bad_trace_id_400(self, api):
+        assert api.handle("GET", "/api/v1/trace/notanumber").status == 400
+
+    def test_custom_trace_capacity_respected(self, world):
+        from repro.scholarly.registry import ScholarlyHub
+
+        hub = ScholarlyHub.deploy(world, trace_capacity=7)
+        MinaretApi(hub)  # must not shrink or replace the existing ring
+        assert hub.http.tracing_enabled
+        assert hub.http.trace_capacity == 7

@@ -1,0 +1,107 @@
+"""Observability must be read-only: enabling it changes no output.
+
+The acceptance bar for the whole subsystem: an instrumented run at any
+worker count is bit-identical — same ranking, same scores, same request
+counts — to a sequential run with observability disabled.
+"""
+
+import pytest
+
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import Minaret
+from repro.obs import Observability, use
+from repro.scholarly.registry import ScholarlyHub
+
+
+def _run(world, manuscript, workers, obs):
+    hub = ScholarlyHub.deploy(world)
+    with use(obs):
+        result = Minaret(hub, config=PipelineConfig(workers=workers)).recommend(
+            manuscript
+        )
+    return result, hub
+
+
+def _fingerprint(result):
+    return [
+        (
+            scored.candidate.candidate_id,
+            scored.total_score,
+            scored.breakdown.topic_coverage,
+            scored.breakdown.scientific_impact,
+            scored.breakdown.recency,
+            scored.breakdown.review_experience,
+            scored.breakdown.outlet_familiarity,
+        )
+        for scored in result.ranked
+    ]
+
+
+@pytest.fixture(scope="module")
+def manuscript(world):
+    from tests.conftest import make_manuscript
+
+    for author in world.authors.values():
+        if len(world.authors_by_name(author.name)) == 1:
+            return make_manuscript(world, author)
+    raise RuntimeError("world has no unambiguous author")
+
+
+class TestObservabilityIsReadOnly:
+    @pytest.fixture(scope="class")
+    def baseline(self, world, manuscript):
+        result, hub = _run(world, manuscript, 1, Observability.disabled())
+        return _fingerprint(result), hub.total_requests(), hub.total_latency()
+
+    @pytest.mark.parametrize("workers", [1, 2, 8])
+    def test_enabled_matches_disabled_baseline(
+        self, world, manuscript, baseline, workers
+    ):
+        obs = Observability()
+        result, hub = _run(world, manuscript, workers, obs)
+        fingerprint, requests, latency = baseline
+        assert _fingerprint(result) == fingerprint
+        assert hub.total_requests() == requests
+        assert hub.total_latency() == latency
+        # The run really was observed, not silently unplugged.
+        assert obs.metrics.counter_total("http_requests_total") == requests
+        assert obs.tracer.finished("pipeline.recommend")
+
+    def test_jsonl_sink_does_not_perturb(self, world, manuscript, baseline, tmp_path):
+        obs = Observability()
+        sink = obs.add_jsonl_sink(tmp_path / "events.jsonl")
+        try:
+            result, hub = _run(world, manuscript, 8, obs)
+        finally:
+            sink.close()
+        fingerprint, requests, _ = baseline
+        assert _fingerprint(result) == fingerprint
+        assert hub.total_requests() == requests
+
+    def test_batch_identical_across_worker_counts(self, world):
+        from repro.assignment.batch import recommend_batch
+        from tests.conftest import make_manuscript
+
+        authors = [
+            a
+            for a in world.authors.values()
+            if len(world.authors_by_name(a.name)) == 1
+        ][:3]
+        entries = [
+            (f"paper-{i}", make_manuscript(world, author))
+            for i, author in enumerate(authors)
+        ]
+
+        def run(workers, obs):
+            hub = ScholarlyHub.deploy(world)
+            with use(obs):
+                results = recommend_batch(
+                    Minaret(hub), entries, workers=workers
+                )
+            return [
+                (paper_id, _fingerprint(result)) for paper_id, result in results
+            ]
+
+        baseline = run(1, Observability.disabled())
+        assert run(2, Observability()) == baseline
+        assert run(8, Observability()) == baseline

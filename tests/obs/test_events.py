@@ -1,0 +1,100 @@
+"""Tests for structured events and sinks."""
+
+import json
+
+import pytest
+
+from repro.obs.events import Event, EventBus, JsonlSink, RingSink
+
+
+class TestEvent:
+    def test_to_dict_flattens_fields(self):
+        event = Event("tick", wall_time=1.0, virtual_time=2.0, fields={"n": 3})
+        assert event.to_dict() == {
+            "event": "tick",
+            "wall_time": 1.0,
+            "virtual_time": 2.0,
+            "n": 3,
+        }
+
+    def test_virtual_time_omitted_when_absent(self):
+        assert "virtual_time" not in Event("tick", wall_time=1.0).to_dict()
+
+
+class TestRingSink:
+    def test_keeps_most_recent(self):
+        sink = RingSink(capacity=3)
+        bus = EventBus([sink])
+        for i in range(5):
+            bus.emit("tick", i=i)
+        assert [e.fields["i"] for e in sink.events()] == [2, 3, 4]
+
+    def test_filter_by_name(self):
+        sink = RingSink()
+        bus = EventBus([sink])
+        bus.emit("a")
+        bus.emit("b")
+        bus.emit("a")
+        assert len(sink.events("a")) == 2
+        assert len(sink.events()) == 3
+
+    def test_clear(self):
+        sink = RingSink()
+        sink.write(Event("x", wall_time=0.0))
+        sink.clear()
+        assert sink.events() == []
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            RingSink(capacity=0)
+
+
+class TestJsonlSink:
+    def test_one_json_object_per_line(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with JsonlSink(path) as sink:
+            bus = EventBus([sink])
+            bus.emit("first", n=1)
+            bus.emit("second", n=2)
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [line["event"] for line in lines] == ["first", "second"]
+        assert lines[1]["n"] == 2
+
+    def test_unserialisable_values_stringified(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with JsonlSink(path) as sink:
+            sink.write(Event("odd", wall_time=0.0, fields={"obj": object()}))
+        record = json.loads(path.read_text())
+        assert record["obj"].startswith("<object object")
+
+    def test_write_after_close_is_a_noop(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(path)
+        sink.close()
+        sink.write(Event("late", wall_time=0.0))
+        assert path.read_text() == ""
+
+
+class TestEventBus:
+    def test_fans_out_to_all_sinks(self):
+        a, b = RingSink(), RingSink()
+        bus = EventBus([a])
+        bus.add_sink(b)
+        bus.emit("tick")
+        assert len(a.events()) == len(b.events()) == 1
+
+    def test_remove_sink(self):
+        sink = RingSink()
+        bus = EventBus([sink])
+        bus.remove_sink(sink)
+        bus.emit("tick")
+        assert sink.events() == []
+        bus.remove_sink(sink)  # idempotent
+
+    def test_clock_stamps_virtual_time(self):
+        from repro.web.clock import SimulatedClock
+
+        clock = SimulatedClock()
+        clock.advance(7.5)
+        event = EventBus([RingSink()]).emit("tick", clock=clock)
+        assert event.virtual_time == 7.5

@@ -1,0 +1,141 @@
+"""Tests for the metrics registry."""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import DEFAULT_BUCKETS, MetricsRegistry
+
+
+class TestCounters:
+    def test_inc_and_read(self):
+        registry = MetricsRegistry()
+        registry.inc("requests_total", host="dblp")
+        registry.inc("requests_total", host="dblp")
+        registry.inc("requests_total", 3.0, host="scholar")
+        assert registry.counter_value("requests_total", host="dblp") == 2.0
+        assert registry.counter_value("requests_total", host="scholar") == 3.0
+        assert registry.counter_total("requests_total") == 5.0
+
+    def test_unwritten_series_reads_zero(self):
+        registry = MetricsRegistry()
+        assert registry.counter_value("nothing", a="b") == 0.0
+        assert registry.counter_total("nothing") == 0.0
+
+    def test_label_order_is_irrelevant(self):
+        registry = MetricsRegistry()
+        registry.inc("m", a="1", b="2")
+        assert registry.counter_value("m", b="2", a="1") == 1.0
+
+    def test_label_values_stringified(self):
+        registry = MetricsRegistry()
+        registry.inc("m", code=404)
+        assert registry.counter_value("m", code="404") == 1.0
+
+
+class TestGauges:
+    def test_set_and_add(self):
+        registry = MetricsRegistry()
+        registry.gauge_set("inflight", 4.0, pool="a")
+        registry.gauge_add("inflight", -1.0, pool="a")
+        assert registry.gauge_value("inflight", pool="a") == 3.0
+
+    def test_add_creates_series(self):
+        registry = MetricsRegistry()
+        registry.gauge_add("inflight", 2.0)
+        assert registry.gauge_value("inflight") == 2.0
+
+
+class TestHistograms:
+    def test_observe_and_stats(self):
+        registry = MetricsRegistry()
+        registry.observe("latency", 0.004, host="dblp")
+        registry.observe("latency", 0.09, host="dblp")
+        registry.observe("latency", 99.0, host="dblp")
+        stats = registry.histogram_stats("latency", host="dblp")
+        assert stats["count"] == 3
+        assert stats["sum"] == pytest.approx(99.094)
+        assert stats["buckets"]["0.005"] == 1
+        assert stats["buckets"]["0.1"] == 2
+        assert stats["buckets"]["+Inf"] == 3
+
+    def test_buckets_are_cumulative_and_monotone(self):
+        registry = MetricsRegistry()
+        for value in (0.001, 0.02, 0.3, 4.0):
+            registry.observe("latency", value)
+        stats = registry.histogram_stats("latency")
+        counts = list(stats["buckets"].values())
+        assert counts == sorted(counts)
+        assert counts[-1] == 4
+
+    def test_first_observation_fixes_bounds(self):
+        registry = MetricsRegistry()
+        registry.observe("latency", 1.0, buckets=(0.5, 2.0))
+        registry.observe("latency", 1.0, buckets=(9.9,), host="x")  # ignored
+        assert set(registry.histogram_stats("latency", host="x")["buckets"]) == {
+            "0.5",
+            "2.0",
+            "+Inf",
+        }
+
+    def test_default_bounds(self):
+        registry = MetricsRegistry()
+        registry.observe("latency", 0.01)
+        buckets = registry.histogram_stats("latency")["buckets"]
+        assert len(buckets) == len(DEFAULT_BUCKETS) + 1
+
+    def test_missing_series_is_none(self):
+        assert MetricsRegistry().histogram_stats("nope") is None
+
+
+class TestSnapshotAndReset:
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.inc("c", host="h")
+        registry.gauge_set("g", 1.5)
+        registry.observe("h", 0.2, route="/x")
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["c"] == [
+            {"labels": {"host": "h"}, "value": 1.0}
+        ]
+        assert snapshot["gauges"]["g"] == [{"labels": {}, "value": 1.5}]
+        [series] = snapshot["histograms"]["h"]
+        assert series["labels"] == {"route": "/x"}
+        assert series["count"] == 1
+
+    def test_snapshot_is_json_serialisable(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.inc("c", host="h", status=200)
+        registry.observe("h", 0.2)
+        json.dumps(registry.snapshot())
+
+    def test_reset_drops_everything(self):
+        registry = MetricsRegistry()
+        registry.inc("c")
+        registry.observe("h", 0.1, buckets=(1.0,))
+        registry.reset()
+        assert registry.counter_total("c") == 0.0
+        assert registry.histogram_stats("h") is None
+        # Bucket-bound registration is gone too: new bounds apply.
+        registry.observe("h", 0.1, buckets=(5.0,))
+        assert set(registry.histogram_stats("h")["buckets"]) == {"5.0", "+Inf"}
+
+
+class TestThreadSafety:
+    def test_concurrent_increments_all_land(self):
+        registry = MetricsRegistry()
+
+        def hammer():
+            for _ in range(1000):
+                registry.inc("c", worker="shared")
+                registry.observe("h", 0.01, worker="shared")
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert registry.counter_value("c", worker="shared") == 8000.0
+        assert registry.histogram_stats("h", worker="shared")["count"] == 8000

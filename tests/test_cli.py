@@ -200,3 +200,92 @@ class TestNoCommand:
     def test_prints_help(self, capsys):
         assert main([]) == 2
         assert "minaret" in capsys.readouterr().out
+
+
+class TestObservabilityFlags:
+    @pytest.fixture()
+    def dataset(self, tmp_path, capsys):
+        path = tmp_path / "world.json"
+        assert main(["generate", "--authors", "60", "--seed", "9", "--out", str(path)]) == 0
+        capsys.readouterr()
+        return path
+
+    def test_log_json_writes_valid_event_lines(self, tmp_path, capsys):
+        import json
+
+        log = tmp_path / "events.jsonl"
+        # authors=120/seed=5 deterministically trips the Scholar fault
+        # policy, so the log must contain fault-injection events too.
+        assert (
+            main(["demo", "--authors", "120", "--seed", "5", "--log-json", str(log)])
+            == 0
+        )
+        capsys.readouterr()
+        events = [json.loads(line) for line in log.read_text().splitlines()]
+        assert events
+        for event in events:
+            assert "event" in event
+            assert "wall_time" in event
+        names = {event["event"] for event in events}
+        assert "span_end" in names
+        assert "fault_injected" in names
+        span_names = {e["span"] for e in events if e["event"] == "span_end"}
+        assert "pipeline.recommend" in span_names
+        assert "executor.task" in span_names
+
+    def test_metrics_summary_on_stderr(self, capsys):
+        import json
+
+        assert main(["demo", "--authors", "60", "--seed", "9", "--metrics"]) == 0
+        captured = capsys.readouterr()
+        assert "Recommended reviewers" in captured.out
+        summary = json.loads(captured.err)
+        assert summary["spans"] > 0
+        assert "http_requests_total" in summary["counters"]
+        assert "http_request_latency_seconds" in summary["histograms"]
+
+    def test_recommend_log_json_keeps_stdout_clean(self, tmp_path, dataset, capsys):
+        import json
+
+        from repro.world.io import load_world
+
+        world = load_world(dataset)
+        author = next(
+            a
+            for a in world.authors.values()
+            if len(world.authors_by_name(a.name)) == 1
+        )
+        topics = sorted(author.topic_expertise)[:2]
+        manuscript = tmp_path / "manuscript.json"
+        manuscript.write_text(
+            json.dumps(
+                {
+                    "title": "Telemetry Test Paper",
+                    "keywords": [world.ontology.topic(t).label for t in topics],
+                    "authors": [
+                        {
+                            "name": author.name,
+                            "affiliation": author.affiliations[-1].institution,
+                        }
+                    ],
+                }
+            )
+        )
+        log = tmp_path / "events.jsonl"
+        code = main(
+            [
+                "recommend",
+                "--world", str(dataset),
+                "--manuscript", str(manuscript),
+                "--json",
+                "--log-json", str(log),
+                "--metrics",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)  # stdout is still pure JSON
+        assert payload["recommendations"]
+        summary = json.loads(captured.err)
+        assert summary["events"] > 0
+        assert all(json.loads(line) for line in log.read_text().splitlines())
