@@ -1,0 +1,128 @@
+"""EXP-WARM — the warm-path retrieval plane: savings without drift.
+
+A 10-manuscript batch is recommended three ways at each worker count:
+
+- **cold** — the paper's pure on-the-fly mode (no plane);
+- **warm #1** — a fresh plane: within-batch sharing only (manuscripts
+  with overlapping expanded keywords and candidates already coalesce);
+- **warm #2** — the same batch again on the now-warm plane: the
+  steady-state an editor's deployment converges to.
+
+Two assertions carry the experiment:
+
+1. every configuration ranks **bit-identically** to the cold sequential
+   baseline — caches on or off, 1/2/8 workers;
+2. the warm steady-state batch issues **≥5× fewer** simulated requests
+   than the cold batch.
+
+The measured table is printed and also written to ``BENCH_warmpath.json``
+at the repo root so CI can archive the run.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.assignment import recommend_batch
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import Minaret
+from repro.scholarly.registry import ScholarlyHub
+from benchmarks.conftest import print_table, sample_manuscripts
+
+WORKER_COUNTS = (1, 2, 8)
+PAPERS = 10
+OUTPUT = Path(__file__).resolve().parents[1] / "BENCH_warmpath.json"
+
+
+def _signature(result):
+    return [(s.candidate.candidate_id, s.total_score) for s in result.ranked]
+
+
+def _batch_signature(results):
+    return [(paper_id, _signature(result)) for paper_id, result in results]
+
+
+def _run_batch(minaret, entries, workers):
+    hub = minaret.sources
+    requests_before = hub.total_requests()
+    latency_before = hub.total_latency()
+    start = time.perf_counter()
+    results = recommend_batch(minaret, entries, workers=workers)
+    wall = time.perf_counter() - start
+    return {
+        "signature": _batch_signature(results),
+        "requests": hub.total_requests() - requests_before,
+        "sim_latency": round(hub.total_latency() - latency_before, 2),
+        "wall": round(wall, 2),
+    }
+
+
+def test_bench_warmpath(bench_world):
+    entries = [
+        (f"paper-{i}", manuscript)
+        for i, (manuscript, __) in enumerate(
+            sample_manuscripts(bench_world, count=PAPERS)
+        )
+    ]
+    assert len(entries) == PAPERS
+
+    baseline_hub = ScholarlyHub.deploy(bench_world)
+    baseline = _run_batch(Minaret(baseline_hub), entries, workers=1)
+
+    rows = []
+    record = {"papers": PAPERS, "baseline_requests": baseline["requests"], "runs": []}
+
+    def note(mode, workers, run, hit_rate=None):
+        rows.append(
+            (
+                mode,
+                workers,
+                run["requests"],
+                f"{run['sim_latency']}s",
+                f"{run['wall']}s",
+                "-" if hit_rate is None else f"{hit_rate:.2f}",
+            )
+        )
+        record["runs"].append(
+            {
+                "mode": mode,
+                "workers": workers,
+                "requests": run["requests"],
+                "sim_latency": run["sim_latency"],
+                "wall": run["wall"],
+                "hit_rate": hit_rate,
+                "identical_to_cold_sequential": run["signature"]
+                == baseline["signature"],
+            }
+        )
+        assert run["signature"] == baseline["signature"], (
+            f"{mode} at {workers} workers drifted from the cold baseline"
+        )
+
+    for workers in WORKER_COUNTS:
+        hub = ScholarlyHub.deploy(bench_world)
+        cold = _run_batch(Minaret(hub), entries, workers=workers)
+        note("cold", workers, cold)
+
+        hub = ScholarlyHub.deploy(bench_world)
+        minaret = Minaret(hub, config=PipelineConfig(warm_cache=True))
+        first = _run_batch(minaret, entries, workers=workers)
+        note("warm#1", workers, first, hit_rate=minaret.plane.hit_rate())
+        second = _run_batch(minaret, entries, workers=workers)
+        note("warm#2", workers, second, hit_rate=minaret.plane.hit_rate())
+
+        # The acceptance bar: steady-state warm traffic is >=5x below
+        # cold at every worker count.  (Measured: ~25-30x.)
+        assert second["requests"] * 5 <= cold["requests"]
+        # Warm run #1 must already save within the batch, never cost.
+        assert first["requests"] <= cold["requests"]
+
+    print_table(
+        f"EXP-WARM warm-path retrieval plane ({PAPERS} manuscripts)",
+        ("mode", "workers", "requests", "sim latency", "wall", "hit rate"),
+        rows,
+    )
+    OUTPUT.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {OUTPUT.name}")

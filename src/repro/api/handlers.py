@@ -31,6 +31,7 @@ Endpoints
 
 from __future__ import annotations
 
+import threading
 import time
 
 from repro.api.router import ApiError, ApiRequest, ApiResponse, Router
@@ -66,6 +67,12 @@ class MinaretApi:
     handling — spans, metrics, events, from any pool thread — lands in
     this deployment's registry and is served back by ``/api/v1/metrics``
     and ``/api/v1/trace``.
+
+    The deployment also owns a single warm-path
+    :class:`~repro.retrieval.RetrievalPlane`, created lazily on the
+    first request whose config sets ``warm_cache`` and shared by every
+    warm request thereafter — cross-request reuse is the point.  Its
+    stats appear under ``retrieval`` on ``/api/v1/metrics``.
     """
 
     def __init__(
@@ -82,6 +89,8 @@ class MinaretApi:
         self._ontology = ontology or build_seed_ontology()
         self._resolver = resolver
         self._obs = obs or Observability()
+        self._plane = None
+        self._plane_lock = threading.Lock()
         http = getattr(sources, "http", None)
         if (
             http is not None
@@ -104,6 +113,28 @@ class MinaretApi:
     def obs(self) -> Observability:
         """This deployment's observability instance."""
         return self._obs
+
+    @property
+    def plane(self):
+        """The deployment's shared retrieval plane (``None`` until warm)."""
+        return self._plane
+
+    def _plane_for(self, config):
+        """The shared plane when ``config`` wants the warm path."""
+        if not config.warm_cache:
+            return None
+        with self._plane_lock:
+            if self._plane is None:
+                from repro.retrieval import RetrievalPlane
+
+                # First warm request's TTL/capacity win: the plane is a
+                # deployment resource, not a per-request one.
+                self._plane = RetrievalPlane.for_sources(
+                    self._sources,
+                    ttl=config.warm_cache_ttl,
+                    capacity=config.warm_cache_capacity,
+                )
+            return self._plane
 
     def handle(self, method: str, path: str, body: dict | None = None) -> ApiResponse:
         """Entry point: dispatch one API call."""
@@ -172,17 +203,13 @@ class MinaretApi:
         cache = getattr(getattr(self._sources, "crawler", None), "cache", None)
         cache_stats = None
         if cache is not None:
-            cache_stats = {
-                "name": cache.name,
-                "hits": cache.hits,
-                "misses": cache.misses,
-                "hit_rate": round(cache.hit_rate(), 4),
-                "entries": len(cache),
-            }
+            cache_stats = dict(cache.stats())
+            cache_stats["hit_rate"] = round(cache.hit_rate(), 4)
         return {
             "metrics": self._obs.metrics.snapshot(),
             "http": hosts,
             "cache": cache_stats,
+            "retrieval": self._plane.stats() if self._plane is not None else None,
         }
 
     def _trace(self, request: ApiRequest) -> dict:
@@ -288,6 +315,7 @@ class MinaretApi:
             ontology=self._ontology,
             config=config,
             resolver=self._resolver,
+            plane=self._plane_for(config),
         )
         try:
             result = pipeline.recommend(manuscript)
@@ -317,6 +345,7 @@ class MinaretApi:
             ontology=self._ontology,
             config=config,
             resolver=self._resolver,
+            plane=self._plane_for(config),
         )
         entries = []
         for entry in manuscripts_payload:

@@ -58,7 +58,9 @@ def config_from_payload(payload: dict) -> PipelineConfig:
     ``coi`` (``check_coauthorship``, ``affiliation_level``,
     ``lookback_years``), ``constraints`` (the six range bounds),
     ``pc_members``, ``max_candidates`` and ``workers`` (extraction
-    fan-out; output is identical at any value).
+    fan-out; output is identical at any value), plus ``warm_cache`` /
+    ``warm_cache_ttl`` / ``warm_cache_capacity`` (the deployment-shared
+    warm-path retrieval plane; rankings are identical warm or cold).
     """
     try:
         weights = RankingWeights(**payload.get("weights", {}))
@@ -88,6 +90,9 @@ def config_from_payload(payload: dict) -> PipelineConfig:
             impact_metric=ImpactMetric(payload.get("impact_metric", "h_index")),
             max_candidates=int(payload.get("max_candidates", 50)),
             workers=int(payload.get("workers", 1)),
+            warm_cache=bool(payload.get("warm_cache", False)),
+            warm_cache_ttl=payload.get("warm_cache_ttl"),
+            warm_cache_capacity=int(payload.get("warm_cache_capacity", 8192)),
         )
     except (TypeError, ValueError) as exc:
         raise ApiError(400, f"invalid config payload: {exc}") from exc

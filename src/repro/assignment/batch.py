@@ -75,6 +75,7 @@ def recommend_batch(
     executor = executor or create_executor(workers)
     obs = get_obs()
     clock = getattr(getattr(minaret, "sources", None), "clock", None)
+    plane = getattr(minaret, "plane", None)
 
     def run_one(entry: tuple[str, Manuscript]) -> RecommendationResult:
         paper_id, manuscript = entry
@@ -84,9 +85,17 @@ def recommend_batch(
             return minaret.recommend(manuscript)
 
     with obs.span(
-        "batch.recommend", clock=clock, papers=len(entries), workers=executor.workers
-    ):
+        "batch.recommend",
+        clock=clock,
+        papers=len(entries),
+        workers=executor.workers,
+        warm=plane is not None,
+    ) as span:
         results = executor.map(run_one, list(entries))
+        if plane is not None:
+            # Cross-manuscript sharing is the whole point of the warm
+            # path; surface how much of the batch it absorbed.
+            span.set_label("plane_hit_rate", round(plane.hit_rate(), 4))
     return [(paper_id, result) for (paper_id, _), result in zip(entries, results)]
 
 

@@ -21,7 +21,10 @@ Subcommands
 
 ``demo``, ``recommend`` and ``assign`` additionally accept
 ``--log-json PATH`` (stream structured telemetry events to a JSONL
-file) and ``--metrics`` (print the run's metrics summary to stderr).
+file), ``--metrics`` (print the run's metrics summary to stderr), and
+``--warm-cache`` / ``--cold`` (route retrieval through the shared
+warm-path plane of :mod:`repro.retrieval`, or stay with the paper's
+pure on-the-fly mode — the default; rankings are identical either way).
 """
 
 from __future__ import annotations
@@ -142,6 +145,21 @@ def _build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="print a metrics summary (JSON) to stderr on exit",
         )
+        warm = sub.add_mutually_exclusive_group()
+        warm.add_argument(
+            "--warm-cache",
+            dest="warm_cache",
+            action="store_true",
+            help="route retrieval through the shared warm-path plane "
+            "(fewer requests, identical rankings)",
+        )
+        warm.add_argument(
+            "--cold",
+            dest="warm_cache",
+            action="store_false",
+            help="pure on-the-fly retrieval, the paper's mode (default)",
+        )
+        sub.set_defaults(warm_cache=False)
     return parser
 
 
@@ -164,7 +182,7 @@ def _run_demo(args) -> int:
         print(f"  author:       {author.name} ({author.affiliation})")
     print(f"  target venue: {manuscript.target_venue}")
 
-    minaret = Minaret(hub, config=PipelineConfig())
+    minaret = Minaret(hub, config=PipelineConfig(warm_cache=args.warm_cache))
     result = minaret.recommend(manuscript)
 
     print("\nAuthor identity verification (Fig. 4):")
@@ -312,7 +330,7 @@ def _run_recommend(args) -> int:
         )
         return 1
     hub = ScholarlyHub.deploy(world)
-    config = PipelineConfig(workers=max(1, args.workers))
+    config = PipelineConfig(workers=max(1, args.workers), warm_cache=args.warm_cache)
     result = Minaret(hub, config=config).recommend(manuscript)
     if args.json:
         print(json.dumps(result_to_payload(result, top_k=args.top), indent=2))
@@ -345,7 +363,7 @@ def _run_assign(args) -> int:
         print(f"error: cannot load inputs: {exc}", file=sys.stderr)
         return 1
     hub = ScholarlyHub.deploy(world)
-    minaret = Minaret(hub)
+    minaret = Minaret(hub, config=PipelineConfig(warm_cache=args.warm_cache))
     batch = assign_batch(
         minaret,
         entries,

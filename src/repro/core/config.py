@@ -227,6 +227,20 @@ class PipelineConfig:
         default) runs inline with no pool; any value produces
         bit-identical recommendation output — parallelism only buys
         wall-clock time (see :mod:`repro.concurrency`).
+    warm_cache:
+        Route extraction through the shared warm-path retrieval plane
+        (:mod:`repro.retrieval`): interest queries, profile assemblies
+        and Publons summaries are cached across requests, coalesced when
+        issued concurrently, and invalidated when the world re-indexes.
+        ``False`` (the default) is the paper's pure on-the-fly mode.
+        Rankings are bit-identical either way — only request volume
+        changes.
+    warm_cache_ttl:
+        Profile-store entry lifetime in *virtual* seconds; ``None``
+        (default) keeps entries until the freshness epoch bumps or LRU
+        evicts them.
+    warm_cache_capacity:
+        Profile-store LRU bound.
     """
 
     expansion: ExpansionConfig = field(default_factory=ExpansionConfig)
@@ -241,6 +255,9 @@ class PipelineConfig:
     use_all_sources: bool = False
     current_year: int = 2019
     workers: int = 1
+    warm_cache: bool = False
+    warm_cache_ttl: float | None = None
+    warm_cache_capacity: int = 8192
 
     def __post_init__(self):
         if self.max_candidates < 1:
@@ -251,6 +268,10 @@ class PipelineConfig:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
         if self.recency_half_life_years <= 0:
             raise ValueError("recency_half_life_years must be > 0")
+        if self.warm_cache_ttl is not None and self.warm_cache_ttl < 0:
+            raise ValueError("warm_cache_ttl must be >= 0 or None")
+        if self.warm_cache_capacity < 1:
+            raise ValueError("warm_cache_capacity must be >= 1")
         if self.owa_weights is not None:
             if any(w < 0 for w in self.owa_weights):
                 raise ValueError("owa_weights must be non-negative")

@@ -21,10 +21,18 @@ same candidate list as sequential runs because the fan-out only
 is always replayed afterwards in ranked order, and the simulated web's
 latency/fault draws are keyed by request content rather than arrival
 order.
+
+When a :class:`~repro.retrieval.RetrievalPlane` is attached, the
+expensive fetch sequences — interest queries, whole profile assemblies,
+Publons summaries — resolve through its warm path: cached across
+requests, coalesced when issued concurrently, epoch-invalidated when
+the world re-indexes.  The selection replay is unchanged, so warm runs
+rank bit-identically to cold ones.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import threading
 
 from repro.concurrency import Executor, create_executor
@@ -48,6 +56,9 @@ class CandidateExtractor:
     ``sources`` is any object exposing the six typed clients as
     attributes (``ScholarlyHub`` qualifies).  ``executor`` overrides the
     worker pool; by default one is built from ``config.workers``.
+    ``plane`` attaches a shared warm-path
+    :class:`~repro.retrieval.RetrievalPlane`; ``None`` (the default) is
+    the paper's pure on-the-fly mode.
     """
 
     def __init__(
@@ -55,10 +66,12 @@ class CandidateExtractor:
         sources,
         config: PipelineConfig | None = None,
         executor: Executor | None = None,
+        plane=None,
     ):
         self._sources = sources
         self._config = config or PipelineConfig()
         self._executor = executor or create_executor(self._config.workers)
+        self._plane = plane
         self._counter_lock = threading.Lock()
         #: Candidates dropped because a source stayed down through every
         #: retry while assembling their profile.
@@ -76,29 +89,43 @@ class CandidateExtractor:
     ) -> tuple[dict[str, dict[str, float]], dict[str, dict[str, float]]]:
         """Query the interest indexes for every expanded keyword.
 
+        Expansions whose keywords normalize identically are collapsed
+        into one query per index: the services normalize the query term
+        themselves, so two surface forms of one keyword can only return
+        the same answer — issuing both would double the request cost for
+        nothing.  The best expansion score of the group carries over,
+        which is exactly what the per-keyword ``max`` merge produced
+        before.
+
         Returns two maps — Scholar users and Publons reviewers — each of
         the form ``source_id -> {normalized keyword: best sc}``.
         """
         scholar_matches: dict[str, dict[str, float]] = {}
         publons_matches: dict[str, dict[str, float]] = {}
-        outcomes = self._executor.map(self._query_interest_indexes, expanded)
+        groups: dict[str, list[ExpandedKeyword]] = {}
+        for expansion in expanded:
+            groups.setdefault(normalize_keyword(expansion.keyword), []).append(
+                expansion
+            )
+        representatives = [group[0] for group in groups.values()]
+        outcomes = self._executor.map(self._query_interest_indexes, representatives)
         failures = 0
         # Merge in input order so the dicts (and their insertion order)
         # are identical at every worker count.
-        for expansion, (users, reviewers) in zip(expanded, outcomes):
-            keyword = normalize_keyword(expansion.keyword)
+        for (keyword, group), (users, reviewers) in zip(groups.items(), outcomes):
+            score = max(expansion.score for expansion in group)
             if users is None:
                 failures += 1
                 users = []
             for user in users:
                 bucket = scholar_matches.setdefault(user, {})
-                bucket[keyword] = max(bucket.get(keyword, 0.0), expansion.score)
+                bucket[keyword] = max(bucket.get(keyword, 0.0), score)
             if reviewers is None:
                 failures += 1
                 reviewers = []
             for reviewer in reviewers:
                 bucket = publons_matches.setdefault(reviewer, {})
-                bucket[keyword] = max(bucket.get(keyword, 0.0), expansion.score)
+                bucket[keyword] = max(bucket.get(keyword, 0.0), score)
         if failures:
             with self._counter_lock:
                 self.retrieval_failures += failures
@@ -113,18 +140,25 @@ class CandidateExtractor:
         """
         limit = self._config.per_keyword_retrieval_limit
         try:
-            users = self._sources.scholar.scholars_by_interest(
-                expansion.keyword, limit=limit
-            )
+            users = self._interest_ids("scholar", expansion.keyword, limit)
         except CrawlError:
             users = None
         try:
-            reviewers = self._sources.publons.reviewers_by_interest(
-                expansion.keyword, limit=limit
-            )
+            reviewers = self._interest_ids("publons", expansion.keyword, limit)
         except CrawlError:
             reviewers = None
         return users, reviewers
+
+    def _interest_ids(self, source: str, keyword: str, limit: int) -> list[str]:
+        if source == "scholar":
+            def query() -> list[str]:
+                return self._sources.scholar.scholars_by_interest(keyword, limit=limit)
+        else:
+            def query() -> list[str]:
+                return self._sources.publons.reviewers_by_interest(keyword, limit=limit)
+        if self._plane is None:
+            return query()
+        return self._plane.interest_ids(source, keyword, limit, query)
 
     def extract_candidates(
         self, expanded: list[ExpandedKeyword]
@@ -190,9 +224,22 @@ class CandidateExtractor:
     def _scholar_assembly_task(self, item: tuple[str, dict[str, float]]):
         user, matched = item
         try:
-            return self._assemble_from_scholar(user, matched)
+            template = self._scholar_template(user)
         except CrawlError:
             return _FAILED
+        if template is None:
+            return None
+        return _stamp_matched(template, matched)
+
+    def _scholar_template(self, user: str) -> Candidate | None:
+        """Assemble (or warm-fetch) the request-independent profile."""
+        if self._plane is None:
+            return self._assemble_from_scholar(user)
+        return self._plane.fetch(
+            "scholar_profile",
+            (user, self._config.use_all_sources),
+            lambda: self._assemble_from_scholar(user),
+        )
 
     def _extend_from_publons(
         self,
@@ -269,16 +316,32 @@ class CandidateExtractor:
         if cached is not _UNFETCHED:
             return cached
         try:
-            return self._sources.publons.reviewer_summary(reviewer)
+            if self._plane is None:
+                return self._sources.publons.reviewer_summary(reviewer)
+            return self._plane.fetch(
+                "publons_summary",
+                reviewer,
+                lambda: self._sources.publons.reviewer_summary(reviewer),
+            )
         except CrawlError:
             return _FAILED
 
     def _publons_assembly_task(self, item: tuple[str, dict[str, float], dict]):
         reviewer, matched, summary = item
         try:
-            return self._assemble_from_publons(reviewer, summary, matched)
+            if self._plane is None:
+                template = self._assemble_from_publons(reviewer, summary)
+            else:
+                template = self._plane.fetch(
+                    "publons_candidate",
+                    reviewer,
+                    lambda: self._assemble_from_publons(reviewer, summary),
+                )
         except CrawlError:
             return _FAILED
+        if template is None:
+            return None
+        return _stamp_matched(template, matched)
 
     @staticmethod
     def _rank_matches(
@@ -294,9 +357,7 @@ class CandidateExtractor:
     # Profile assembly
     # ------------------------------------------------------------------
 
-    def _assemble_from_scholar(
-        self, user: str, matched: dict[str, float]
-    ) -> Candidate | None:
+    def _assemble_from_scholar(self, user: str) -> Candidate | None:
         scholar_profile = self._sources.scholar.profile(user)
         if scholar_profile is None:
             return None
@@ -319,17 +380,13 @@ class CandidateExtractor:
             candidate_id=user,
             name=name,
             profile=merge_source_profiles(profiles),
-            matched_keywords=dict(matched),
-            keyword_match_score=max(matched.values(), default=0.0),
             scholar_publications=self._sources.scholar.publications(user),
             dblp_publications=dblp_pubs,
         )
         _apply_publons_summary(candidate, publons_summary)
         return candidate
 
-    def _assemble_from_publons(
-        self, reviewer: str, summary: dict, matched: dict[str, float]
-    ) -> Candidate | None:
+    def _assemble_from_publons(self, reviewer: str, summary: dict) -> Candidate | None:
         profiles: list[SourceProfile] = [_publons_summary_to_profile(summary)]
         name = summary["name"]
         dblp_profile, dblp_pubs = self._link_dblp(name, set())
@@ -344,8 +401,6 @@ class CandidateExtractor:
             candidate_id=reviewer,
             name=name,
             profile=merge_source_profiles(profiles),
-            matched_keywords=dict(matched),
-            keyword_match_score=max(matched.values(), default=0.0),
             dblp_publications=dblp_pubs,
         )
         _apply_publons_summary(candidate, summary)
@@ -441,3 +496,21 @@ def _apply_publons_summary(candidate: Candidate, summary: dict | None) -> None:
     candidate.review_count = int(summary.get("review_count", 0))
     candidate.on_time_rate = summary.get("on_time_rate")
     candidate.venues_reviewed = list(summary.get("venues_reviewed", ()))
+
+
+def _stamp_matched(template: Candidate, matched: dict[str, float]) -> Candidate:
+    """A per-request copy of a template with the matched keywords stamped.
+
+    Templates may be shared across requests through the retrieval plane
+    and :class:`Candidate` is mutable, so every request gets its own
+    instance with fresh container fields — downstream phases are free to
+    mutate them without corrupting the cache.
+    """
+    return dataclasses.replace(
+        template,
+        matched_keywords=dict(matched),
+        keyword_match_score=max(matched.values(), default=0.0),
+        scholar_publications=list(template.scholar_publications),
+        dblp_publications=list(template.dblp_publications),
+        venues_reviewed=list(template.venues_reviewed),
+    )

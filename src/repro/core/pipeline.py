@@ -28,6 +28,7 @@ from repro.obs import get_obs
 from repro.ontology.data import build_seed_ontology
 from repro.ontology.expansion import KeywordExpander
 from repro.ontology.graph import TopicOntology
+from repro.retrieval import RetrievalPlane
 from repro.web.accounting import RequestScope
 
 
@@ -51,6 +52,12 @@ class Minaret:
         Identity-ambiguity resolution strategy; defaults to automatic
         affiliation-evidence resolution (strict failure when evidence is
         insufficient).
+    plane:
+        A shared warm-path :class:`~repro.retrieval.RetrievalPlane`.
+        When omitted, one is created iff ``config.warm_cache`` is set;
+        pass an existing plane to share its store across pipelines (the
+        API deployment does this per hub).  ``None`` with
+        ``warm_cache=False`` is the paper's pure on-the-fly mode.
 
     Example
     -------
@@ -66,6 +73,7 @@ class Minaret:
         ontology: TopicOntology | None = None,
         config: PipelineConfig | None = None,
         resolver: IdentityResolver | None = None,
+        plane: RetrievalPlane | None = None,
     ):
         self._sources = sources
         self._config = config or PipelineConfig()
@@ -77,8 +85,15 @@ class Minaret:
             use_all_sources=self._config.use_all_sources,
         )
         self._executor = create_executor(self._config.workers)
+        if plane is None and self._config.warm_cache:
+            plane = RetrievalPlane.for_sources(
+                sources,
+                ttl=self._config.warm_cache_ttl,
+                capacity=self._config.warm_cache_capacity,
+            )
+        self._plane = plane
         self._extractor = CandidateExtractor(
-            sources, self._config, executor=self._executor
+            sources, self._config, executor=self._executor, plane=plane
         )
         self._filter = FilterPhase(
             self._config.filters, current_year=self._config.current_year
@@ -99,6 +114,11 @@ class Minaret:
     def expander(self) -> KeywordExpander:
         """The keyword-expansion engine (exposed for experiments)."""
         return self._expander
+
+    @property
+    def plane(self) -> RetrievalPlane | None:
+        """The attached warm-path retrieval plane, if any."""
+        return self._plane
 
     def recommend(self, manuscript: Manuscript) -> RecommendationResult:
         """Run the full three-phase workflow on one manuscript."""

@@ -52,27 +52,50 @@ class AuthorTrackRecord:
         return Counter(self.venues).most_common(k)
 
 
-def build_track_record(verified: VerifiedAuthor, sources) -> AuthorTrackRecord:
+def build_track_record(
+    verified: VerifiedAuthor, sources, plane=None
+) -> AuthorTrackRecord:
     """Assemble the dossier for a verified author.
 
     ``sources`` is the usual six-client bundle.  The DBLP page supplies
     the dated publication list and the co-author network; the merged
     profile supplies affiliations and metrics; Publons (when linked)
-    supplies the review count.
+    supplies the review count.  ``plane`` optionally routes the fetches
+    through a warm-path :class:`~repro.retrieval.RetrievalPlane` — the
+    ``publons_summary`` layer is shared with candidate extraction, so a
+    dossier can be served from a profile an earlier recommendation
+    already paid for.
     """
     profile = verified.profile
     dblp_pid = profile.source_id(SourceName.DBLP)
     publications: list[dict] = []
     coauthor_pids: tuple[str, ...] = ()
     if dblp_pid is not None:
-        publications = sources.dblp.author_publications(dblp_pid)
-        coauthor_pids = tuple(sources.dblp.coauthor_pids(dblp_pid))
+        if plane is None:
+            publications = sources.dblp.author_publications(dblp_pid)
+            coauthor_pids = tuple(sources.dblp.coauthor_pids(dblp_pid))
+        else:
+            publications, coauthor_pids = plane.fetch(
+                "dblp_author_record",
+                dblp_pid,
+                lambda: (
+                    sources.dblp.author_publications(dblp_pid),
+                    tuple(sources.dblp.coauthor_pids(dblp_pid)),
+                ),
+            )
     per_year: Counter[int] = Counter(p["year"] for p in publications)
     venues: Counter[str] = Counter(p["venue"] for p in publications)
     review_count = 0
     publons_id = profile.source_id(SourceName.PUBLONS)
     if publons_id is not None:
-        summary = sources.publons.reviewer_summary(publons_id)
+        if plane is None:
+            summary = sources.publons.reviewer_summary(publons_id)
+        else:
+            summary = plane.fetch(
+                "publons_summary",
+                publons_id,
+                lambda: sources.publons.reviewer_summary(publons_id),
+            )
         if summary is not None:
             review_count = int(summary.get("review_count", 0))
     years = sorted(per_year)

@@ -1,0 +1,377 @@
+"""The warm-path retrieval plane.
+
+EXPERIMENTS.md (FIG2) shows candidate extraction dominating a
+recommendation end-to-end: ~488 of ~498 requests and ~57 of ~58
+simulated seconds.  The paper's on-the-fly design re-issues all of it
+for every manuscript, even when manuscripts share expanded keywords and
+candidate profiles — which is exactly what happens in batch assignment
+and under sustained editor traffic.
+
+:class:`RetrievalPlane` is a shared, thread-safe layer between the
+extraction/track-record code and the simulated sources.  Three
+cooperating pieces:
+
+**Cross-request profile store.**  A TTL+LRU :class:`~repro.web.cache.TTLCache`
+holding the *assembled* results of expensive fetch sequences (candidate
+profile bundles, Publons summaries, author dossiers), keyed on the
+normalized query **and the plane's epoch**.  One warm hit saves the
+whole multi-request assembly, not just one HTTP response.
+
+**Singleflight coalescing.**  Concurrent identical fetches — the same
+keyword across batch manuscripts, or across workers in one wave —
+collapse into one in-flight request whose result fans out to every
+waiter (:mod:`repro.retrieval.singleflight`).  Because the simulated
+web keys its latency/fault draws by request content, the leader's draw
+is canonical and rankings stay bit-identical at any worker count.
+
+**Incremental interest index.**  After first contact, interest →
+candidate postings are folded into a local
+:class:`~repro.storage.inverted.InvertedIndex` mirror per source, so
+subsequent recommendations resolve candidate ids locally and only
+assemble profiles not yet cached.
+
+Freshness is governed by the **epoch**: :meth:`bump_epoch` (called by
+:meth:`~repro.scholarly.registry.ScholarlyHub.refresh_services` when
+:mod:`repro.world.dynamics` mutations are re-indexed) makes every
+cached entry and folded posting unreachable, so world advancement can
+never serve stale profiles.  The TTL bounds staleness *within* an
+epoch against the shared virtual clock.
+
+Everything is instrumented through :mod:`repro.obs`: per-layer
+hit/miss/coalesce counters, store/index gauges, and spans around leader
+fetches.  ``GET /api/v1/metrics`` serves :meth:`stats`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Callable, Hashable
+
+from repro.obs import get_obs
+from repro.retrieval.singleflight import SingleFlight
+from repro.storage.inverted import InvertedIndex
+from repro.text.normalize import normalize_keyword
+from repro.web.cache import TTLCache
+from repro.web.clock import SimulatedClock
+
+
+class _InterestMirror:
+    """Epoch-scoped local mirror of one source's interest index.
+
+    Postings are folded in with rank-derived weights, so a ranked
+    single-term search over the mirror reproduces the service's response
+    order exactly.  Each folded term remembers the ``limit`` it was
+    fetched with: a narrower later query is a prefix of the stored
+    ranking and resolves locally; a wider one must go back to the
+    source.
+    """
+
+    def __init__(self, source: str):
+        self.source = source
+        self._index = InvertedIndex()
+        self._fetched_limit: dict[str, int] = {}
+        self._order: dict[str, list[str]] = {}
+        self._lock = threading.Lock()
+
+    def lookup(self, keyword: str, limit: int) -> list[str] | None:
+        """Locally resolved ids, or ``None`` when the mirror can't answer."""
+        with self._lock:
+            stored = self._order.get(keyword)
+            if stored is None:
+                return None
+            fetched_limit = self._fetched_limit[keyword]
+            if limit > fetched_limit and len(stored) >= fetched_limit:
+                # The stored ranking may be truncated below what the
+                # caller wants; only the source knows the tail.
+                return None
+            return stored[:limit]
+
+    def fold(self, keyword: str, ids: list[str], limit: int) -> None:
+        """Record one fetched posting list (idempotent per epoch)."""
+        with self._lock:
+            known = self._fetched_limit.get(keyword, -1)
+            if known >= limit:
+                return
+            self._order[keyword] = list(ids)
+            self._fetched_limit[keyword] = limit
+            # Rank-derived weights: descending by position, so the
+            # inverted index's (-weight, doc_id) sort replays the
+            # service's response order.
+            self._index.replace_term(
+                keyword, {doc: float(len(ids) - i) for i, doc in enumerate(ids)}
+            )
+
+    def term_count(self) -> int:
+        with self._lock:
+            return len(self._order)
+
+    def search(self, keywords: list[str], limit: int | None = None) -> list[str]:
+        """Ranked local OR-retrieval over folded terms (diagnostics)."""
+        with self._lock:
+            postings = self._index.search(
+                [normalize_keyword(k) for k in keywords], limit=limit, use_idf=False
+            )
+            return [p.doc_id for p in postings]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._index = InvertedIndex()
+            self._fetched_limit.clear()
+            self._order.clear()
+
+
+class RetrievalPlane:
+    """Shared warm path for candidate retrieval and profile assembly.
+
+    Parameters
+    ----------
+    clock:
+        The virtual clock TTLs are measured against (the hub's).
+    ttl:
+        Profile-store entry lifetime in virtual seconds; ``None`` (the
+        default) keeps entries until the epoch bumps or LRU evicts them.
+    capacity:
+        Profile-store LRU bound.
+    name:
+        Label for this plane's metrics (one per deployment).
+
+    Example
+    -------
+    >>> plane = RetrievalPlane(SimulatedClock())
+    >>> plane.fetch("profiles", "alice", lambda: {"name": "alice"})
+    {'name': 'alice'}
+    >>> plane.fetch("profiles", "alice", lambda: 1 / 0)  # served warm
+    {'name': 'alice'}
+    """
+
+    def __init__(
+        self,
+        clock: SimulatedClock | None = None,
+        ttl: float | None = None,
+        capacity: int = 8192,
+        name: str = "retrieval",
+    ):
+        self._clock = clock or SimulatedClock()
+        self._name = name
+        self._store = TTLCache(
+            ttl=ttl, capacity=capacity, clock=self._clock, name=name
+        )
+        self._flight = SingleFlight()
+        self._mirrors = {
+            "scholar": _InterestMirror("scholar"),
+            "publons": _InterestMirror("publons"),
+        }
+        self._lock = threading.Lock()
+        self._epoch = 0
+        self.hits = 0
+        self.misses = 0
+        self.coalesced = 0
+        self._layer_counts: dict[tuple[str, str], int] = {}
+
+    @classmethod
+    def for_sources(
+        cls,
+        sources,
+        ttl: float | None = None,
+        capacity: int = 8192,
+        name: str = "retrieval",
+    ) -> "RetrievalPlane":
+        """Build a plane over a source bundle and attach it to the hub.
+
+        Uses the bundle's clock when it has one, and registers on the
+        hub's plane list so
+        :meth:`~repro.scholarly.registry.ScholarlyHub.refresh_services`
+        bumps this plane's epoch when the world re-indexes.
+        """
+        plane = cls(
+            clock=getattr(sources, "clock", None),
+            ttl=ttl,
+            capacity=capacity,
+            name=name,
+        )
+        attach = getattr(sources, "attach_retrieval_plane", None)
+        if attach is not None:
+            attach(plane)
+        return plane
+
+    # ------------------------------------------------------------------
+    # Epoch
+    # ------------------------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        """The current freshness epoch."""
+        with self._lock:
+            return self._epoch
+
+    @property
+    def name(self) -> str:
+        """The label this plane's metrics are tagged with."""
+        return self._name
+
+    @property
+    def store(self) -> TTLCache:
+        """The underlying profile store (exposed for inspection)."""
+        return self._store
+
+    def bump_epoch(self) -> int:
+        """Invalidate everything: the world has visibly changed.
+
+        Cached entries are keyed by epoch, so bumping makes them
+        unreachable in O(1); the interest mirrors are rebuilt from
+        scratch on next contact.  Returns the new epoch.
+        """
+        with self._lock:
+            self._epoch += 1
+            epoch = self._epoch
+        for mirror in self._mirrors.values():
+            mirror.clear()
+        self._store.clear()
+        obs = get_obs()
+        obs.inc("retrieval_epoch_bumps_total", plane=self._name)
+        obs.gauge("retrieval_epoch", float(epoch), plane=self._name)
+        obs.emit("retrieval_epoch_bumped", clock=self._clock, plane=self._name, epoch=epoch)
+        return epoch
+
+    # ------------------------------------------------------------------
+    # Generic cached fetch (profile store + singleflight)
+    # ------------------------------------------------------------------
+
+    def fetch(self, layer: str, key: Hashable, loader: Callable[[], object]) -> object:
+        """Resolve ``key`` warm when possible, else coalesce one fetch.
+
+        ``layer`` labels the metrics (``scholar_profile``,
+        ``publons_summary``, ...).  Loader exceptions propagate to the
+        leader *and* every coalesced waiter, and nothing is cached — a
+        retried request re-draws the same simulated outcome, so warm
+        runs degrade exactly like cold ones.
+        """
+        epoch_key = (self.epoch, layer, key)
+        cached = self._store.get(epoch_key)
+        if cached is not None:
+            self._count("hit", layer)
+            return cached[0]
+        value, leader = self._flight.do(epoch_key, lambda: self._load(layer, loader))
+        if leader:
+            self._store.put(epoch_key, (value,))
+            self._count("miss", layer)
+            get_obs().gauge(
+                "retrieval_store_entries", float(len(self._store)), plane=self._name
+            )
+        else:
+            self._count("coalesced", layer)
+        return value
+
+    def _load(self, layer: str, loader: Callable[[], object]) -> object:
+        with get_obs().span(
+            "retrieval.fetch", clock=self._clock, plane=self._name, layer=layer
+        ):
+            return loader()
+
+    # ------------------------------------------------------------------
+    # Interest index
+    # ------------------------------------------------------------------
+
+    def interest_ids(
+        self,
+        source: str,
+        keyword: str,
+        limit: int,
+        loader: Callable[[], list[str]],
+    ) -> list[str]:
+        """Resolve an interest query locally, or fetch-and-fold once.
+
+        ``source`` is ``"scholar"`` or ``"publons"``; ``loader`` issues
+        the real interest query (with ``limit``) on a miss.  After first
+        contact the postings live in the local mirror and later queries
+        — including narrower ``limit`` s — never touch the network
+        within the epoch.
+        """
+        mirror = self._mirrors[source]
+        normalized = normalize_keyword(keyword)
+        local = mirror.lookup(normalized, limit)
+        if local is not None:
+            self._count("hit", f"{source}_interest")
+            return local
+        epoch_key = (self.epoch, f"{source}_interest", normalized, limit)
+        ids, leader = self._flight.do(
+            epoch_key, lambda: self._load(f"{source}_interest", loader)
+        )
+        if leader:
+            mirror.fold(normalized, ids, limit)
+            self._count("miss", f"{source}_interest")
+            get_obs().gauge(
+                "retrieval_index_terms",
+                float(mirror.term_count()),
+                plane=self._name,
+                source=source,
+            )
+        else:
+            self._count("coalesced", f"{source}_interest")
+        return list(ids[:limit])
+
+    def local_interest_search(
+        self, source: str, keywords: list[str], limit: int | None = None
+    ) -> list[str]:
+        """Ranked OR-search over the folded postings (local only)."""
+        return self._mirrors[source].search(keywords, limit=limit)
+
+    # ------------------------------------------------------------------
+    # Bookkeeping
+    # ------------------------------------------------------------------
+
+    def _count(self, outcome: str, layer: str) -> None:
+        with self._lock:
+            if outcome == "hit":
+                self.hits += 1
+            elif outcome == "miss":
+                self.misses += 1
+            else:
+                self.coalesced += 1
+            key = (outcome, layer)
+            self._layer_counts[key] = self._layer_counts.get(key, 0) + 1
+        metric = {
+            "hit": "retrieval_hits_total",
+            "miss": "retrieval_misses_total",
+            "coalesced": "retrieval_coalesced_total",
+        }[outcome]
+        get_obs().inc(metric, plane=self._name, layer=layer)
+
+    def hit_rate(self) -> float:
+        """Fraction of plane lookups served without a leader fetch."""
+        with self._lock:
+            total = self.hits + self.misses + self.coalesced
+            if total == 0:
+                return 0.0
+            return (self.hits + self.coalesced) / total
+
+    def stats(self) -> dict:
+        """JSON-serialisable snapshot (served by ``GET /api/v1/metrics``)."""
+        with self._lock:
+            layers: dict[str, dict[str, int]] = {}
+            for (outcome, layer), count in sorted(self._layer_counts.items()):
+                layers.setdefault(layer, {})[outcome] = count
+            epoch = self._epoch
+            hits, misses, coalesced = self.hits, self.misses, self.coalesced
+        total = hits + misses + coalesced
+        rate = (hits + coalesced) / total if total else 0.0
+        return {
+            "plane": self._name,
+            "epoch": epoch,
+            "hits": hits,
+            "misses": misses,
+            "coalesced": coalesced,
+            "hit_rate": round(rate, 4),
+            "store_entries": len(self._store),
+            "index_terms": {
+                source: mirror.term_count()
+                for source, mirror in sorted(self._mirrors.items())
+            },
+            "layers": layers,
+        }
+
+    def clear(self) -> None:
+        """Drop all cached state without advancing the epoch."""
+        self._store.clear()
+        for mirror in self._mirrors.values():
+            mirror.clear()

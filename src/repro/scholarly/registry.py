@@ -79,6 +79,9 @@ class ScholarlyHub:
     acm: AcmClient
     orcid: OrcidClient
     rid: ResearcherIdClient
+    #: Warm-path retrieval planes whose freshness epoch must advance
+    #: whenever the services re-index (see ``attach_retrieval_plane``).
+    planes: list = field(default_factory=list)
 
     @classmethod
     def deploy(
@@ -182,7 +185,10 @@ class ScholarlyHub:
         clock and — crucially — the crawler's response **cache** are all
         left untouched: a stale cache after a refresh is exactly the
         freshness hazard the paper's on-the-fly design avoids, and the
-        EXP-FRESHNESS experiment measures.
+        EXP-FRESHNESS experiment measures.  Attached warm-path retrieval
+        planes, by contrast, *are* epoch-bumped: the plane's contract is
+        "never serve a profile the services no longer would" — that is
+        what distinguishes it from a naive response cache.
         """
         self.dblp_service = DblpService(self.world)
         self.scholar_service = GoogleScholarService(self.world)
@@ -199,6 +205,18 @@ class ScholarlyHub:
             self.rid_service,
         ):
             self.http.replace_endpoint(service.host, service.endpoint)
+        for plane in self.planes:
+            plane.bump_epoch()
+
+    def attach_retrieval_plane(self, plane) -> None:
+        """Register a warm-path plane for epoch bumps on re-index.
+
+        Idempotent; :meth:`refresh_services` calls ``bump_epoch()`` on
+        every attached plane so cached profiles can never outlive the
+        index state they were fetched under.
+        """
+        if plane not in self.planes:
+            self.planes.append(plane)
 
     def clients(self) -> dict[SourceName, object]:
         """The typed clients, keyed by source name."""

@@ -68,6 +68,38 @@ class InvertedIndex:
             self._postings[term][doc_id] = float(weight)
             self._document_terms[doc_id].add(term)
 
+    def replace_term(self, term: str, doc_weights: Mapping[str, float]) -> None:
+        """Atomically replace ``term``'s entire posting list.
+
+        The incremental interest mirror (:mod:`repro.retrieval`) folds a
+        freshly fetched ranking over whatever a narrower earlier fetch
+        recorded; replacing per-term (rather than re-adding per-doc)
+        guarantees no stale posting of the old list survives.  An empty
+        ``doc_weights`` simply drops the term.
+        """
+        for weight in doc_weights.values():
+            if weight <= 0:
+                raise ValueError(f"posting weight must be positive, got {weight!r}")
+        old = self._postings.pop(term, {})
+        for doc_id in old:
+            terms = self._document_terms.get(doc_id)
+            if terms is not None:
+                terms.discard(term)
+                if not terms:
+                    del self._document_terms[doc_id]
+        if doc_weights:
+            self.add_term(term, doc_weights)
+
+    def add_term(self, term: str, doc_weights: Mapping[str, float]) -> None:
+        """Index every document in ``doc_weights`` under one ``term``."""
+        for doc_id, weight in doc_weights.items():
+            if weight <= 0:
+                raise ValueError(
+                    f"posting weight must be positive, got {weight!r} for {doc_id!r}"
+                )
+            self._postings[term][doc_id] = float(weight)
+            self._document_terms[doc_id].add(term)
+
     def remove(self, doc_id: str) -> None:
         """Drop every posting of ``doc_id``; silently ignores unknown ids."""
         terms = self._document_terms.pop(doc_id, set())

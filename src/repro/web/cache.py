@@ -58,6 +58,11 @@ class TTLCache:
         self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
+        #: Entries dropped because their TTL had lapsed — including the
+        #: ones discovered lazily, by a ``get`` or an overwriting ``put``.
+        self.evictions_expired = 0
+        #: Entries pushed out by the LRU capacity bound.
+        self.evictions_capacity = 0
 
     def __len__(self) -> int:
         with self._lock:
@@ -95,6 +100,7 @@ class TTLCache:
             if self._ttl is not None and self._clock.now() - stored_at > self._ttl:
                 del self._entries[key]
                 self.misses += 1
+                self.evictions_expired += 1
                 obs = get_obs()
                 obs.inc("cache_misses_total", cache=self._name)
                 obs.inc("cache_evictions_total", cache=self._name, reason="expired")
@@ -109,11 +115,21 @@ class TTLCache:
         with self._lock:
             if self._ttl == 0:
                 return
-            if key in self._entries:
-                del self._entries[key]
+            previous = self._entries.pop(key, None)
+            if previous is not None and self._ttl is not None:
+                # An overwrite of an already-expired entry is an eviction
+                # too — the entry died of age, the put merely found the
+                # body.  Without this the expired/capacity split
+                # undercounts on write-heavy keys.
+                if self._clock.now() - previous[0] > self._ttl:
+                    self.evictions_expired += 1
+                    get_obs().inc(
+                        "cache_evictions_total", cache=self._name, reason="expired"
+                    )
             self._entries[key] = (self._clock.now(), value)
             while len(self._entries) > self._capacity:
                 self._entries.popitem(last=False)
+                self.evictions_capacity += 1
                 get_obs().inc(
                     "cache_evictions_total", cache=self._name, reason="capacity"
                 )
@@ -136,6 +152,21 @@ class TTLCache:
                 return 0.0
             return self.hits / total
 
+    def stats(self) -> dict:
+        """JSON-serialisable counter snapshot for metrics endpoints."""
+        with self._lock:
+            self._evict_expired()
+            return {
+                "name": self._name,
+                "entries": len(self._entries),
+                "capacity": self._capacity,
+                "ttl": self._ttl,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions_expired": self.evictions_expired,
+                "evictions_capacity": self.evictions_capacity,
+            }
+
     def _evict_expired(self) -> None:
         # Caller holds self._lock.
         if self._ttl is None:
@@ -149,6 +180,7 @@ class TTLCache:
         for key in expired:
             del self._entries[key]
         if expired:
+            self.evictions_expired += len(expired)
             get_obs().inc(
                 "cache_evictions_total",
                 len(expired),

@@ -45,6 +45,43 @@ class TestRetrieval:
         for matched in scholar_matches.values():
             assert max(matched.values()) == pytest.approx(0.9)
 
+    def test_normalize_identical_keywords_query_once(self, world):
+        """Surface variants of one keyword cost one query pair, not many.
+
+        The services normalize the query term themselves, so "RDF" and
+        "rdf" can only ever return the same ids — issuing both would
+        just double the request bill.
+        """
+        from repro.scholarly.registry import ScholarlyHub
+
+        hub_probe = ScholarlyHub.deploy(world)
+        keyword = expansions_for(world, hub_probe, count=1)[0].keyword
+
+        def variants(kw):
+            return [
+                ExpandedKeyword(keyword=kw, topic_id="", score=0.9, seed=kw, depth=0),
+                ExpandedKeyword(
+                    keyword=kw.upper(), topic_id="", score=0.6, seed=kw, depth=1
+                ),
+                ExpandedKeyword(
+                    keyword=f"  {kw.title()} ", topic_id="", score=0.7, seed=kw, depth=1
+                ),
+            ]
+
+        hub_single = ScholarlyHub.deploy(world)
+        single = CandidateExtractor(hub_single).retrieve_candidate_ids(
+            [variants(keyword)[0]]
+        )
+        hub_multi = ScholarlyHub.deploy(world)
+        multi = CandidateExtractor(hub_multi).retrieve_candidate_ids(
+            variants(keyword)
+        )
+        assert hub_multi.total_requests() == hub_single.total_requests()
+        # The merge still keeps the best expansion score of the group.
+        assert set(multi[0]) == set(single[0])
+        for matched in multi[0].values():
+            assert max(matched.values()) == pytest.approx(0.9)
+
 
 class TestExtraction:
     def test_candidates_capped(self, hub, world):

@@ -80,6 +80,43 @@ class TestRerank:
         impacts = [s.breakdown.scientific_impact for s in reranked.ranked]
         assert impacts == sorted(impacts, reverse=True)
 
+    def test_request_counters_frozen_across_settings(self, hub, run):
+        """No rerank knob may re-crawl: counters stay frozen throughout."""
+        minaret, result = run
+        requests_before = hub.total_requests()
+        latency_before = hub.total_latency()
+        reranked = minaret.rerank(
+            result,
+            weights=RankingWeights(0.2, 0.2, 0.2, 0.2, 0.2),
+            aggregation=AggregationMethod.OWA,
+            owa_weights=(0.5, 0.3, 0.2),
+            impact_metric=ImpactMetric.CITATIONS,
+        )
+        minaret.rerank(reranked)
+        assert hub.total_requests() == requests_before
+        assert hub.total_latency() == latency_before
+        assert reranked.phase_reports[-1].requests == 0
+
+    def test_warm_pipeline_rerank_touches_neither_web_nor_plane(
+        self, world, manuscript
+    ):
+        from repro.core.config import PipelineConfig
+        from repro.scholarly.registry import ScholarlyHub
+
+        hub = ScholarlyHub.deploy(world)
+        minaret = Minaret(hub, config=PipelineConfig(warm_cache=True))
+        result = minaret.recommend(manuscript)
+        requests_before = hub.total_requests()
+        lookups_before = (
+            minaret.plane.hits + minaret.plane.misses + minaret.plane.coalesced
+        )
+        minaret.rerank(result, weights=RankingWeights(0.0, 1.0, 0.0, 0.0, 0.0))
+        assert hub.total_requests() == requests_before
+        lookups_after = (
+            minaret.plane.hits + minaret.plane.misses + minaret.plane.coalesced
+        )
+        assert lookups_after == lookups_before
+
     def test_rerank_matches_fresh_run_with_same_config(self, world, manuscript):
         from repro.core.config import PipelineConfig
         from repro.scholarly.registry import ScholarlyHub

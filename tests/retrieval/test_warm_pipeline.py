@@ -1,0 +1,132 @@
+"""End-to-end warm-path guarantees: determinism, savings, freshness."""
+
+import pytest
+
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import Minaret
+from repro.scholarly.registry import ScholarlyHub
+from repro.world.config import WorldConfig
+from repro.world.dynamics import WorldDynamics
+from repro.world.generator import generate_world
+from tests.conftest import make_manuscript
+
+
+def signature(result):
+    """The bit-exact ranking: (candidate, score) in order."""
+    return [(s.candidate.candidate_id, s.total_score) for s in result.ranked]
+
+
+class TestDeterminism:
+    @pytest.fixture(scope="class")
+    def cold_signature(self, world):
+        manuscript = _manuscript(world)
+        hub = ScholarlyHub.deploy(world)
+        return signature(Minaret(hub).recommend(manuscript))
+
+    @pytest.mark.parametrize("workers", [1, 2, 8])
+    def test_warm_first_run_matches_cold_sequential(
+        self, world, cold_signature, workers
+    ):
+        manuscript = _manuscript(world)
+        hub = ScholarlyHub.deploy(world)
+        minaret = Minaret(
+            hub, config=PipelineConfig(warm_cache=True, workers=workers)
+        )
+        assert signature(minaret.recommend(manuscript)) == cold_signature
+
+    @pytest.mark.parametrize("workers", [1, 2, 8])
+    def test_warm_repeat_run_matches_cold_sequential(
+        self, world, cold_signature, workers
+    ):
+        manuscript = _manuscript(world)
+        hub = ScholarlyHub.deploy(world)
+        minaret = Minaret(
+            hub, config=PipelineConfig(warm_cache=True, workers=workers)
+        )
+        minaret.recommend(manuscript)
+        assert signature(minaret.recommend(manuscript)) == cold_signature
+
+
+class TestRequestSavings:
+    def test_repeat_run_is_cheap(self, world):
+        manuscript = _manuscript(world)
+        hub = ScholarlyHub.deploy(world)
+        minaret = Minaret(hub, config=PipelineConfig(warm_cache=True))
+        minaret.recommend(manuscript)
+        first = hub.total_requests()
+        minaret.recommend(manuscript)
+        second = hub.total_requests() - first
+        assert second * 5 <= first
+
+    def test_plane_counts_warm_traffic(self, world):
+        manuscript = _manuscript(world)
+        hub = ScholarlyHub.deploy(world)
+        minaret = Minaret(hub, config=PipelineConfig(warm_cache=True))
+        minaret.recommend(manuscript)
+        assert minaret.plane.hits == 0
+        minaret.recommend(manuscript)
+        assert minaret.plane.hits > 0
+        stats = minaret.plane.stats()
+        assert stats["store_entries"] > 0
+        assert stats["index_terms"]["scholar"] > 0
+
+    def test_cold_pipeline_has_no_plane(self, world):
+        hub = ScholarlyHub.deploy(world)
+        assert Minaret(hub).plane is None
+
+    def test_explicit_plane_is_shared_between_pipelines(self, world):
+        from repro.retrieval import RetrievalPlane
+
+        manuscript = _manuscript(world)
+        hub = ScholarlyHub.deploy(world)
+        plane = RetrievalPlane.for_sources(hub)
+        Minaret(hub, plane=plane).recommend(manuscript)
+        first = hub.total_requests()
+        Minaret(hub, plane=plane).recommend(manuscript)
+        assert (hub.total_requests() - first) * 5 <= first
+
+
+class TestFreshness:
+    @pytest.fixture()
+    def evolving(self):
+        """A private small world this class may mutate freely."""
+        world = generate_world(WorldConfig(author_count=60, seed=7))
+        hub = ScholarlyHub.deploy(world)
+        return world, hub
+
+    def test_world_advance_invalidates_plane(self, evolving):
+        world, hub = evolving
+        manuscript = _manuscript(world)
+        minaret = Minaret(hub, config=PipelineConfig(warm_cache=True))
+        minaret.recommend(manuscript)
+        assert len(minaret.plane.store) > 0
+
+        dynamics = WorldDynamics(world, seed=9)
+        dynamics.advance_year()
+        hub.refresh_services()
+
+        assert minaret.plane.epoch == 1
+        assert len(minaret.plane.store) == 0
+
+    def test_post_advance_warm_run_matches_fresh_cold_run(self, evolving):
+        world, hub = evolving
+        manuscript = _manuscript(world)
+        minaret = Minaret(hub, config=PipelineConfig(warm_cache=True))
+        minaret.recommend(manuscript)
+
+        dynamics = WorldDynamics(world, seed=9)
+        target = sorted(world.authors)[0]
+        dynamics.publish(target, "databases", 2020, count=2)
+        hub.refresh_services()
+
+        warm = signature(minaret.recommend(manuscript))
+        cold_hub = ScholarlyHub.deploy(world)
+        cold = signature(Minaret(cold_hub).recommend(manuscript))
+        assert warm == cold
+
+
+def _manuscript(world):
+    for author in world.authors.values():
+        if len(world.authors_by_name(author.name)) == 1:
+            return make_manuscript(world, author)
+    raise RuntimeError("world has no unambiguous author")

@@ -114,3 +114,65 @@ class TestCounters:
     def test_hit_rate_no_queries(self, clock):
         cache = TTLCache(ttl=None, capacity=10, clock=clock)
         assert cache.hit_rate() == 0.0
+
+
+class TestEvictionCounters:
+    def test_expired_on_read_counts(self, clock):
+        cache = TTLCache(ttl=5.0, capacity=10, clock=clock)
+        cache.put("k", "v")
+        clock.advance(6.0)
+        assert cache.get("k") is None
+        assert cache.evictions_expired == 1
+        assert cache.evictions_capacity == 0
+
+    def test_expired_overwrite_on_put_counts(self, clock):
+        """A put over a dead entry is the lazy form of an expiry drop."""
+        cache = TTLCache(ttl=5.0, capacity=10, clock=clock)
+        cache.put("k", "old")
+        clock.advance(6.0)
+        cache.put("k", "new")
+        assert cache.evictions_expired == 1
+
+    def test_live_overwrite_is_not_an_eviction(self, clock):
+        cache = TTLCache(ttl=5.0, capacity=10, clock=clock)
+        cache.put("k", "old")
+        clock.advance(1.0)
+        cache.put("k", "new")
+        assert cache.evictions_expired == 0
+        assert cache.evictions_capacity == 0
+
+    def test_capacity_eviction_counts(self, clock):
+        cache = TTLCache(ttl=None, capacity=2, clock=clock)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)
+        assert cache.evictions_capacity == 1
+        assert cache.evictions_expired == 0
+
+    def test_len_sweep_counts_expired(self, clock):
+        cache = TTLCache(ttl=5.0, capacity=10, clock=clock)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        clock.advance(6.0)
+        len(cache)
+        assert cache.evictions_expired == 2
+
+    def test_stats_snapshot(self, clock):
+        cache = TTLCache(ttl=5.0, capacity=2, clock=clock, name="crawler")
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)  # capacity eviction
+        cache.get("b")  # hit
+        clock.advance(6.0)
+        cache.get("c")  # expired on read
+        stats = cache.stats()
+        assert stats == {
+            "name": "crawler",
+            "entries": 0,
+            "capacity": 2,
+            "ttl": 5.0,
+            "hits": 1,
+            "misses": 1,
+            "evictions_expired": 2,
+            "evictions_capacity": 1,
+        }
