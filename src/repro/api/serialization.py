@@ -60,7 +60,10 @@ def config_from_payload(payload: dict) -> PipelineConfig:
     ``pc_members``, ``max_candidates`` and ``workers`` (extraction
     fan-out; output is identical at any value), plus ``warm_cache`` /
     ``warm_cache_ttl`` / ``warm_cache_capacity`` (the deployment-shared
-    warm-path retrieval plane; rankings are identical warm or cold).
+    warm-path retrieval plane; rankings are identical warm or cold),
+    ``top_k`` (rank only the exact best k) and ``scoring_plane``
+    (the :mod:`repro.scoring` compute plane; on by default,
+    bit-identical to the naive path).
     """
     try:
         weights = RankingWeights(**payload.get("weights", {}))
@@ -93,6 +96,10 @@ def config_from_payload(payload: dict) -> PipelineConfig:
             warm_cache=bool(payload.get("warm_cache", False)),
             warm_cache_ttl=payload.get("warm_cache_ttl"),
             warm_cache_capacity=int(payload.get("warm_cache_capacity", 8192)),
+            top_k=(
+                int(payload["top_k"]) if payload.get("top_k") is not None else None
+            ),
+            scoring_plane=bool(payload.get("scoring_plane", True)),
         )
     except (TypeError, ValueError) as exc:
         raise ApiError(400, f"invalid config payload: {exc}") from exc

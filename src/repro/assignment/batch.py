@@ -76,6 +76,7 @@ def recommend_batch(
     obs = get_obs()
     clock = getattr(getattr(minaret, "sources", None), "clock", None)
     plane = getattr(minaret, "plane", None)
+    features = getattr(minaret, "features", None)
 
     def run_one(entry: tuple[str, Manuscript]) -> RecommendationResult:
         paper_id, manuscript = entry
@@ -96,6 +97,13 @@ def recommend_batch(
             # Cross-manuscript sharing is the whole point of the warm
             # path; surface how much of the batch it absorbed.
             span.set_label("plane_hit_rate", round(plane.hit_rate(), 4))
+        if features is not None:
+            # The scoring analogue: how much candidate compilation the
+            # batch amortized instead of redoing per manuscript.
+            stats = features.stats()
+            span.set_label("features_built", stats["features_built"])
+            span.set_label("features_reused", stats["features_reused"])
+            span.set_label("feature_reuse_rate", stats["reuse_rate"])
     return [(paper_id, result) for (paper_id, _), result in zip(entries, results)]
 
 

@@ -119,6 +119,13 @@ def _build_parser() -> argparse.ArgumentParser:
         default=1,
         help="extraction fan-out threads (output identical at any value)",
     )
+    rec.add_argument(
+        "--top-k",
+        type=int,
+        default=None,
+        help="rank only the exact best K candidates (lets the scoring "
+        "plane prune; default ranks everyone)",
+    )
     assign = subparsers.add_parser("assign", help="batch paper-reviewer assignment")
     assign.add_argument("--world", required=True, help="world dataset JSON")
     assign.add_argument("--batch", required=True, help="batch JSON: [{paper_id, manuscript}]")
@@ -132,6 +139,13 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="parallel per-paper pipeline runs (output identical at any value)",
+    )
+    assign.add_argument(
+        "--top-k",
+        type=int,
+        default=None,
+        help="rank only the exact best K candidates per paper (lets the "
+        "scoring plane prune; default ranks everyone)",
     )
     for sub in (demo, rec, assign):
         sub.add_argument(
@@ -330,7 +344,11 @@ def _run_recommend(args) -> int:
         )
         return 1
     hub = ScholarlyHub.deploy(world)
-    config = PipelineConfig(workers=max(1, args.workers), warm_cache=args.warm_cache)
+    config = PipelineConfig(
+        workers=max(1, args.workers),
+        warm_cache=args.warm_cache,
+        top_k=args.top_k,
+    )
     result = Minaret(hub, config=config).recommend(manuscript)
     if args.json:
         print(json.dumps(result_to_payload(result, top_k=args.top), indent=2))
@@ -363,7 +381,9 @@ def _run_assign(args) -> int:
         print(f"error: cannot load inputs: {exc}", file=sys.stderr)
         return 1
     hub = ScholarlyHub.deploy(world)
-    minaret = Minaret(hub, config=PipelineConfig(warm_cache=args.warm_cache))
+    minaret = Minaret(
+        hub, config=PipelineConfig(warm_cache=args.warm_cache, top_k=args.top_k)
+    )
     batch = assign_batch(
         minaret,
         entries,

@@ -241,6 +241,19 @@ class PipelineConfig:
         evicts them.
     warm_cache_capacity:
         Profile-store LRU bound.
+    top_k:
+        When set, only the best ``top_k`` entries of the ranking are
+        produced — exactly the first ``top_k`` of the full ranking
+        (``None``, the default, ranks everyone).  Under the weighted-sum
+        aggregation the scoring plane uses it to skip the expensive
+        recency computation for candidates that provably cannot enter
+        the top-k.
+    scoring_plane:
+        Route ranking and COI screening through the
+        :mod:`repro.scoring` compute plane (precompiled candidate
+        features, compiled manuscript queries, indexed COI screening).
+        ``False`` is the naive reference path.  Results are
+        bit-identical either way — the plane only buys CPU time.
     """
 
     expansion: ExpansionConfig = field(default_factory=ExpansionConfig)
@@ -258,8 +271,12 @@ class PipelineConfig:
     warm_cache: bool = False
     warm_cache_ttl: float | None = None
     warm_cache_capacity: int = 8192
+    top_k: int | None = None
+    scoring_plane: bool = True
 
     def __post_init__(self):
+        if self.top_k is not None and self.top_k < 1:
+            raise ValueError(f"top_k must be >= 1 or None, got {self.top_k}")
         if self.max_candidates < 1:
             raise ValueError(f"max_candidates must be >= 1, got {self.max_candidates}")
         if self.per_keyword_retrieval_limit < 1:

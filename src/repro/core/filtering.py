@@ -3,6 +3,13 @@
 Order matters for explainability, not correctness — every rule is
 evaluated for every candidate so that the editor sees *all* the reasons
 a candidate was dropped, the way the demo UI explains its decisions.
+
+COI screening runs two interchangeable ways: the naive
+:class:`~repro.core.coi.CoiDetector` pairwise loops, or — when the
+pipeline hands this phase a feature store — the indexed
+:class:`~repro.scoring.coi.CoiScreen` over precompiled candidate
+features.  Verdicts (flags and reason strings) are identical; only the
+CPU cost differs.
 """
 
 from __future__ import annotations
@@ -10,20 +17,69 @@ from __future__ import annotations
 from repro.core.coi import CoiDetector
 from repro.core.config import FilterConfig
 from repro.core.models import Candidate, FilterDecision, VerifiedAuthor
+from repro.obs import get_obs
 from repro.storage.query import And, Predicate, Range
 from repro.text.normalize import canonical_person_name
 
 
 class FilterPhase:
-    """Applies the three §2.2 filters and records every decision."""
+    """Applies the three §2.2 filters and records every decision.
 
-    def __init__(self, config: FilterConfig | None = None, current_year: int = 2019):
+    ``features`` (a :class:`~repro.scoring.features.FeatureStore`)
+    switches COI screening onto the indexed path; ``None`` keeps the
+    naive detector.
+    """
+
+    def __init__(
+        self,
+        config: FilterConfig | None = None,
+        current_year: int = 2019,
+        features=None,
+        scoring_context=None,
+    ):
         self._config = config or FilterConfig()
+        self._current_year = current_year
         self._coi = CoiDetector(self._config.coi, current_year=current_year)
+        self._features = features
+        if features is not None and scoring_context is None:
+            # Must mirror the ranker's context exactly, or the two
+            # phases would invalidate each other's store entries.
+            from repro.scoring.features import ScoringContext
+
+            scoring_context = ScoringContext(
+                current_year=current_year, half_life_years=3.0
+            )
+        self._scoring_context = scoring_context
         self._constraint_predicate = _compile_constraints(self._config)
         self._pc_names = {
             canonical_person_name(name) for name in self._config.pc_members
         }
+
+    def _verdicts(
+        self,
+        candidates: list[Candidate],
+        authors: list[VerifiedAuthor],
+        publication_years: dict[str, int],
+    ) -> list:
+        if self._features is None:
+            return [
+                self._coi.check(candidate, authors, publication_years)
+                for candidate in candidates
+            ]
+        # Indexed path: author records are prebuilt once per manuscript,
+        # candidate features come from the shared store.
+        from repro.scoring.coi import CoiScreen
+
+        ctx = self._scoring_context
+        with get_obs().span("scoring.coi_screen", candidates=len(candidates)):
+            screen = CoiScreen(
+                authors, self._config.coi, current_year=self._current_year
+            )
+            features = self._features.features_for_many(candidates, ctx)
+            return [
+                screen.screen(candidate_features, publication_years)
+                for candidate_features in features
+            ]
 
     def apply(
         self,
@@ -32,11 +88,11 @@ class FilterPhase:
     ) -> tuple[list[Candidate], list[FilterDecision]]:
         """Filter candidates; returns (kept, all decisions)."""
         publication_years = _collect_publication_years(candidates)
+        verdicts = self._verdicts(candidates, authors, publication_years)
         kept: list[Candidate] = []
         decisions: list[FilterDecision] = []
-        for candidate in candidates:
+        for candidate, verdict in zip(candidates, verdicts):
             reasons: list[str] = []
-            verdict = self._coi.check(candidate, authors, publication_years)
             if verdict.has_conflict:
                 reasons.extend(f"COI: {r}" for r in verdict.reasons)
             if candidate.keyword_match_score < self._config.min_keyword_score:

@@ -95,10 +95,30 @@ class Minaret:
         self._extractor = CandidateExtractor(
             sources, self._config, executor=self._executor, plane=plane
         )
+        if self._config.scoring_plane:
+            # One feature store for filtering *and* ranking, shared
+            # across every manuscript this pipeline sees.  When a warm
+            # retrieval plane is attached, the store hangs off it —
+            # shared across pipelines and invalidated by the same epoch
+            # bump that invalidates cached profiles.
+            from repro.scoring.features import FeatureStore, ScoringContext
+
+            self._features = (
+                plane.feature_store() if plane is not None else FeatureStore()
+            )
+            scoring_context = ScoringContext.from_config(self._config)
+        else:
+            self._features = None
+            scoring_context = None
         self._filter = FilterPhase(
-            self._config.filters, current_year=self._config.current_year
+            self._config.filters,
+            current_year=self._config.current_year,
+            features=self._features,
+            scoring_context=scoring_context,
         )
-        self._ranker = Ranker(self._config)
+        self._ranker = Ranker(
+            self._config, features=self._features, context=scoring_context
+        )
 
     @property
     def config(self) -> PipelineConfig:
@@ -119,6 +139,11 @@ class Minaret:
     def plane(self) -> RetrievalPlane | None:
         """The attached warm-path retrieval plane, if any."""
         return self._plane
+
+    @property
+    def features(self):
+        """The shared scoring feature store (``None`` on the naive path)."""
+        return self._features
 
     def recommend(self, manuscript: Manuscript) -> RecommendationResult:
         """Run the full three-phase workflow on one manuscript."""
@@ -208,7 +233,10 @@ class Minaret:
         timer = _PhaseTimer("rerank", reports, self._sources)
         with timer as report:
             report.items_in = len(kept)
-            ranked = Ranker(config).rank(
+            # Reuse the pipeline's feature store when the scoring
+            # context is unchanged by the overrides (weights /
+            # aggregation / impact metric never feed features).
+            ranked = Ranker(config, features=self._features).rank(
                 result.manuscript, kept, result.expanded_keywords
             )
             report.items_out = len(ranked)

@@ -24,6 +24,18 @@ than unit conversions):
 
 Fusion is the §2.3 weighted sum by default; OWA (reference [4]) is
 available via :class:`~repro.core.config.AggregationMethod`.
+
+Two implementations produce this ranking:
+
+- :class:`NaiveRanker` — the direct transcription of the paper's
+  formulas, recomputing everything per manuscript.  It is the
+  *reference semantics*.
+- the :mod:`repro.scoring` compute plane — precompiled candidate
+  features, compiled manuscript queries and top-k pruning, bit-identical
+  to the naive path (property-tested in ``tests/scoring``).
+
+:class:`Ranker` dispatches between them on
+:attr:`~repro.core.config.PipelineConfig.scoring_plane`.
 """
 
 from __future__ import annotations
@@ -38,12 +50,78 @@ from repro.core.config import (
 )
 from repro.core.models import Candidate, Manuscript, ScoreBreakdown, ScoredCandidate
 from repro.ontology.expansion import ExpandedKeyword
+from repro.scoring.aggregate import owa_aggregate as _owa_aggregate
+from repro.scoring.engine import rank_with_plane
+from repro.scoring.features import FeatureStore
+from repro.scoring.query import group_expansions_by_seed as _group_expansions_by_seed
 from repro.text.normalize import normalize_keyword
 from repro.text.tokenize import tokenize
 
+__all__ = ["NaiveRanker", "Ranker"]
+
 
 class Ranker:
-    """Scores and orders the filtered candidates."""
+    """Scores and orders the filtered candidates.
+
+    By default ranking runs on the :mod:`repro.scoring` compute plane,
+    reusing ``features`` (a :class:`~repro.scoring.features.FeatureStore`,
+    shared across manuscripts by the pipeline / batch engine; a private
+    store is created when none is given).  With
+    ``config.scoring_plane = False`` the naive reference path runs
+    instead — rankings are bit-identical either way.
+    """
+
+    def __init__(
+        self,
+        config: PipelineConfig | None = None,
+        features: FeatureStore | None = None,
+        context=None,
+    ):
+        self._config = config or PipelineConfig()
+        if self._config.scoring_plane:
+            if features is None:
+                features = FeatureStore()
+            if context is None:
+                from repro.scoring.features import ScoringContext
+
+                context = ScoringContext.from_config(self._config)
+        self._features = features
+        self._context = context
+        self._naive = NaiveRanker(self._config)
+
+    @property
+    def features(self) -> FeatureStore | None:
+        """The feature store ranking reads through (``None`` when naive)."""
+        return self._features if self._config.scoring_plane else None
+
+    def rank(
+        self,
+        manuscript: Manuscript,
+        candidates: list[Candidate],
+        expanded: list[ExpandedKeyword],
+    ) -> list[ScoredCandidate]:
+        """Produce the ranked list with per-component breakdowns.
+
+        The full ranking, or exactly its first ``config.top_k`` entries
+        when ``top_k`` is set.
+        """
+        if self._config.scoring_plane:
+            return rank_with_plane(
+                manuscript,
+                candidates,
+                expanded,
+                self._config,
+                self._features,
+                ctx=self._context,
+            )
+        ranked = self._naive.rank(manuscript, candidates, expanded)
+        if self._config.top_k is not None:
+            return ranked[: self._config.top_k]
+        return ranked
+
+
+class NaiveRanker:
+    """The reference ranking path: everything recomputed per manuscript."""
 
     def __init__(self, config: PipelineConfig | None = None):
         self._config = config or PipelineConfig()
@@ -145,7 +223,8 @@ class Ranker:
 
         Each publication contributes ``topic_match * 0.5^(age/half_life)``.
         Scholar publications carry keyword lists (best evidence); DBLP
-        publications contribute through title tokens.
+        publications contribute through title tokens.  Publications
+        without a year (partial records) contribute nothing.
         """
         weights = {normalize_keyword(e.keyword): e.score for e in expanded}
         if not weights:
@@ -159,10 +238,13 @@ class Ranker:
         )
         total = 0.0
         for pub in publications:
+            year = pub.get("year")
+            if year is None:
+                continue
             match = _publication_topic_score(pub, weights)
             if match == 0.0:
                 continue
-            age = max(0, current_year - pub["year"])
+            age = max(0, current_year - year)
             total += match * 0.5 ** (age / half_life)
         return total
 
@@ -184,20 +266,6 @@ class Ranker:
         return 0.6 * math.log1p(reviews_for_outlet) + 0.4 * math.log1p(
             papers_in_outlet
         )
-
-
-def _group_expansions_by_seed(
-    seeds: tuple[str, ...], expanded: list[ExpandedKeyword]
-) -> dict[str, dict[str, float]]:
-    """``seed -> {normalized expanded keyword: sc}``, seeds included."""
-    grouped: dict[str, dict[str, float]] = {
-        seed: {normalize_keyword(seed): 1.0} for seed in seeds
-    }
-    for expansion in expanded:
-        bucket = grouped.setdefault(expansion.seed, {})
-        keyword = normalize_keyword(expansion.keyword)
-        bucket[keyword] = max(bucket.get(keyword, 0.0), expansion.score)
-    return grouped
 
 
 def _publication_topic_score(pub: dict, weights: dict[str, float]) -> float:
@@ -225,26 +293,6 @@ def _publication_topic_score(pub: dict, weights: dict[str, float]) -> float:
             if score > best:
                 best = score
     return 0.7 * best
-
-
-def _owa_aggregate(
-    values: list[float], owa_weights: tuple[float, ...] | None
-) -> float:
-    """Ordered Weighted Averaging over component scores.
-
-    Values are sorted descending and the position weights applied:
-    weights concentrated at the front reward a candidate's best
-    qualities ("optimistic" OWA); at the back, their worst ("demand an
-    all-rounder").  Missing trailing weights count as zero; ``None``
-    means uniform weights (the arithmetic mean).
-    """
-    ordered = sorted(values, reverse=True)
-    if owa_weights is None:
-        return sum(ordered) / len(ordered)
-    padded = list(owa_weights[: len(ordered)])
-    padded += [0.0] * (len(ordered) - len(padded))
-    total_weight = sum(padded)
-    return sum(w * v for w, v in zip(padded, ordered)) / total_weight
 
 
 def _normalize_components(

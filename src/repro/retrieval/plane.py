@@ -167,6 +167,7 @@ class RetrievalPlane:
         self.misses = 0
         self.coalesced = 0
         self._layer_counts: dict[tuple[str, str], int] = {}
+        self._feature_store = None
 
     @classmethod
     def for_sources(
@@ -224,14 +225,38 @@ class RetrievalPlane:
         with self._lock:
             self._epoch += 1
             epoch = self._epoch
+            feature_store = self._feature_store
         for mirror in self._mirrors.values():
             mirror.clear()
         self._store.clear()
+        if feature_store is not None:
+            # Entries are epoch-validated anyway; dropping them now
+            # frees the memory instead of waiting for LRU churn.
+            feature_store.clear()
         obs = get_obs()
         obs.inc("retrieval_epoch_bumps_total", plane=self._name)
         obs.gauge("retrieval_epoch", float(epoch), plane=self._name)
         obs.emit("retrieval_epoch_bumped", clock=self._clock, plane=self._name, epoch=epoch)
         return epoch
+
+    def feature_store(self):
+        """The plane's shared scoring feature store (lazily created).
+
+        Candidate features cached here are validated against this
+        plane's epoch, so :meth:`bump_epoch` invalidates them together
+        with the cached profiles they were derived from.  One store per
+        plane: every pipeline attached to this plane — and therefore
+        every request of an API deployment — reuses the same compiled
+        features.
+        """
+        with self._lock:
+            if self._feature_store is None:
+                from repro.scoring.features import FeatureStore
+
+                self._feature_store = FeatureStore(
+                    epoch_provider=lambda: self.epoch, name=self._name
+                )
+            return self._feature_store
 
     # ------------------------------------------------------------------
     # Generic cached fetch (profile store + singleflight)
@@ -353,9 +378,13 @@ class RetrievalPlane:
                 layers.setdefault(layer, {})[outcome] = count
             epoch = self._epoch
             hits, misses, coalesced = self.hits, self.misses, self.coalesced
+            feature_store = self._feature_store
         total = hits + misses + coalesced
         rate = (hits + coalesced) / total if total else 0.0
         return {
+            "scoring": (
+                feature_store.stats() if feature_store is not None else None
+            ),
             "plane": self._name,
             "epoch": epoch,
             "hits": hits,

@@ -1,0 +1,226 @@
+"""Indexed conflict-of-interest screening.
+
+:class:`repro.core.coi.CoiDetector` rebuilds, for every candidate ×
+author pair, the publication-id sets, the concretized affiliation
+periods and the DBLP year maps — O(candidates × authors × affiliations)
+work per manuscript.  :class:`CoiScreen` prebuilds the author side once
+per manuscript:
+
+- the **union author publication-id set**, so candidates sharing no
+  publication with *any* author skip the per-author co-authorship rule
+  entirely;
+- per-author concretized affiliation interval lists plus
+  **institution/country → affiliation-index posting maps**, so only
+  affiliations that can possibly produce a reason are overlap-tested;
+- per-author DBLP year maps and first-publication years for the
+  mentorship rule.
+
+The candidate side arrives precompiled as
+:class:`~repro.scoring.features.CandidateFeatures`.  Verdicts — flags
+*and* reason strings, in their exact order — are identical to
+``CoiDetector.check``: reasons are emitted per author in author order,
+co-authorship → affiliation → mentorship → same-person, and the
+affiliation replay walks posting-selected pairs in the naive nested-loop
+order (candidate affiliation outer, author affiliation inner) before the
+same ``dict.fromkeys`` dedup.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import AffiliationCoiLevel, CoiConfig
+from repro.core.models import CoiVerdict, VerifiedAuthor
+from repro.scoring.features import CandidateFeatures, concretize_interval
+
+
+class _AuthorRecord:
+    """One verified author's precompiled screening evidence."""
+
+    __slots__ = (
+        "name",
+        "pub_ids",
+        "source_ids",
+        "affiliations",
+        "inst_postings",
+        "country_postings",
+        "dblp_years",
+        "dblp_first",
+    )
+
+    def __init__(self, author: VerifiedAuthor, current_year: int):
+        self.name = author.submitted.name
+        self.pub_ids = frozenset(author.profile.publication_ids)
+        self.source_ids = dict(author.profile.source_ids)
+
+        affiliations: list[tuple[str, str, int, int]] = []
+        for aff in author.profile.affiliations:
+            affiliations.append(
+                (aff.institution, aff.country)
+                + concretize_interval(aff.start_year, aff.end_year, current_year)
+            )
+        if author.submitted.affiliation:
+            # The submission form's current affiliation is evidence too
+            # (start_year 0 → undated → concretized as current).
+            affiliations.append(
+                (author.submitted.affiliation, author.submitted.country)
+                + concretize_interval(0, None, current_year)
+            )
+        self.affiliations = affiliations
+        self.inst_postings: dict[str, list[int]] = {}
+        self.country_postings: dict[str, list[int]] = {}
+        for index, (institution, country, _, _) in enumerate(affiliations):
+            if institution:
+                self.inst_postings.setdefault(institution, []).append(index)
+            if country:
+                self.country_postings.setdefault(country, []).append(index)
+
+        self.dblp_years: dict[str, int] = {}
+        for pub in author.dblp_publications:
+            pub_id, year = pub.get("id"), pub.get("year")
+            if pub_id is None or year is None:
+                continue
+            self.dblp_years[pub_id] = year
+        self.dblp_first = min(self.dblp_years.values()) if self.dblp_years else None
+
+
+class CoiScreen:
+    """Per-manuscript indexed screen over precompiled author records."""
+
+    def __init__(
+        self,
+        authors: list[VerifiedAuthor],
+        config: CoiConfig | None = None,
+        current_year: int = 2019,
+    ):
+        self._config = config or CoiConfig()
+        self._current_year = current_year
+        self._authors = [_AuthorRecord(a, current_year) for a in authors]
+        self._union_pub_ids = frozenset().union(
+            *(record.pub_ids for record in self._authors)
+        ) if self._authors else frozenset()
+
+    def screen(
+        self,
+        features: CandidateFeatures,
+        publication_years: dict[str, int] | None = None,
+    ) -> CoiVerdict:
+        """Screen one candidate; bit-identical to ``CoiDetector.check``."""
+        config = self._config
+        check_coauthorship = (
+            config.check_coauthorship
+            and bool(features.pub_ids & self._union_pub_ids)
+        )
+        check_mentorship = config.check_mentorship and bool(features.dblp_years)
+        reasons: list[str] = []
+        for record in self._authors:
+            if check_coauthorship:
+                reasons.extend(
+                    self._coauthorship_reasons(features, record, publication_years)
+                )
+            if config.affiliation_level is not AffiliationCoiLevel.NONE:
+                reasons.extend(self._affiliation_reasons(features, record))
+            if check_mentorship:
+                reasons.extend(self._mentorship_reasons(features, record))
+            if self._is_same_person(features, record):
+                reasons.append(
+                    f"candidate appears to be manuscript author "
+                    f"{record.name!r}"
+                )
+        return CoiVerdict(has_conflict=bool(reasons), reasons=tuple(reasons))
+
+    # ------------------------------------------------------------------
+    # Rules (indexed counterparts of CoiDetector's)
+    # ------------------------------------------------------------------
+
+    def _coauthorship_reasons(
+        self,
+        features: CandidateFeatures,
+        record: _AuthorRecord,
+        publication_years: dict[str, int] | None,
+    ) -> list[str]:
+        shared = features.pub_ids & record.pub_ids
+        if not shared:
+            return []
+        lookback = self._config.coauthorship_lookback_years
+        if lookback is not None and publication_years is not None:
+            cutoff = self._current_year - lookback
+            shared = {
+                pub_id
+                for pub_id in shared
+                if publication_years.get(pub_id, self._current_year) >= cutoff
+            }
+            if not shared:
+                return []
+        return [
+            f"co-authored {len(shared)} publication(s) with "
+            f"{record.name!r}"
+        ]
+
+    def _affiliation_reasons(
+        self, features: CandidateFeatures, record: _AuthorRecord
+    ) -> list[str]:
+        country_level = self._config.affiliation_level is AffiliationCoiLevel.COUNTRY
+        reasons = []
+        for institution, country, start, end in features.affiliations:
+            # Only author affiliations that could emit a reason for this
+            # candidate affiliation: same institution, or (at country
+            # granularity) same country.  Indices are unioned in sorted
+            # order so the replay walks them exactly like the naive
+            # inner loop walks the full author list.
+            indices = record.inst_postings.get(institution, ()) if institution else ()
+            if country_level and country:
+                country_indices = record.country_postings.get(country)
+                if country_indices:
+                    indices = sorted(set(indices) | set(country_indices))
+            for index in indices:
+                auth_inst, auth_country, auth_start, auth_end = record.affiliations[
+                    index
+                ]
+                if not (start <= auth_end and auth_start <= end):
+                    continue
+                if institution and institution == auth_inst:
+                    reasons.append(
+                        f"shared affiliation {institution!r} with "
+                        f"{record.name!r}"
+                    )
+                elif country_level and country and country == auth_country:
+                    reasons.append(
+                        f"shared country {country!r} with "
+                        f"{record.name!r}"
+                    )
+        return list(dict.fromkeys(reasons))
+
+    def _mentorship_reasons(
+        self, features: CandidateFeatures, record: _AuthorRecord
+    ) -> list[str]:
+        candidate_years = features.dblp_years
+        if not candidate_years or not record.dblp_years:
+            return []
+        shared = set(candidate_years) & set(record.dblp_years)
+        if not shared:
+            return []
+        candidate_first = features.dblp_first
+        author_first = record.dblp_first
+        gap = abs(candidate_first - author_first)
+        if gap < self._config.mentorship_seniority_gap:
+            return []
+        junior_first = max(candidate_first, author_first)
+        window_end = junior_first + self._config.mentorship_window_years
+        early_shared = [
+            pub_id for pub_id in shared if candidate_years[pub_id] <= window_end
+        ]
+        if not early_shared:
+            return []
+        role = "advisee" if candidate_first > author_first else "advisor"
+        return [
+            f"likely {role} relationship with {record.name!r} "
+            f"({len(early_shared)} early-career shared publication(s))"
+        ]
+
+    def _is_same_person(
+        self, features: CandidateFeatures, record: _AuthorRecord
+    ) -> bool:
+        author_ids = record.source_ids
+        for source, source_id in features.source_ids.items():
+            if author_ids.get(source) == source_id:
+                return True
+        return False

@@ -1,0 +1,278 @@
+"""The feature-based ranking engine with top-k pruning.
+
+This is the compute plane's counterpart of
+:meth:`repro.core.ranking.NaiveRanker.rank`.  The two paths are
+**bit-identical** by construction: every component score is computed
+with the same expressions in the same iteration order over precompiled
+inputs, normalization divides by the same pool maxima, and totals fold
+through the shared :mod:`repro.scoring.aggregate` helpers before the
+same ``round(total, 6)``.
+
+What changes is *when* work happens:
+
+- candidate-side normalization/tokenization/log-compression is read
+  from :class:`~repro.scoring.features.CandidateFeatures` (built once
+  per candidate per store, amortized across a whole batch);
+- manuscript-side grouping/normalization is read from a single
+  :class:`~repro.scoring.query.ManuscriptQuery`;
+- with ``top_k`` set under ``WEIGHTED_SUM``, the expensive
+  per-publication ``recency`` loop runs only for candidates whose
+  optimistic upper bound clears the current k-th best exact score.
+
+The pruning bound: for candidate *c*, every publication's topic match is
+at most ``max_weight`` (the largest expansion weight), so
+
+    recency(c)  <=  max_weight * sum(decay)  =  max_weight * decay_mass
+
+— inflated by one part in 10^9 to absorb float summation-order slack.
+Since floating-point ``+`` and ``*`` are monotone and the recency weight
+is non-negative, substituting the (normalized, capped) bound for the
+exact recency gives an optimistic total ``opt(c) >= total(c)`` *in
+floating point*, and ``round`` is monotone, so a candidate whose rounded
+optimistic total falls strictly below the k-th best rounded exact total
+can never enter the top-k — ties keep evaluating, so the
+``(-total, candidate_id)`` tie-break stays exact.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+
+from repro.core.config import AggregationMethod, ImpactMetric, PipelineConfig
+from repro.core.models import (
+    Candidate,
+    Manuscript,
+    ScoreBreakdown,
+    ScoredCandidate,
+)
+from repro.obs import get_obs
+from repro.ontology.expansion import ExpandedKeyword
+from repro.scoring.aggregate import owa_aggregate, weighted_total
+from repro.scoring.features import CandidateFeatures, FeatureStore, ScoringContext
+from repro.scoring.query import ManuscriptQuery
+from repro.scoring.topk import select_top_k
+
+#: Relative + absolute inflation of the recency upper bound, covering
+#: the last-ULP slack between ``sum(match * decay)`` and
+#: ``max_weight * sum(decay)`` computed in different association orders.
+_UB_INFLATION = 1.0 + 1e-9
+_UB_EPSILON = 1e-12
+
+
+def topic_coverage(
+    features: CandidateFeatures,
+    matched_keywords: dict[str, float],
+    query: ManuscriptQuery,
+) -> float:
+    """Raw topic coverage — ``NaiveRanker._topic_coverage`` on features."""
+    if not query.seed_expansions:
+        return 0.0
+    interest_set = features.interest_set
+    total = 0.0
+    for expansions in query.seed_expansions.values():
+        best = 0.0
+        for keyword, score in expansions.items():
+            matched = keyword in matched_keywords or keyword in interest_set
+            if matched and score > best:
+                best = score
+        total += best
+    return total / len(query.seed_expansions)
+
+
+def recency(features: CandidateFeatures, query: ManuscriptQuery) -> float:
+    """Raw recency — ``NaiveRanker._recency`` on precompiled pubs."""
+    weights = query.recency_weights
+    if not weights:
+        return 0.0
+    total = 0.0
+    for kw_norms, title_tokens, decay in features.recency_pubs:
+        if kw_norms is not None:
+            best = 0.0
+            for keyword in kw_norms:
+                score = weights.get(keyword, 0.0)
+                if score > best:
+                    best = score
+            match = best
+        else:
+            best = 0.0
+            for _, score, tokens in query.title_terms:
+                if tokens and tokens <= title_tokens:
+                    if score > best:
+                        best = score
+            match = 0.7 * best
+        if match == 0.0:
+            continue
+        total += match * decay
+    return total
+
+
+def outlet_familiarity(
+    features: CandidateFeatures, query: ManuscriptQuery
+) -> float:
+    """Raw outlet familiarity — integer venue counts, identical logs."""
+    if not query.target_venue:
+        return 0.0
+    reviews_for_outlet = features.venue_review_counts.get(query.target_venue_norm, 0)
+    papers_in_outlet = features.venue_pub_counts.get(query.target_venue_norm, 0)
+    return 0.6 * math.log1p(reviews_for_outlet) + 0.4 * math.log1p(
+        papers_in_outlet
+    )
+
+
+def rank_with_plane(
+    manuscript: Manuscript,
+    candidates: list[Candidate],
+    expanded: list[ExpandedKeyword],
+    config: PipelineConfig,
+    store: FeatureStore,
+    ctx: ScoringContext | None = None,
+) -> list[ScoredCandidate]:
+    """Rank ``candidates`` through the compute plane.
+
+    Returns the full ranking when ``config.top_k`` is ``None``, else the
+    exact first ``top_k`` entries of that ranking.  Pass a long-lived
+    ``ctx`` to hit the store's context identity fast path.
+    """
+    if not candidates:
+        return []
+    obs = get_obs()
+    n = len(candidates)
+    k = config.top_k
+    with obs.span("scoring.rank", candidates=n, top_k="all" if k is None else k):
+        if ctx is None:
+            ctx = ScoringContext.from_config(config)
+        query = ManuscriptQuery.compile(manuscript, expanded)
+        feats = store.features_for_many(candidates, ctx)
+
+        use_citations = config.impact_metric is ImpactMetric.CITATIONS
+        raw_tc = [
+            topic_coverage(f, c.matched_keywords, query)
+            for f, c in zip(feats, candidates)
+        ]
+        raw_imp = [
+            (f.log_citations if use_citations else f.h_index) for f in feats
+        ]
+        raw_rev = [f.review_experience for f in feats]
+        raw_out = [outlet_familiarity(f, query) for f in feats]
+        raw_tml = [f.timeliness for f in feats]
+        max_tc = max(raw_tc)
+        max_imp = max(raw_imp)
+        max_rev = max(raw_rev)
+        max_out = max(raw_out)
+        max_tml = max(raw_tml)
+
+        prune = (
+            k is not None
+            and k < n
+            and config.aggregation is AggregationMethod.WEIGHTED_SUM
+            and query.max_weight > 0.0
+        )
+
+        # --- recency: exact pool maximum, lazily for the rest ----------
+        exact_rec: list[float | None] = [None] * n
+
+        def exact_recency(i: int) -> float:
+            value = exact_rec[i]
+            if value is None:
+                value = exact_rec[i] = recency(feats[i], query)
+            return value
+
+        if query.max_weight <= 0.0:
+            # Every topic match is 0 (best never beats 0.0), exactly as
+            # the naive loop concludes publication by publication.
+            exact_rec = [0.0] * n
+            ubs: list[float] = []
+            max_rec = 0.0
+        elif prune:
+            ubs = [
+                query.max_weight * f.decay_mass * _UB_INFLATION + _UB_EPSILON
+                for f in feats
+            ]
+            # Descending upper bounds: once the next bound cannot beat
+            # the best exact value seen, the pool maximum is settled.
+            best = 0.0
+            for i in sorted(range(n), key=lambda i: -ubs[i]):
+                if ubs[i] <= best:
+                    break
+                value = exact_recency(i)
+                if value > best:
+                    best = value
+            max_rec = best
+        else:
+            ubs = []
+            for i in range(n):
+                exact_rec[i] = recency(feats[i], query)
+            max_rec = max(exact_rec)
+
+        weights = config.weights.normalized()
+        owa = config.aggregation is AggregationMethod.OWA
+
+        def components_with(i: int, recency_normalized: float) -> dict[str, float]:
+            # Insertion order matches the naive raw dict: the weighted
+            # sum folds in the same order.
+            return {
+                "topic_coverage": raw_tc[i] / max_tc if max_tc > 0 else 0.0,
+                "scientific_impact": raw_imp[i] / max_imp if max_imp > 0 else 0.0,
+                "recency": recency_normalized,
+                "review_experience": raw_rev[i] / max_rev if max_rev > 0 else 0.0,
+                "outlet_familiarity": raw_out[i] / max_out if max_out > 0 else 0.0,
+                "timeliness": raw_tml[i] / max_tml if max_tml > 0 else 0.0,
+            }
+
+        def exact_components(i: int) -> dict[str, float]:
+            normalized = (
+                exact_recency(i) / max_rec if max_rec > 0 else 0.0
+            )
+            return components_with(i, normalized)
+
+        def scored_candidate(i: int) -> ScoredCandidate:
+            components = exact_components(i)
+            if owa:
+                total = owa_aggregate(
+                    list(components.values()), config.owa_weights
+                )
+            else:
+                total = weighted_total(components, weights)
+            return ScoredCandidate(
+                candidate=candidates[i],
+                total_score=round(total, 6),
+                breakdown=ScoreBreakdown(**components),
+            )
+
+        if not prune:
+            result = select_top_k([scored_candidate(i) for i in range(n)], k)
+        else:
+            # Optimistic totals: exact where recency is known, the
+            # capped bound otherwise.
+            opt = [0.0] * n
+            for i in range(n):
+                if exact_rec[i] is not None:
+                    bound = exact_rec[i]
+                else:
+                    bound = ubs[i] if ubs[i] < max_rec else max_rec
+                opt[i] = weighted_total(
+                    components_with(i, bound / max_rec if max_rec > 0 else 0.0),
+                    weights,
+                )
+            heap: list[float] = []
+            evaluated: list[ScoredCandidate] = []
+            for i in sorted(
+                range(n), key=lambda i: (-opt[i], candidates[i].candidate_id)
+            ):
+                if len(heap) == k and round(opt[i], 6) < heap[0]:
+                    break
+                scored = scored_candidate(i)
+                evaluated.append(scored)
+                if len(heap) < k:
+                    heapq.heappush(heap, scored.total_score)
+                elif scored.total_score > heap[0]:
+                    heapq.heapreplace(heap, scored.total_score)
+            result = select_top_k(evaluated, k)
+
+        pruned = sum(1 for value in exact_rec if value is None)
+        obs.inc("scoring_candidates_ranked_total", value=float(n))
+        if pruned:
+            obs.inc("scoring_recency_pruned_total", value=float(pruned))
+        obs.gauge("scoring_prune_rate", round(pruned / n, 4))
+        return result

@@ -1,0 +1,30 @@
+"""Heap-based top-k selection with the ranker's exact ordering.
+
+The ranking order is ``(-total_score, candidate_id)``.  For a full
+ranking a sort is required anyway; for ``top_k`` requests
+``heapq.nsmallest`` selects and orders the winners in O(n log k)
+without sorting the tail — and, because it uses the same comparison
+key, the returned prefix is exactly the prefix of the full sort.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Sequence
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.core.models import ScoredCandidate
+
+
+def select_top_k(
+    scored: Sequence[ScoredCandidate], k: int | None
+) -> list[ScoredCandidate]:
+    """The best ``k`` of ``scored`` in final ranking order.
+
+    ``None`` (and any ``k >= len(scored)``) returns the full ranking.
+    """
+    key = lambda s: (-s.total_score, s.candidate.candidate_id)  # noqa: E731
+    if k is None or k >= len(scored):
+        return sorted(scored, key=key)
+    return heapq.nsmallest(k, scored, key=key)

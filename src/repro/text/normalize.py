@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import re
 import unicodedata
+from functools import lru_cache
 
 _WHITESPACE_RE = re.compile(r"\s+")
 _NON_ALNUM_RE = re.compile(r"[^a-z0-9]+")
@@ -44,9 +45,17 @@ def normalize_keyword(keyword: str) -> str:
     surrounding punctuation.  Hyphens are treated as spaces so that
     "machine-learning" and "machine learning" collide.
 
+    Results are memoized (bounded LRU): ranking and COI screening
+    normalize the same interests, venues and keywords over and over.
+
     >>> normalize_keyword("  Machine-Learning ")
     'machine learning'
     """
+    return _normalize_keyword_cached(keyword)
+
+
+@lru_cache(maxsize=16384)
+def _normalize_keyword_cached(keyword: str) -> str:
     text = fold_diacritics(keyword).lower()
     text = text.replace("-", " ").replace("_", " ")
     text = re.sub(r"[^\w\s]", "", text)

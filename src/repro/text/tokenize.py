@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import re
 from collections.abc import Iterable, Iterator
+from functools import lru_cache
 
 from repro.text.normalize import normalize_keyword
 
@@ -59,16 +60,29 @@ def tokenize(
     min_length:
         Drop tokens shorter than this many characters.
 
+    Results are memoized (bounded LRU) per ``(text, stopwords,
+    min_length)``; a fresh list is returned on every call so callers may
+    mutate it.
+
     >>> tokenize("Efficient Processing of RDF Data!")
     ['efficient', 'processing', 'rdf', 'data']
     """
+    if stopwords is not None and not isinstance(stopwords, frozenset):
+        stopwords = frozenset(stopwords)
+    return list(_tokenize_cached(text, stopwords, min_length))
+
+
+@lru_cache(maxsize=16384)
+def _tokenize_cached(
+    text: str, stopwords: frozenset[str] | None, min_length: int
+) -> tuple[str, ...]:
     normalized = normalize_keyword(text)
     tokens = _TOKEN_RE.findall(normalized)
     if stopwords:
         tokens = [t for t in tokens if t not in stopwords]
     if min_length > 1:
         tokens = [t for t in tokens if len(t) >= min_length]
-    return tokens
+    return tuple(tokens)
 
 
 def word_ngrams(tokens: Iterable[str], n: int) -> list[tuple[str, ...]]:

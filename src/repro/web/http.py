@@ -173,13 +173,24 @@ class LatencyModel:
 
 @dataclass
 class HostStats:
-    """Per-host request accounting (feeds EXP-SCALE)."""
+    """Per-host request accounting (feeds EXP-SCALE).
+
+    Latency is accumulated in integer nanoseconds: integer addition is
+    exact and order-independent, so parallel runs — where requests
+    complete in nondeterministic order — report byte-identical totals
+    instead of drifting by an ULP the way float ``+=`` does.
+    """
 
     requests: int = 0
     rate_limited: int = 0
     faults: int = 0
     not_found: int = 0
-    total_latency: float = 0.0
+    latency_ns: int = 0
+
+    @property
+    def total_latency(self) -> float:
+        """Virtual seconds spent waiting on responses at this host."""
+        return self.latency_ns / 1_000_000_000
 
 
 @dataclass(frozen=True)
@@ -309,7 +320,7 @@ class SimulatedHttpClient:
         accounting.charge_request(latency)
         with self._lock:
             stats.requests += 1
-            stats.total_latency += latency
+            stats.latency_ns += round(latency * 1_000_000_000)
         obs = get_obs()
         obs.observe("http_request_latency_seconds", latency, host=host)
         if self._wall_latency_scale > 0:
@@ -373,7 +384,7 @@ class SimulatedHttpClient:
     def total_latency(self) -> float:
         """Virtual seconds spent waiting on responses, across all hosts."""
         with self._lock:
-            return sum(s.total_latency for s in self.stats.values())
+            return sum(s.latency_ns for s in self.stats.values()) / 1_000_000_000
 
     def reset_stats(self) -> None:
         """Zero all per-host counters."""

@@ -311,6 +311,23 @@ class TestMetricsEndpoint:
         by_route = {s["labels"]["route"]: s["value"] for s in series}
         assert by_route["/api/v1/health"] == 1.0
 
+    def test_scoring_plane_metrics_visible(self, api, manuscript):
+        # One recommend builds features in the filter phase and reuses
+        # them in the ranking phase, and every plane ranking reports its
+        # prune rate — all of it lands on the metrics endpoint.
+        api.handle(
+            "POST",
+            "/api/v1/recommend",
+            {"manuscript": manuscript_payload(manuscript)},
+        )
+        metrics = api.handle("GET", "/api/v1/metrics").body["metrics"]
+        counters = metrics["counters"]
+        built = sum(s["value"] for s in counters["scoring_features_built_total"])
+        reused = sum(s["value"] for s in counters["scoring_features_reused_total"])
+        assert built > 0
+        assert reused > 0
+        assert "scoring_prune_rate" in metrics["gauges"]
+
     def test_body_is_json_serialisable(self, api, manuscript):
         import json
 

@@ -1,0 +1,86 @@
+"""Shared builders for the scoring compute-plane tests.
+
+The builders mirror the ones ``tests/core`` uses, extended with the
+COI-relevant evidence (publication ids, affiliations, source ids) so one
+candidate object can exercise ranking *and* screening.
+"""
+
+from __future__ import annotations
+
+from repro.core.models import Candidate, Manuscript, ManuscriptAuthor, VerifiedAuthor
+from repro.ontology.expansion import ExpandedKeyword
+from repro.scholarly.records import MergedProfile, Metrics
+
+
+def expansion(keyword, score, seed, depth=1):
+    return ExpandedKeyword(
+        keyword=keyword, topic_id=keyword.lower(), score=score, seed=seed, depth=depth
+    )
+
+
+def make_manuscript(keywords=("Semantic Web", "Big Data"), venue="Journal X"):
+    return Manuscript(
+        title="T",
+        keywords=tuple(keywords),
+        authors=(ManuscriptAuthor("A"),),
+        target_venue=venue,
+    )
+
+
+def make_candidate(
+    candidate_id,
+    interests=(),
+    matched=None,
+    citations=0,
+    h_index=0,
+    review_count=0,
+    on_time_rate=None,
+    scholar_pubs=(),
+    dblp_pubs=(),
+    venues_reviewed=(),
+    pub_ids=(),
+    affiliations=(),
+    source_ids=(),
+):
+    return Candidate(
+        candidate_id=candidate_id,
+        name=candidate_id,
+        profile=MergedProfile(
+            canonical_name=candidate_id,
+            source_ids=tuple(source_ids),
+            interests=tuple(interests),
+            metrics=Metrics(citations=citations, h_index=h_index),
+            publication_ids=tuple(pub_ids),
+            affiliations=tuple(affiliations),
+        ),
+        matched_keywords=dict(matched or {}),
+        keyword_match_score=max((matched or {"": 0}).values() or [0]),
+        review_count=review_count,
+        on_time_rate=on_time_rate,
+        scholar_publications=list(scholar_pubs),
+        dblp_publications=list(dblp_pubs),
+        venues_reviewed=list(venues_reviewed),
+    )
+
+
+def make_author(
+    name="Author A",
+    pub_ids=(),
+    affiliations=(),
+    source_ids=(),
+    submitted_affiliation="",
+    submitted_country="",
+    dblp_publications=(),
+):
+    return VerifiedAuthor(
+        submitted=ManuscriptAuthor(
+            name, affiliation=submitted_affiliation, country=submitted_country
+        ),
+        profile=MergedProfile(
+            canonical_name=name,
+            source_ids=tuple(source_ids),
+            publication_ids=tuple(pub_ids),
+            affiliations=tuple(affiliations),
+        ),
+        dblp_publications=tuple(dblp_publications),
+    )

@@ -1,0 +1,223 @@
+"""The feature store: reuse, invalidation, eviction, plane attachment."""
+
+import copy
+
+import pytest
+
+from repro.scoring import (
+    FeatureStore,
+    ScoringContext,
+    build_candidate_features,
+)
+from tests.scoring.conftest import make_candidate
+
+CTX = ScoringContext(current_year=2019, half_life_years=3.0)
+
+
+def pub(pid, year, keywords=(), title="", venue=""):
+    return {
+        "id": pid,
+        "year": year,
+        "keywords": list(keywords),
+        "title": title,
+        "venue": venue,
+    }
+
+
+class TestBuildCandidateFeatures:
+    def test_yearless_publications_dropped(self):
+        candidate = make_candidate(
+            "c",
+            scholar_pubs=(
+                pub("p1", 2019, keywords=("semantic web",)),
+                {"id": "p2", "year": None, "keywords": ["semantic web"]},
+            ),
+        )
+        features = build_candidate_features(candidate, CTX)
+        assert len(features.recency_pubs) == 1
+        assert features.decay_mass == pytest.approx(1.0)
+
+    def test_titleless_keywordless_publications_dropped(self):
+        candidate = make_candidate(
+            "c", scholar_pubs=({"id": "p1", "year": 2019, "title": ""},)
+        )
+        features = build_candidate_features(candidate, CTX)
+        assert features.recency_pubs == ()
+
+    def test_decay_mass_sums_per_publication_decay(self):
+        candidate = make_candidate(
+            "c",
+            scholar_pubs=(
+                pub("p1", 2019, keywords=("a",)),
+                pub("p2", 2016, keywords=("a",)),
+            ),
+        )
+        features = build_candidate_features(candidate, CTX)
+        assert features.decay_mass == pytest.approx(1.0 + 0.5)
+
+    def test_venue_counts_accumulate(self):
+        candidate = make_candidate(
+            "c",
+            dblp_pubs=(pub("p1", 2019, venue="VLDB"), pub("p2", 2018, venue="vldb")),
+            venues_reviewed=({"venue": "VLDB", "count": 3}, {"venue": "VLDB", "count": 2}),
+        )
+        features = build_candidate_features(candidate, CTX)
+        assert features.venue_pub_counts == {"vldb": 2}
+        assert features.venue_review_counts == {"vldb": 5}
+
+    def test_dblp_years_last_wins_and_skips_partial_records(self):
+        candidate = make_candidate(
+            "c",
+            dblp_pubs=(
+                {"id": "p1", "year": 2001},
+                {"id": "p1", "year": 2003},
+                {"id": None, "year": 1990},
+                {"id": "p2", "year": None},
+            ),
+        )
+        features = build_candidate_features(candidate, CTX)
+        assert features.dblp_years == {"p1": 2003}
+        assert features.dblp_first == 2003
+
+    def test_undated_affiliation_concretized(self):
+        from repro.scholarly.records import Affiliation
+
+        candidate = make_candidate(
+            "c",
+            affiliations=(
+                Affiliation("MIT", "US", 0, None),
+                Affiliation("ETH", "CH", 2010, 2014),
+            ),
+        )
+        features = build_candidate_features(candidate, CTX)
+        assert features.affiliations == (
+            ("MIT", "US", 2016, 10_000),
+            ("ETH", "CH", 2010, 2014),
+        )
+
+
+class TestFeatureStore:
+    def test_second_lookup_reuses(self):
+        store = FeatureStore()
+        candidate = make_candidate("c", citations=10)
+        first = store.features_for(candidate, CTX)
+        second = store.features_for(candidate, CTX)
+        assert second is first
+        assert store.stats()["features_built"] == 1
+        assert store.stats()["features_reused"] == 1
+
+    def test_equal_copy_hits(self):
+        # The cold path re-extracts per request: equal content, new
+        # objects.  Equality is the backstop behind the identity check.
+        store = FeatureStore()
+        candidate = make_candidate(
+            "c", citations=10, scholar_pubs=(pub("p1", 2019, keywords=("a",)),)
+        )
+        first = store.features_for(candidate, CTX)
+        second = store.features_for(copy.deepcopy(candidate), CTX)
+        assert second is first
+
+    def test_changed_evidence_rebuilds(self):
+        store = FeatureStore()
+        candidate = make_candidate("c", review_count=1)
+        store.features_for(candidate, CTX)
+        candidate.review_count = 2
+        features = store.features_for(candidate, CTX)
+        assert features.review_experience == 2.0
+        assert store.stats()["features_built"] == 2
+        assert store.stats()["features_reused"] == 0
+
+    def test_changed_publications_rebuild(self):
+        # Validation is identity-or-equality against the evidence the
+        # entry was built from: a *replaced* publication list rebuilds.
+        # (Mutating the cached list object in place is indistinguishable
+        # by identity — pipeline code always assigns fresh lists.)
+        store = FeatureStore()
+        candidate = make_candidate("c", scholar_pubs=(pub("p1", 2019, keywords=("a",)),))
+        store.features_for(candidate, CTX)
+        candidate.scholar_publications = candidate.scholar_publications + [
+            pub("p2", 2018, keywords=("a",))
+        ]
+        features = store.features_for(candidate, CTX)
+        assert len(features.recency_pubs) == 2
+        assert store.stats()["features_built"] == 2
+
+    def test_changed_context_rebuilds(self):
+        store = FeatureStore()
+        candidate = make_candidate("c", scholar_pubs=(pub("p1", 2016, keywords=("a",)),))
+        old = store.features_for(candidate, CTX)
+        new = store.features_for(
+            candidate, ScoringContext(current_year=2019, half_life_years=1.0)
+        )
+        assert old.decay_mass == pytest.approx(0.5)
+        assert new.decay_mass == pytest.approx(0.125)
+        assert store.stats()["features_built"] == 2
+
+    def test_epoch_bump_rebuilds(self):
+        epoch = [0]
+        store = FeatureStore(epoch_provider=lambda: epoch[0])
+        candidate = make_candidate("c")
+        store.features_for(candidate, CTX)
+        epoch[0] += 1
+        store.features_for(candidate, CTX)
+        assert store.stats()["features_built"] == 2
+        assert store.stats()["features_reused"] == 0
+
+    def test_lru_eviction(self):
+        store = FeatureStore(capacity=2)
+        a, b, c = (make_candidate(cid) for cid in "abc")
+        store.features_for(a, CTX)
+        store.features_for(b, CTX)
+        store.features_for(a, CTX)  # refresh a; b is now oldest
+        store.features_for(c, CTX)  # evicts b
+        assert len(store) == 2
+        store.features_for(b, CTX)
+        assert store.stats()["features_built"] == 4
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            FeatureStore(capacity=0)
+
+    def test_clear_drops_entries_keeps_counters(self):
+        store = FeatureStore()
+        store.features_for(make_candidate("c"), CTX)
+        store.clear()
+        assert len(store) == 0
+        assert store.stats()["features_built"] == 1
+
+    def test_stats_shape(self):
+        store = FeatureStore()
+        store.features_for(make_candidate("c"), CTX)
+        store.features_for(make_candidate("c"), CTX)
+        stats = store.stats()
+        assert stats == {
+            "features_built": 1,
+            "features_reused": 1,
+            "reuse_rate": 0.5,
+            "entries": 1,
+        }
+
+
+class TestPlaneAttachment:
+    def test_plane_store_is_shared_and_epoch_tied(self, hub):
+        from repro.retrieval import RetrievalPlane
+
+        plane = RetrievalPlane.for_sources(hub)
+        store = plane.feature_store()
+        assert plane.feature_store() is store
+        candidate = make_candidate("c")
+        store.features_for(candidate, CTX)
+        assert len(store) == 1
+        plane.bump_epoch()
+        # Entries are dropped eagerly *and* the epoch no longer matches.
+        assert len(store) == 0
+        store.features_for(candidate, CTX)
+        assert store.stats()["features_built"] == 2
+
+    def test_plane_stats_include_scoring(self, hub):
+        from repro.retrieval import RetrievalPlane
+
+        plane = RetrievalPlane.for_sources(hub)
+        assert plane.stats()["scoring"] is None
+        plane.feature_store().features_for(make_candidate("c"), CTX)
+        assert plane.stats()["scoring"]["features_built"] == 1

@@ -1,0 +1,253 @@
+"""Property tests: the compute plane is bit-identical to the naive path.
+
+Hypothesis drives randomized candidate pools, manuscripts, weight
+configurations and COI evidence through both implementations and
+requires *exact* equality — ``==`` on floats, not ``approx`` — because
+the plane's contract is bit-identity, not numerical closeness.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.coi import CoiDetector
+from repro.core.config import (
+    AffiliationCoiLevel,
+    AggregationMethod,
+    CoiConfig,
+    ImpactMetric,
+    PipelineConfig,
+    RankingWeights,
+)
+from repro.core.ranking import NaiveRanker, Ranker
+from repro.scholarly.records import Affiliation
+from repro.scoring import CoiScreen, ScoringContext, build_candidate_features
+from tests.scoring.conftest import expansion, make_author, make_candidate, make_manuscript
+
+KEYWORDS = ("semantic web", "big data", "rdf", "data mining", "graph processing")
+VENUES = ("Journal X", "VLDB", "")
+TITLES = ("", "a semantic web survey", "big data systems", "notes on rdf graphs")
+
+SETTINGS = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+# --- ranking ----------------------------------------------------------
+
+publications = st.lists(
+    st.fixed_dictionaries(
+        {
+            "id": st.sampled_from([f"p{i}" for i in range(8)]),
+            "year": st.one_of(st.none(), st.integers(2000, 2019)),
+            "keywords": st.lists(st.sampled_from(KEYWORDS), max_size=2),
+            "title": st.sampled_from(TITLES),
+            "venue": st.sampled_from(VENUES),
+        }
+    ),
+    max_size=4,
+)
+
+
+@st.composite
+def candidate_pools(draw):
+    size = draw(st.integers(min_value=1, max_value=7))
+    pool = []
+    for i in range(size):
+        matched = draw(
+            st.dictionaries(
+                st.sampled_from(KEYWORDS), st.floats(0.1, 1.0), max_size=3
+            )
+        )
+        pool.append(
+            make_candidate(
+                f"cand-{i}",
+                interests=draw(st.lists(st.sampled_from(KEYWORDS), max_size=3)),
+                matched=matched,
+                citations=draw(st.integers(0, 3000)),
+                h_index=draw(st.integers(0, 60)),
+                review_count=draw(st.integers(0, 40)),
+                on_time_rate=draw(st.one_of(st.none(), st.floats(0.0, 1.0))),
+                scholar_pubs=draw(publications),
+                dblp_pubs=draw(publications),
+                venues_reviewed=[
+                    {"venue": venue, "count": count}
+                    for venue, count in draw(
+                        st.dictionaries(
+                            st.sampled_from(("Journal X", "VLDB")),
+                            st.integers(1, 9),
+                            max_size=2,
+                        )
+                    ).items()
+                ],
+            )
+        )
+    return pool
+
+
+@st.composite
+def ranking_configs(draw):
+    weights = draw(
+        st.lists(
+            st.floats(0.0, 5.0, allow_nan=False), min_size=6, max_size=6
+        ).filter(lambda values: sum(values) > 0)
+    )
+    aggregation = draw(st.sampled_from(list(AggregationMethod)))
+    owa_weights = None
+    if aggregation is AggregationMethod.OWA:
+        owa_weights = draw(
+            st.one_of(
+                st.none(),
+                st.lists(st.floats(0.01, 1.0), min_size=1, max_size=6).map(tuple),
+            )
+        )
+    return PipelineConfig(
+        weights=RankingWeights(*weights),
+        aggregation=aggregation,
+        owa_weights=owa_weights,
+        impact_metric=draw(st.sampled_from(list(ImpactMetric))),
+        top_k=draw(st.one_of(st.none(), st.integers(1, 8))),
+    )
+
+
+expansions = st.lists(
+    st.builds(
+        expansion,
+        keyword=st.sampled_from(KEYWORDS + ("linked data", "ontologies")),
+        score=st.floats(0.05, 1.0),
+        seed=st.sampled_from(("semantic web", "big data")),
+    ),
+    max_size=6,
+)
+
+
+def fingerprint(ranked):
+    return [
+        (s.candidate.candidate_id, s.total_score, s.breakdown.as_dict())
+        for s in ranked
+    ]
+
+
+@SETTINGS
+@given(
+    pool=candidate_pools(),
+    config=ranking_configs(),
+    expanded=expansions,
+    keywords=st.lists(
+        st.sampled_from(("semantic web", "big data")),
+        min_size=1,
+        max_size=2,
+        unique=True,
+    ),
+    venue=st.sampled_from(VENUES),
+)
+def test_plane_ranking_bit_identical_to_naive(pool, config, expanded, keywords, venue):
+    manuscript = make_manuscript(keywords=keywords, venue=venue)
+    naive = NaiveRanker(config).rank(manuscript, pool, expanded)
+    if config.top_k is not None:
+        naive = naive[: config.top_k]
+    plane = Ranker(config).rank(manuscript, pool, expanded)
+    assert fingerprint(plane) == fingerprint(naive)
+
+
+# --- COI screening ----------------------------------------------------
+
+affiliations = st.lists(
+    st.builds(
+        Affiliation,
+        institution=st.sampled_from(("MIT", "ETH", "KAUST", "")),
+        country=st.sampled_from(("US", "CH", "Saudi Arabia", "")),
+        start_year=st.sampled_from((0, 2005, 2012, 2016)),
+        end_year=st.one_of(st.none(), st.integers(2006, 2019)),
+    ),
+    max_size=3,
+)
+
+pub_ids = st.sets(st.sampled_from([f"p{i}" for i in range(6)]), max_size=4)
+
+source_ids = st.dictionaries(
+    st.sampled_from(("scholar", "dblp", "orcid")),
+    st.sampled_from(("id-1", "id-2", "id-3")),
+    max_size=2,
+).map(lambda ids: tuple(ids.items()))
+
+# Mentorship evidence must be complete records: the naive rule indexes
+# ``pub["id"]``/``pub["year"]`` directly.
+dblp_records = st.lists(
+    st.fixed_dictionaries(
+        {
+            "id": st.sampled_from([f"p{i}" for i in range(6)]),
+            "year": st.integers(1995, 2019),
+        }
+    ),
+    max_size=5,
+)
+
+coi_configs = st.builds(
+    CoiConfig,
+    check_coauthorship=st.booleans(),
+    coauthorship_lookback_years=st.one_of(st.none(), st.integers(1, 10)),
+    affiliation_level=st.sampled_from(list(AffiliationCoiLevel)),
+    check_mentorship=st.booleans(),
+    mentorship_window_years=st.integers(1, 5),
+    mentorship_seniority_gap=st.integers(1, 12),
+)
+
+
+@st.composite
+def author_lists(draw):
+    count = draw(st.integers(0, 3))
+    return [
+        make_author(
+            name=f"Author {i}",
+            pub_ids=tuple(sorted(draw(pub_ids))),
+            affiliations=tuple(draw(affiliations)),
+            source_ids=draw(source_ids),
+            submitted_affiliation=draw(st.sampled_from(("", "MIT", "KAUST"))),
+            submitted_country=draw(st.sampled_from(("", "US", "Saudi Arabia"))),
+            dblp_publications=tuple(draw(dblp_records)),
+        )
+        for i in range(count)
+    ]
+
+
+@SETTINGS
+@given(
+    config=coi_configs,
+    authors=author_lists(),
+    candidate_pub_ids=pub_ids,
+    candidate_affiliations=affiliations,
+    candidate_source_ids=source_ids,
+    candidate_dblp=dblp_records,
+    years=st.dictionaries(
+        st.sampled_from([f"p{i}" for i in range(6)]),
+        st.integers(2000, 2019),
+        max_size=6,
+    ),
+)
+def test_screen_verdicts_bit_identical_to_naive(
+    config,
+    authors,
+    candidate_pub_ids,
+    candidate_affiliations,
+    candidate_source_ids,
+    candidate_dblp,
+    years,
+):
+    candidate = make_candidate(
+        "cand",
+        pub_ids=tuple(sorted(candidate_pub_ids)),
+        affiliations=tuple(candidate_affiliations),
+        source_ids=candidate_source_ids,
+        dblp_pubs=candidate_dblp,
+    )
+    naive = CoiDetector(config, current_year=2019).check(candidate, authors, years)
+    fast = CoiScreen(authors, config, current_year=2019).screen(
+        build_candidate_features(
+            candidate, ScoringContext(current_year=2019, half_life_years=3.0)
+        ),
+        years,
+    )
+    assert fast.has_conflict == naive.has_conflict
+    assert fast.reasons == naive.reasons

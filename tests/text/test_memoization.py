@@ -1,0 +1,87 @@
+"""The memoized text helpers must be invisible wrappers.
+
+``normalize_keyword`` and ``tokenize`` are the hottest functions in the
+scoring plane; both now sit on bounded ``lru_cache``\\ s.  These tests pin
+the contract: cached results equal the uncached computation for every
+input class (unicode, casefold, punctuation), and callers still receive
+fresh mutable lists.
+"""
+
+from repro.text.normalize import _normalize_keyword_cached, normalize_keyword
+from repro.text.tokenize import DEFAULT_STOPWORDS, _tokenize_cached, tokenize
+
+NORMALIZE_INPUTS = [
+    "",
+    "Semantic Web",
+    "  Machine-Learning ",
+    "MACHINE-Learning",
+    "machine_learning",
+    "Sørensen",
+    "Müller-Lüdenscheidt",
+    "internet of things!",
+    "RDF/SPARQL   queries",
+    "データベース",  # non-decomposable characters must survive
+]
+
+TOKENIZE_INPUTS = [
+    "",
+    "Efficient Processing of RDF Data!",
+    "The Internet of Things",
+    "Sørensen–Dice coefficient",
+    "a of the",  # pure stopwords
+    "Big-Data systems, at scale",
+]
+
+
+def test_normalize_cached_equals_uncached():
+    uncached = _normalize_keyword_cached.__wrapped__
+    for text in NORMALIZE_INPUTS:
+        assert normalize_keyword(text) == uncached(text)
+
+
+def test_normalize_repeated_calls_stable():
+    for text in NORMALIZE_INPUTS:
+        assert normalize_keyword(text) == normalize_keyword(text)
+
+
+def test_normalize_cache_is_bounded():
+    assert _normalize_keyword_cached.cache_info().maxsize == 16384
+
+
+def test_tokenize_cached_equals_uncached():
+    uncached = _tokenize_cached.__wrapped__
+    for text in TOKENIZE_INPUTS:
+        assert tokenize(text) == list(uncached(text, DEFAULT_STOPWORDS, 1))
+        assert tokenize(text, stopwords=None) == list(uncached(text, None, 1))
+        assert tokenize(text, min_length=3) == list(
+            uncached(text, DEFAULT_STOPWORDS, 3)
+        )
+
+
+def test_tokenize_returns_fresh_mutable_list():
+    first = tokenize("Efficient Processing of RDF Data!")
+    first.append("mutated")
+    second = tokenize("Efficient Processing of RDF Data!")
+    assert "mutated" not in second
+
+
+def test_tokenize_accepts_unhashed_stopword_collections():
+    # Callers may pass sets or lists; the wrapper freezes them before
+    # they reach the cache key.
+    stop = {"rdf", "data"}
+    assert tokenize("Efficient RDF Data", stopwords=stop) == ["efficient"]
+    assert tokenize("Efficient RDF Data", stopwords=["rdf", "data"]) == ["efficient"]
+
+
+def test_tokenize_cache_is_bounded():
+    assert _tokenize_cached.cache_info().maxsize == 16384
+
+
+def test_doctest_examples_still_hold():
+    assert normalize_keyword("  Machine-Learning ") == "machine learning"
+    assert tokenize("Efficient Processing of RDF Data!") == [
+        "efficient",
+        "processing",
+        "rdf",
+        "data",
+    ]
