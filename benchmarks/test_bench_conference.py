@@ -1,0 +1,168 @@
+"""EXP-ASSIGN-CONF — whole-conference assignment on planted scenarios.
+
+Three PC pool sizes, each a planted-ground-truth conference
+(:mod:`repro.world.conference`): solver runtime and quality against the
+planted truth for the flow-exact and greedy-with-swaps solvers, plus a
+pipeline-path determinism check at 1/2/8 workers.
+
+The acceptance bars this run enforces:
+
+- min-cost-flow recovers the planted sets exactly (planted recall 1.0)
+  at every size and noise level measured;
+- greedy-with-swaps reaches ≥0.9 of the flow objective;
+- the end-to-end conference run is bit-identical across worker counts.
+
+Results are printed and written to ``BENCH_assign.json`` at the repo
+root so CI can archive the run.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.assignment import (
+    AssignmentObjective,
+    assign_conference,
+    greedy_assignment,
+    greedy_swap_assignment,
+    min_cost_flow_assignment,
+    objective_value,
+)
+from repro.core.pipeline import Minaret
+from repro.scholarly.registry import ScholarlyHub
+from repro.world.conference import (
+    ConferenceConfig,
+    generate_conference,
+    load_spread,
+    planted_recall,
+    precision_at_set,
+)
+from benchmarks.conftest import print_table
+
+#: Paper counts chosen so the auto-drafted PC pools span ~17 to ~68
+#: members on the 300-scholar bench world.
+PAPER_COUNTS = (12, 24, 48)
+WORKER_COUNTS = (1, 2, 8)
+SCORE_NOISE = 1.0  # hardest permitted setting: separation at its edge
+OUTPUT = Path(__file__).resolve().parents[1] / "BENCH_assign.json"
+
+SOLVERS = (
+    ("flow", min_cost_flow_assignment),
+    ("greedy-swap", greedy_swap_assignment),
+    ("greedy", lambda problem: greedy_assignment(problem)),
+)
+
+
+def _solve_timed(solver, problem):
+    start = time.perf_counter()
+    assignment = solver(problem)
+    return assignment, time.perf_counter() - start
+
+
+def test_bench_conference_solvers(bench_world):
+    objective = AssignmentObjective()
+    rows = []
+    record = {"score_noise": SCORE_NOISE, "sizes": [], "pipeline": None}
+
+    for paper_count in PAPER_COUNTS:
+        scenario = generate_conference(
+            bench_world,
+            ConferenceConfig(
+                paper_count=paper_count, score_noise=SCORE_NOISE, seed=7
+            ),
+        )
+        problem = scenario.planted_problem()
+        size_record = {
+            "papers": paper_count,
+            "pool": len(scenario.pool),
+            "demand": problem.demand(),
+            "solvers": {},
+        }
+        values = {}
+        for name, solver in SOLVERS:
+            assignment, seconds = _solve_timed(solver, problem)
+            recall = planted_recall(scenario, assignment)
+            precision = precision_at_set(scenario, assignment)
+            spread = load_spread(assignment, scenario.pool)
+            value = objective_value(problem, assignment, objective)
+            values[name] = value
+            size_record["solvers"][name] = {
+                "runtime_s": round(seconds, 4),
+                "objective": round(value, 6),
+                "planted_recall": round(recall, 6),
+                "precision_at_set": round(precision, 6),
+                "load_spread": spread,
+                "unfilled": problem.demand() - assignment.total_assignments(),
+            }
+            rows.append(
+                (
+                    paper_count,
+                    len(scenario.pool),
+                    name,
+                    f"{seconds * 1000:.1f}ms",
+                    f"{value:.3f}",
+                    f"{recall:.3f}",
+                    f"{precision:.3f}",
+                    spread,
+                )
+            )
+            if name == "flow":
+                assert recall == 1.0, (
+                    f"flow must recover the planted truth at "
+                    f"{paper_count} papers (noise {SCORE_NOISE})"
+                )
+        assert values["greedy-swap"] >= 0.9 * values["flow"], (
+            f"greedy-swap fell below 0.9x flow at {paper_count} papers"
+        )
+        record["sizes"].append(size_record)
+
+    print_table(
+        f"EXP-ASSIGN-CONF planted scenarios (noise {SCORE_NOISE})",
+        (
+            "papers",
+            "pool",
+            "solver",
+            "runtime",
+            "objective",
+            "recall",
+            "p@set",
+            "spread",
+        ),
+        rows,
+    )
+
+    # Pipeline-path determinism: the same conference, recommended and
+    # solved end-to-end, must be bit-identical at every worker count.
+    scenario = generate_conference(
+        bench_world, ConferenceConfig(paper_count=6, seed=7)
+    )
+    outcomes = []
+    wall_by_workers = {}
+    for workers in WORKER_COUNTS:
+        hub = ScholarlyHub.deploy(bench_world)
+        start = time.perf_counter()
+        conference = assign_conference(
+            Minaret(hub),
+            scenario.entries(),
+            reviewers_per_paper=2,
+            capacity=3,
+            solver="flow",
+            workers=workers,
+        )
+        wall_by_workers[workers] = round(time.perf_counter() - start, 2)
+        outcomes.append(
+            (conference.assignment.by_paper, conference.objective_value)
+        )
+    identical = all(outcome == outcomes[0] for outcome in outcomes)
+    assert identical, "conference results drifted across worker counts"
+    record["pipeline"] = {
+        "papers": 6,
+        "workers": list(WORKER_COUNTS),
+        "wall_s": wall_by_workers,
+        "bit_identical": identical,
+    }
+
+    OUTPUT.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {OUTPUT.name}")

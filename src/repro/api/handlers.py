@@ -13,11 +13,15 @@ Endpoints
 ``POST /api/v1/recommend``
     The full workflow: ``{manuscript: {...}, config?: {...}, top_k?}``.
 ``POST /api/v1/assign``
-    Batch mode (§3): run the workflow for several manuscripts and solve
-    the cross-paper assignment under load constraints:
+    Conference mode (§3): run the workflow for several manuscripts and
+    solve the cross-paper assignment under capacity constraints:
     ``{manuscripts: [{paper_id, manuscript}], reviewers_per_paper?,
-    max_load?, solver?, config?, workers?}``.  ``workers > 1`` runs the
-    per-paper pipelines in parallel with identical output.
+    capacity? (alias max_load?), solver?, balance_weight?,
+    coverage_weight?, on_error?, require_full?, config?, workers?}``.
+    ``workers > 1`` runs the per-paper pipelines in parallel with
+    identical output; ``on_error: "skip"`` reports failed papers in the
+    response instead of aborting; ``require_full: true`` turns an
+    under-filled program into a 409.
 ``GET  /api/v1/metrics``
     The deployment's observability snapshot: counters, gauges and
     histograms from the ambient :mod:`repro.obs` registry (per-host
@@ -326,7 +330,12 @@ class MinaretApi:
         return result_to_payload(result, top_k=top_k)
 
     def _assign(self, request: ApiRequest) -> dict:
-        from repro.assignment import assign_batch, solver_by_name
+        from repro.assignment import (
+            AssignmentObjective,
+            InfeasibleAssignmentError,
+            assign_conference,
+            solver_by_name,
+        )
 
         manuscripts_payload = request.require("manuscripts")
         if not isinstance(manuscripts_payload, list) or not manuscripts_payload:
@@ -339,6 +348,19 @@ class MinaretApi:
         workers = int(request.body.get("workers", 1))
         if workers < 1:
             raise ApiError(400, "workers must be >= 1")
+        on_error = str(request.body.get("on_error", "raise"))
+        if on_error not in ("raise", "skip"):
+            raise ApiError(400, "on_error must be 'raise' or 'skip'")
+        if "capacity" in request.body and "max_load" in request.body:
+            raise ApiError(400, "pass capacity or max_load, not both")
+        capacity = int(request.body.get("capacity", request.body.get("max_load", 2)))
+        try:
+            objective = AssignmentObjective(
+                balance_weight=float(request.body.get("balance_weight", 0.0)),
+                coverage_weight=float(request.body.get("coverage_weight", 0.0)),
+            )
+        except ValueError as exc:
+            raise ApiError(400, str(exc)) from exc
         config = config_from_payload(request.body.get("config", {}))
         pipeline = Minaret(
             self._sources,
@@ -354,39 +376,53 @@ class MinaretApi:
                 raise ApiError(400, "each batch entry needs a paper_id")
             entries.append((paper_id, manuscript_from_payload(entry.get("manuscript", {}))))
         try:
-            batch = assign_batch(
+            conference = assign_conference(
                 pipeline,
                 entries,
                 reviewers_per_paper=int(
                     request.body.get("reviewers_per_paper", 3)
                 ),
-                max_load=int(request.body.get("max_load", 2)),
+                capacity=capacity,
                 top_k=request.body.get("top_k"),
                 solver=solver_name,
+                objective=objective,
                 workers=workers,
+                on_error=on_error,
+                require_full=bool(request.body.get("require_full", False)),
             )
+        except InfeasibleAssignmentError as exc:
+            raise ApiError(409, str(exc)) from exc
         except AmbiguousIdentityError as exc:
             raise ApiError(409, str(exc)) from exc
         except IdentityVerificationError as exc:
             raise ApiError(404, str(exc)) from exc
         except ValueError as exc:
             raise ApiError(400, str(exc)) from exc
-        names = batch.reviewer_names
+        names = conference.reviewer_names
         return {
             "solver": solver_name,
             "assignments": {
                 paper_id: [
                     {"candidate_id": reviewer, "name": names.get(reviewer, reviewer)}
-                    for reviewer in batch.assignment.reviewers_of(paper_id)
+                    for reviewer in conference.assignment.reviewers_of(paper_id)
                 ]
-                for paper_id in batch.problem.papers()
+                for paper_id in conference.problem.papers()
             },
+            "failures": [
+                {
+                    "paper_id": failure.paper_id,
+                    "error": failure.error,
+                    "message": failure.message,
+                }
+                for failure in conference.failures
+            ],
+            "objective_value": conference.objective_value,
             "quality": {
-                "total_score": batch.quality.total_score,
-                "mean_paper_score": batch.quality.mean_paper_score,
-                "min_paper_score": batch.quality.min_paper_score,
-                "unfilled_slots": batch.quality.unfilled_slots,
-                "max_load": batch.quality.max_load,
-                "load_stddev": batch.quality.load_stddev,
+                "total_score": conference.quality.total_score,
+                "mean_paper_score": conference.quality.mean_paper_score,
+                "min_paper_score": conference.quality.min_paper_score,
+                "unfilled_slots": conference.quality.unfilled_slots,
+                "max_load": conference.quality.max_load,
+                "load_stddev": conference.quality.load_stddev,
             },
         }

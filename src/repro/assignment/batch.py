@@ -26,21 +26,34 @@ from repro.assignment.models import (
     AssignmentQuality,
     assess_assignment,
 )
+from repro.assignment.objective import AssignmentObjective
 from repro.assignment.solvers import (
     greedy_assignment,
-    optimal_assignment,
+    greedy_swap_assignment,
+    min_cost_flow_assignment,
     random_assignment,
 )
 from repro.concurrency import Executor, create_executor
 from repro.core.models import Manuscript, RecommendationResult
 from repro.obs import get_obs
 
-#: Solver registry shared by the CLI and the API.  ``random`` is seeded
-#: so batch runs stay reproducible.
+#: Solver registry shared by the CLI and the API.  Every entry takes
+#: ``(problem, objective=None)``; solvers that cannot honour an
+#: objective term simply ignore it (documented per solver).  ``random``
+#: is seeded so batch runs stay reproducible; ``optimal`` is the
+#: historical name for the flow path.
 SOLVERS = {
-    "optimal": optimal_assignment,
-    "greedy": greedy_assignment,
-    "random": lambda problem: random_assignment(problem, seed=0),
+    "optimal": lambda problem, objective=None: min_cost_flow_assignment(
+        problem, objective
+    ),
+    "flow": lambda problem, objective=None: min_cost_flow_assignment(
+        problem, objective
+    ),
+    "greedy": lambda problem, objective=None: greedy_assignment(problem),
+    "greedy-swap": lambda problem, objective=None: greedy_swap_assignment(
+        problem, objective
+    ),
+    "random": lambda problem, objective=None: random_assignment(problem, seed=0),
 }
 
 
@@ -125,6 +138,7 @@ def assign_batch(
     max_load: int = 2,
     top_k: int | None = None,
     solver: str = "optimal",
+    objective: AssignmentObjective | None = None,
     executor: Executor | None = None,
     workers: int = 1,
 ) -> BatchAssignment:
@@ -141,7 +155,7 @@ def assign_batch(
         max_load=max_load,
         top_k=top_k,
     )
-    assignment = solve(problem)
+    assignment = solve(problem, objective)
     quality = assess_assignment(problem, assignment)
     return BatchAssignment(
         results=tuple(results),

@@ -19,6 +19,7 @@ def problem_from_results(
     reviewers_per_paper: int = 3,
     max_load: int = 2,
     top_k: int | None = None,
+    candidate_filter=None,
 ) -> AssignmentProblem:
     """Assemble an :class:`AssignmentProblem` from recommendation runs.
 
@@ -32,6 +33,11 @@ def problem_from_results(
     top_k:
         Optionally restrict each paper's candidates to its ``top_k``
         ranked reviewers (smaller, denser instances).
+    candidate_filter:
+        Optional ``candidate_id -> bool`` predicate; candidates it
+        rejects are dropped from every row.  Conference mode uses it to
+        restrict the matrix to the program-committee pool — reviewers
+        outside the PC cannot be assigned, however well they score.
 
     Duplicate paper ids are rejected; the candidate's pipeline
     ``total_score`` is the suitability score.
@@ -44,6 +50,8 @@ def problem_from_results(
         scores[paper_id] = {
             scored.candidate.candidate_id: scored.total_score
             for scored in ranked
+            if candidate_filter is None
+            or candidate_filter(scored.candidate.candidate_id)
         }
     return AssignmentProblem(
         scores=scores,

@@ -1,0 +1,242 @@
+"""Whole-conference assignment over the batch engine.
+
+:func:`assign_conference` is the conference-mode entry point: run the
+full MINARET pipeline for every submission (fan-out via the
+:class:`~repro.concurrency.Executor`, so results are bit-identical at
+any worker count), assemble the cross-paper score matrix — every row
+already COI-screened by the pipeline's indexed
+:class:`~repro.scoring.coi.CoiScreen` — and hand it to a global solver
+under capacity, set-size, load-balance and set-coverage objectives.
+
+Unlike :func:`~repro.assignment.batch.assign_batch`, conference mode is
+built for degraded worlds: with ``on_error="skip"`` a submission whose
+pipeline run raises a typed :class:`~repro.core.errors.MinaretError`
+becomes a :class:`PaperFailure` in the result instead of sinking the
+whole program — the solver then assigns the papers that survived.
+Because the simulated web's fault draws are content-keyed, which papers
+fail is itself deterministic across worker counts.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.assignment.builder import problem_from_results
+from repro.assignment.models import (
+    Assignment,
+    AssignmentProblem,
+    AssignmentQuality,
+    assess_assignment,
+    require_full_assignment,
+)
+from repro.assignment.objective import AssignmentObjective, objective_value
+from repro.concurrency import Executor, create_executor
+from repro.core.errors import MinaretError
+from repro.core.models import Manuscript, RecommendationResult
+from repro.obs import get_obs
+
+
+@dataclass(frozen=True)
+class PaperFailure:
+    """One submission whose pipeline run failed with a typed error."""
+
+    paper_id: str
+    error: str
+    message: str
+
+
+@dataclass(frozen=True)
+class ConferenceAssignment:
+    """Everything a conference-mode run produced.
+
+    ``results`` holds the successful per-paper pipeline runs;
+    ``failures`` the papers that degraded (empty unless
+    ``on_error="skip"`` and the web actually faulted).  The assignment
+    covers exactly the successful papers.
+    """
+
+    results: tuple[tuple[str, RecommendationResult], ...]
+    failures: tuple[PaperFailure, ...]
+    problem: AssignmentProblem
+    assignment: Assignment
+    quality: AssignmentQuality
+    reviewer_names: dict[str, str]
+    objective: AssignmentObjective
+    objective_value: float
+
+
+def recommend_batch_tolerant(
+    minaret,
+    entries: Sequence[tuple[str, Manuscript]],
+    executor: Executor | None = None,
+    workers: int = 1,
+) -> tuple[list[tuple[str, RecommendationResult]], list[PaperFailure]]:
+    """Run the pipeline per paper, catching typed per-paper failures.
+
+    Framework errors (:class:`MinaretError` subclasses — identity
+    failures, exhausted retries) become :class:`PaperFailure` records;
+    anything else is a bug and propagates.  Each run is independent, so
+    one paper's failure cannot corrupt another's state, and the
+    success/failure pattern is a pure function of the world + seeds.
+    """
+    executor = executor or create_executor(workers)
+    obs = get_obs()
+    clock = getattr(getattr(minaret, "sources", None), "clock", None)
+
+    def run_one(entry: tuple[str, Manuscript]):
+        paper_id, manuscript = entry
+        with obs.span(
+            "manuscript.recommend", clock=clock, paper_id=paper_id
+        ) as span:
+            try:
+                return minaret.recommend(manuscript)
+            except MinaretError as exc:
+                span.set_label("failed", type(exc).__name__)
+                obs.emit(
+                    "conference.paper_failed",
+                    clock=clock,
+                    paper_id=paper_id,
+                    error=type(exc).__name__,
+                    message=str(exc),
+                )
+                obs.inc(
+                    "conference_papers_failed_total", error=type(exc).__name__
+                )
+                return PaperFailure(
+                    paper_id=paper_id,
+                    error=type(exc).__name__,
+                    message=str(exc),
+                )
+
+    with obs.span(
+        "conference.recommend",
+        clock=clock,
+        papers=len(entries),
+        workers=executor.workers,
+    ) as span:
+        outcomes = executor.map(run_one, list(entries))
+        results = []
+        failures = []
+        for (paper_id, __), outcome in zip(entries, outcomes):
+            if isinstance(outcome, PaperFailure):
+                failures.append(outcome)
+            else:
+                results.append((paper_id, outcome))
+        span.set_label("failures", len(failures))
+    return results, failures
+
+
+def assign_conference(
+    minaret,
+    entries: Sequence[tuple[str, Manuscript]],
+    reviewers_per_paper: int = 3,
+    capacity: int = 2,
+    top_k: int | None = None,
+    solver: str = "flow",
+    objective: AssignmentObjective | None = None,
+    executor: Executor | None = None,
+    workers: int = 1,
+    on_error: str = "raise",
+    require_full: bool = False,
+    candidate_filter=None,
+) -> ConferenceAssignment:
+    """Recommend for a whole program and solve the global assignment.
+
+    Parameters beyond :func:`~repro.assignment.batch.assign_batch`:
+
+    ``capacity``
+        Per-reviewer paper cap (the CLI's ``--capacity N``).
+    ``objective``
+        Load-balance / set-coverage weights on top of raw score.
+    ``on_error``
+        ``"raise"`` propagates the first pipeline failure (the batch
+        contract); ``"skip"`` degrades gracefully — failed papers are
+        reported as :class:`PaperFailure` and excluded from the solve.
+    ``require_full``
+        Demand every (successful) paper gets its exact quota, raising
+        :class:`~repro.assignment.models.InfeasibleAssignmentError`
+        otherwise.
+    ``candidate_filter``
+        ``candidate_id -> bool`` predicate restricting assignable
+        reviewers — conference mode's "must be on the PC" rule.
+    """
+    from repro.assignment.batch import recommend_batch, solver_by_name
+
+    if on_error not in ("raise", "skip"):
+        raise ValueError(f"on_error must be 'raise' or 'skip', got {on_error!r}")
+    solve = solver_by_name(solver)
+    objective = objective or AssignmentObjective()
+    obs = get_obs()
+    clock = getattr(getattr(minaret, "sources", None), "clock", None)
+    if on_error == "skip":
+        results, failures = recommend_batch_tolerant(
+            minaret, entries, executor=executor, workers=workers
+        )
+    else:
+        results = recommend_batch(
+            minaret, entries, executor=executor, workers=workers
+        )
+        failures = []
+    names: dict[str, str] = {}
+    for __, result in results:
+        for scored in result.ranked:
+            names[scored.candidate.candidate_id] = scored.name
+    problem = problem_from_results(
+        results,
+        reviewers_per_paper=reviewers_per_paper,
+        max_load=capacity,
+        top_k=top_k,
+        candidate_filter=candidate_filter,
+    )
+    with obs.span(
+        "conference.solve",
+        clock=clock,
+        solver=solver,
+        papers=len(problem.papers()),
+        reviewers=len(problem.reviewers()),
+        capacity=capacity,
+    ) as span:
+        assignment = solve(problem, objective)
+        if require_full:
+            require_full_assignment(problem, assignment)
+        quality = assess_assignment(problem, assignment)
+        value = objective_value(problem, assignment, objective)
+        span.set_label("unfilled", quality.unfilled_slots)
+        span.set_label("objective", round(value, 6))
+    obs.gauge("conference_unfilled_slots", float(quality.unfilled_slots))
+    return ConferenceAssignment(
+        results=tuple(results),
+        failures=tuple(failures),
+        problem=problem,
+        assignment=assignment,
+        quality=quality,
+        reviewer_names=names,
+        objective=objective,
+        objective_value=round(value, 6),
+    )
+
+
+def scenario_metrics(scenario, assignment: Assignment, resolve=None) -> dict:
+    """Planted-truth quality of an assignment, as a flat dict.
+
+    ``resolve`` maps assignment-side reviewer ids to world author ids
+    when the assignment came out of the pipeline (source-level ids);
+    the planted-matrix path passes nothing.
+    """
+    from repro.world.conference import load_spread, planted_recall, precision_at_set
+
+    if resolve is not None:
+        assignment = Assignment(
+            by_paper={
+                paper_id: sorted(
+                    {resolve(r) for r in reviewers} - {None}
+                )
+                for paper_id, reviewers in assignment.by_paper.items()
+            }
+        )
+    return {
+        "planted_recall": round(planted_recall(scenario, assignment), 6),
+        "precision_at_set": round(precision_at_set(scenario, assignment), 6),
+        "load_spread": load_spread(assignment, scenario.pool),
+    }

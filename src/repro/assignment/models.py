@@ -6,6 +6,28 @@ import statistics
 from collections import Counter
 from dataclasses import dataclass, field
 
+from repro.core.errors import MinaretError
+
+
+class InfeasibleAssignmentError(MinaretError):
+    """The instance cannot give every paper its full reviewer quota.
+
+    Raised by :func:`require_full_assignment` (and the conference entry
+    points that demand completeness) instead of silently returning an
+    under-filled assignment.  ``unfilled`` maps each short paper to how
+    many slots it is missing.
+    """
+
+    def __init__(self, unfilled: dict[str, int], detail: str = ""):
+        short = ", ".join(
+            f"{paper}({count})" for paper, count in sorted(unfilled.items())
+        )
+        message = f"assignment infeasible: {sum(unfilled.values())} unfilled slot(s) on {short}"
+        if detail:
+            message = f"{message} — {detail}"
+        super().__init__(message)
+        self.unfilled = dict(unfilled)
+
 
 @dataclass(frozen=True)
 class AssignmentProblem:
@@ -22,11 +44,17 @@ class AssignmentProblem:
         How many distinct reviewers each paper needs.
     max_load:
         Maximum papers any one reviewer may take.
+    facets:
+        Optional ``paper_id -> {reviewer_id: facet labels}`` — what each
+        candidate would contribute to the paper's reviewer set (topic
+        ids in the conference scenario).  Consumed by the set-coverage
+        objective term; solvers ignore it otherwise.
     """
 
     scores: dict[str, dict[str, float]]
     reviewers_per_paper: int = 3
     max_load: int = 2
+    facets: dict[str, dict[str, frozenset[str]]] | None = None
 
     def __post_init__(self):
         if self.reviewers_per_paper < 1:
@@ -143,3 +171,27 @@ def assess_assignment(
             statistics.pstdev(load_values) if len(load_values) > 1 else 0.0, 6
         ),
     )
+
+
+def require_full_assignment(
+    problem: AssignmentProblem, assignment: Assignment
+) -> Assignment:
+    """Pass ``assignment`` through, or raise if any paper is under quota.
+
+    The conference contract: every paper gets *exactly*
+    ``reviewers_per_paper`` reviewers or the caller sees a typed
+    :class:`InfeasibleAssignmentError` — never a silently short set.
+    """
+    unfilled = {
+        paper_id: problem.reviewers_per_paper - len(assignment.reviewers_of(paper_id))
+        for paper_id in problem.papers()
+        if len(assignment.reviewers_of(paper_id)) < problem.reviewers_per_paper
+    }
+    if unfilled:
+        detail = (
+            f"demand {problem.demand()} vs capacity {problem.capacity()}"
+            if problem.demand() > problem.capacity()
+            else "candidate pools too thin under the load cap"
+        )
+        raise InfeasibleAssignmentError(unfilled, detail)
+    return assignment

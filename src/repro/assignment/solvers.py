@@ -1,4 +1,4 @@
-"""Assignment solvers: greedy heuristic, exact flow-based, random floor.
+"""Assignment solvers: greedy, greedy + local swaps, exact flow, random.
 
 The exact solver models the instance as min-cost max-flow:
 
@@ -6,10 +6,20 @@ The exact solver models the instance as min-cost max-flow:
            --(cap L)--> sink
 
 Integral min-cost max-flow simultaneously maximizes filled slots and,
-among maximal assignments, total score.  Edge unit-capacity enforces
-reviewer distinctness per paper; node-side capacities enforce quota and
-load.  Scores are scaled to integers because networkx's algorithm is
-exact only for integer costs.
+among maximal assignments, the scalar objective.  Edge unit-capacity
+enforces reviewer distinctness per paper; node-side capacities enforce
+quota and load.  Scores are scaled to integers because networkx's
+algorithm is exact only for integer costs.  When the objective carries
+a load-balance weight, each reviewer's *j*-th slot is priced at the
+convex marginal cost ``balance_weight * (2j - 1)`` through a chain of
+unit edges, so the flow also minimizes the sum of squared loads exactly.
+Set coverage is submodular and outside what edge costs can express —
+:func:`greedy_swap_assignment` is the solver that optimizes it.
+
+Every solver is *canonically deterministic*: equal-score alternatives
+resolve by candidate id, never by dict or heap iteration order, so two
+problems that differ only in dict insertion order produce identical
+assignments (see ``tests/assignment`` for the regression).
 """
 
 from __future__ import annotations
@@ -19,6 +29,12 @@ import random as random_module
 import networkx as nx
 
 from repro.assignment.models import Assignment, AssignmentProblem
+from repro.assignment.objective import (
+    EPSILON,
+    AssignmentObjective,
+    coverage_fraction,
+)
+from repro.obs import get_obs
 
 #: Cost scaling factor: scores are rounded to this precision.
 _SCALE = 10_000
@@ -53,65 +69,406 @@ def greedy_assignment(problem: AssignmentProblem) -> Assignment:
     return assignment
 
 
-def optimal_assignment(problem: AssignmentProblem) -> Assignment:
-    """Exact maximum-coverage, maximum-score assignment via min-cost flow.
+# ----------------------------------------------------------------------
+# Greedy seed + local-swap improvement
+# ----------------------------------------------------------------------
+
+
+class _LocalSearch:
+    """Deterministic first-improvement local search over one assignment.
+
+    Move repertoire, each strictly improving ``(filled slots,
+    objective)`` lexicographically:
+
+    - **fill**: an unfilled paper takes the best free reviewer;
+    - **augment**: an unfilled paper takes a fully-loaded reviewer whose
+      seat on another paper is backfilled by a free one (a length-2
+      alternating path — undoes greedy starvation);
+    - **replace**: one paper upgrades one of its reviewers to a better
+      free one;
+    - **swap**: two papers exchange reviewers.
+
+    All scans run in sorted (paper id, reviewer id) order and apply the
+    best candidate of each scan point immediately, so the search is a
+    pure function of the problem.
+    """
+
+    def __init__(self, problem: AssignmentProblem, objective: AssignmentObjective):
+        self.problem = problem
+        self.objective = objective
+        self.papers = problem.papers()
+        self.assigned: dict[str, set[str]] = {p: set() for p in self.papers}
+        self.load: dict[str, int] = {r: 0 for r in problem.reviewers()}
+        self.moves = 0
+
+    # -- state ----------------------------------------------------------
+
+    def seed_from(self, assignment: Assignment) -> None:
+        for paper_id, reviewers in assignment.by_paper.items():
+            self.assigned[paper_id] = set(reviewers)
+            for reviewer in reviewers:
+                self.load[reviewer] += 1
+
+    def to_assignment(self) -> Assignment:
+        return Assignment(
+            by_paper={p: sorted(self.assigned[p]) for p in self.papers}
+        )
+
+    def _score(self, paper_id: str, reviewer_id: str) -> float:
+        return self.problem.scores[paper_id][reviewer_id]
+
+    def _cov(self, paper_id: str, reviewers) -> float:
+        if self.objective.coverage_weight == 0.0:
+            return 0.0
+        return self.objective.coverage_weight * coverage_fraction(
+            self.problem, paper_id, list(reviewers)
+        )
+
+    def _add_value(self, paper_id: str, reviewer_id: str) -> float:
+        """Objective delta of seating ``reviewer_id`` on ``paper_id``."""
+        delta = self.objective.score_weight * self._score(paper_id, reviewer_id)
+        if self.objective.balance_weight > 0.0:
+            delta -= self.objective.balance_weight * (
+                2 * self.load[reviewer_id] + 1
+            )
+        if self.objective.coverage_weight > 0.0:
+            current = self.assigned[paper_id]
+            delta += self._cov(paper_id, current | {reviewer_id}) - self._cov(
+                paper_id, current
+            )
+        return delta
+
+    def _free(self, reviewer_id: str) -> bool:
+        return self.load[reviewer_id] < self.problem.max_load
+
+    def _open_papers(self) -> list[str]:
+        quota = self.problem.reviewers_per_paper
+        return [p for p in self.papers if len(self.assigned[p]) < quota]
+
+    # -- moves ----------------------------------------------------------
+
+    def fill_pass(self) -> bool:
+        """Seat free reviewers on under-quota papers.  Fill dominates."""
+        improved = False
+        for paper_id in self._open_papers():
+            candidates = self.problem.scores[paper_id]
+            while len(self.assigned[paper_id]) < self.problem.reviewers_per_paper:
+                best = None
+                for reviewer_id in sorted(candidates):
+                    if reviewer_id in self.assigned[paper_id]:
+                        continue
+                    if not self._free(reviewer_id):
+                        continue
+                    value = self._add_value(paper_id, reviewer_id)
+                    if best is None or value > best[0] + EPSILON:
+                        best = (value, reviewer_id)
+                if best is None:
+                    break
+                self.assigned[paper_id].add(best[1])
+                self.load[best[1]] += 1
+                self.moves += 1
+                improved = True
+        return improved
+
+    def augment_pass(self) -> bool:
+        """Fill an open slot by displacing a loaded reviewer elsewhere."""
+        improved = False
+        for paper_id in self._open_papers():
+            if self._try_augment(paper_id):
+                improved = True
+        return improved
+
+    def _try_augment(self, paper_id: str) -> bool:
+        """One length-2 alternating path into ``paper_id``, best-value."""
+        candidates = self.problem.scores[paper_id]
+        best = None  # (value, reviewer, donor_paper, backfill)
+        for reviewer_id in sorted(candidates):
+            if reviewer_id in self.assigned[paper_id] or self._free(reviewer_id):
+                continue
+            for donor in self.papers:
+                if donor == paper_id or reviewer_id not in self.assigned[donor]:
+                    continue
+                donor_scores = self.problem.scores[donor]
+                for backfill in sorted(donor_scores):
+                    if backfill == reviewer_id or backfill in self.assigned[donor]:
+                        continue
+                    if not self._free(backfill):
+                        continue
+                    value = (
+                        self.objective.score_weight
+                        * (
+                            self._score(paper_id, reviewer_id)
+                            + donor_scores[backfill]
+                            - donor_scores[reviewer_id]
+                        )
+                    )
+                    if self.objective.balance_weight > 0.0:
+                        value -= self.objective.balance_weight * (
+                            2 * self.load[backfill] + 1
+                        )
+                    if self.objective.coverage_weight > 0.0:
+                        value += self._cov(
+                            paper_id, self.assigned[paper_id] | {reviewer_id}
+                        ) - self._cov(paper_id, self.assigned[paper_id])
+                        donor_set = self.assigned[donor]
+                        value += self._cov(
+                            donor, (donor_set - {reviewer_id}) | {backfill}
+                        ) - self._cov(donor, donor_set)
+                    if best is None or value > best[0] + EPSILON:
+                        best = (value, reviewer_id, donor, backfill)
+        if best is None:
+            return False
+        __, reviewer_id, donor, backfill = best
+        self.assigned[donor].remove(reviewer_id)
+        self.assigned[donor].add(backfill)
+        self.load[backfill] += 1
+        self.assigned[paper_id].add(reviewer_id)
+        self.moves += 1
+        return True
+
+    def replace_pass(self) -> bool:
+        """Upgrade single seats: swap an assigned reviewer for a free one."""
+        improved = False
+        for paper_id in self.papers:
+            candidates = self.problem.scores[paper_id]
+            for out in sorted(self.assigned[paper_id]):
+                best = None
+                for into in sorted(candidates):
+                    if into in self.assigned[paper_id] or not self._free(into):
+                        continue
+                    value = self.objective.score_weight * (
+                        candidates[into] - candidates[out]
+                    )
+                    if self.objective.balance_weight > 0.0:
+                        value -= self.objective.balance_weight * (
+                            2 * self.load[into] + 1
+                        )
+                        value += self.objective.balance_weight * (
+                            2 * self.load[out] - 1
+                        )
+                    if self.objective.coverage_weight > 0.0:
+                        current = self.assigned[paper_id]
+                        value += self._cov(
+                            paper_id, (current - {out}) | {into}
+                        ) - self._cov(paper_id, current)
+                    if value > EPSILON and (best is None or value > best[0] + EPSILON):
+                        best = (value, into)
+                if best is not None:
+                    self.assigned[paper_id].remove(out)
+                    self.load[out] -= 1
+                    self.assigned[paper_id].add(best[1])
+                    self.load[best[1]] += 1
+                    self.moves += 1
+                    improved = True
+        return improved
+
+    def swap_pass(self) -> bool:
+        """Exchange reviewers between paper pairs when both sides gain."""
+        improved = False
+        for i, paper_a in enumerate(self.papers):
+            scores_a = self.problem.scores[paper_a]
+            for paper_b in self.papers[i + 1 :]:
+                scores_b = self.problem.scores[paper_b]
+                if self._try_swap(paper_a, paper_b, scores_a, scores_b):
+                    improved = True
+        return improved
+
+    def _try_swap(self, paper_a, paper_b, scores_a, scores_b) -> bool:
+        best = None  # (value, a_reviewer, b_reviewer)
+        for a in sorted(self.assigned[paper_a]):
+            if a not in scores_b or a in self.assigned[paper_b]:
+                continue
+            for b in sorted(self.assigned[paper_b]):
+                if b not in scores_a or b in self.assigned[paper_a]:
+                    continue
+                value = self.objective.score_weight * (
+                    scores_a[b] - scores_a[a] + scores_b[a] - scores_b[b]
+                )
+                if self.objective.coverage_weight > 0.0:
+                    set_a, set_b = self.assigned[paper_a], self.assigned[paper_b]
+                    value += self._cov(
+                        paper_a, (set_a - {a}) | {b}
+                    ) - self._cov(paper_a, set_a)
+                    value += self._cov(
+                        paper_b, (set_b - {b}) | {a}
+                    ) - self._cov(paper_b, set_b)
+                if value > EPSILON and (best is None or value > best[0] + EPSILON):
+                    best = (value, a, b)
+        if best is None:
+            return False
+        __, a, b = best
+        self.assigned[paper_a].remove(a)
+        self.assigned[paper_a].add(b)
+        self.assigned[paper_b].remove(b)
+        self.assigned[paper_b].add(a)
+        self.moves += 1
+        return True
+
+
+def greedy_swap_assignment(
+    problem: AssignmentProblem,
+    objective: AssignmentObjective | None = None,
+    max_rounds: int = 30,
+) -> Assignment:
+    """Greedy seed refined by deterministic local search.
+
+    Each round runs fill, augment, replace and swap passes; the loop
+    stops at the first round that changes nothing (every applied move
+    strictly improves the lexicographic ``(fill, objective)`` target, so
+    convergence is guaranteed; ``max_rounds`` is a hard cap only).
+    """
+    objective = objective or AssignmentObjective()
+    obs = get_obs()
+    with obs.span(
+        "solver.greedy_swap",
+        papers=len(problem.papers()),
+        reviewers=len(problem.reviewers()),
+    ) as span:
+        with obs.span("solver.seed"):
+            seed = greedy_assignment(problem)
+        search = _LocalSearch(problem, objective)
+        search.seed_from(seed)
+        with obs.span("solver.improve") as improve_span:
+            rounds = 0
+            while rounds < max_rounds:
+                rounds += 1
+                improved = search.fill_pass()
+                improved = search.augment_pass() or improved
+                improved = search.replace_pass() or improved
+                improved = search.swap_pass() or improved
+                if not improved:
+                    break
+            improve_span.set_label("rounds", rounds)
+            improve_span.set_label("moves", search.moves)
+        span.set_label("moves", search.moves)
+        obs.inc("assignment_swap_moves_total", value=float(search.moves))
+    return search.to_assignment()
+
+
+# ----------------------------------------------------------------------
+# Exact min-cost-flow path
+# ----------------------------------------------------------------------
+
+
+def min_cost_flow_assignment(
+    problem: AssignmentProblem,
+    objective: AssignmentObjective | None = None,
+) -> Assignment:
+    """Exact maximum-coverage, maximum-objective assignment via flow.
 
     Maximizes the number of filled slots first (a large per-unit reward
-    on every assignable edge) and total suitability second.
+    on every assignable edge), then ``score_weight * total score -
+    balance_weight * sum(load^2)`` exactly.  The coverage term is
+    submodular and not expressible as edge costs; it is ignored here
+    (use :func:`greedy_swap_assignment` when it matters).
+
+    The graph is built in sorted (paper id, reviewer id) order so
+    equal-cost alternatives resolve identically however the input dicts
+    were assembled.
     """
-    graph = nx.DiGraph()
+    objective = objective or AssignmentObjective()
     papers = problem.papers()
     reviewers = problem.reviewers()
     if not reviewers:
         return Assignment(by_paper={p: [] for p in papers})
-    graph.add_nodes_from(("super", "source", "sink"))
-    # Reward per filled slot dominating any score sum difference.
-    slot_reward = _SCALE * (int(_max_score(problem)) + 2) * (
-        problem.reviewers_per_paper + 1
-    )
-    for paper_id in papers:
-        graph.add_edge(
-            "source", f"p:{paper_id}", capacity=problem.reviewers_per_paper, weight=0
-        )
-    for reviewer_id in reviewers:
-        graph.add_edge(
-            f"r:{reviewer_id}", "sink", capacity=problem.max_load, weight=0
-        )
-    for paper_id, candidates in problem.scores.items():
-        for reviewer_id, score in candidates.items():
-            cost = -(slot_reward + int(round(score * _SCALE)))
+    obs = get_obs()
+    with obs.span(
+        "solver.flow",
+        papers=len(papers),
+        reviewers=len(reviewers),
+        balance=objective.balance_weight > 0.0,
+    ):
+        graph = nx.DiGraph()
+        graph.add_nodes_from(("super", "source", "sink"))
+        balance = objective.balance_weight
+        # Reward per filled slot dominating any achievable difference in
+        # score + balance costs across the whole instance.
+        max_unit_cost = int(
+            objective.score_weight * (_max_score(problem) + 1) * _SCALE
+        ) + int(balance * (2 * problem.max_load + 1) * _SCALE)
+        slot_reward = (max_unit_cost + 1) * (problem.demand() + 1)
+        for paper_id in papers:
             graph.add_edge(
-                f"p:{paper_id}", f"r:{reviewer_id}", capacity=1, weight=cost
+                "source",
+                f"p:{paper_id}",
+                capacity=problem.reviewers_per_paper,
+                weight=0,
             )
-    demand = min(problem.demand(), problem.capacity())
-    graph.add_edge("super", "source", capacity=demand, weight=0)
-    try:
-        flow = nx.max_flow_min_cost(graph, "super", "sink")
-    except nx.NetworkXUnfeasible:  # pragma: no cover - defensive
-        return Assignment(by_paper={p: [] for p in papers})
-    assignment = Assignment(by_paper={p: [] for p in papers})
-    for paper_id in papers:
-        node = f"p:{paper_id}"
-        for target, units in flow.get(node, {}).items():
-            if units > 0 and target.startswith("r:"):
-                assignment.by_paper[paper_id].append(target[2:])
-        assignment.by_paper[paper_id].sort()
+        for reviewer_id in reviewers:
+            if balance > 0.0:
+                # Convex load pricing: the j-th paper a reviewer takes
+                # costs the marginal increment of load^2, so the min-cost
+                # flow also minimizes the sum of squared loads.
+                for slot in range(1, problem.max_load + 1):
+                    slot_node = f"l:{reviewer_id}:{slot}"
+                    graph.add_edge(
+                        f"r:{reviewer_id}",
+                        slot_node,
+                        capacity=1,
+                        weight=int(round(balance * (2 * slot - 1) * _SCALE)),
+                    )
+                    graph.add_edge(slot_node, "sink", capacity=1, weight=0)
+            else:
+                graph.add_edge(
+                    f"r:{reviewer_id}", "sink", capacity=problem.max_load, weight=0
+                )
+        for paper_id in papers:
+            candidates = problem.scores[paper_id]
+            for reviewer_id in sorted(candidates):
+                cost = -(
+                    slot_reward
+                    + int(
+                        round(
+                            objective.score_weight
+                            * candidates[reviewer_id]
+                            * _SCALE
+                        )
+                    )
+                )
+                graph.add_edge(
+                    f"p:{paper_id}", f"r:{reviewer_id}", capacity=1, weight=cost
+                )
+        demand = min(problem.demand(), problem.capacity())
+        graph.add_edge("super", "source", capacity=demand, weight=0)
+        try:
+            flow = nx.max_flow_min_cost(graph, "super", "sink")
+        except nx.NetworkXUnfeasible:  # pragma: no cover - defensive
+            return Assignment(by_paper={p: [] for p in papers})
+        assignment = Assignment(by_paper={p: [] for p in papers})
+        for paper_id in papers:
+            node = f"p:{paper_id}"
+            for target, units in flow.get(node, {}).items():
+                if units > 0 and target.startswith("r:"):
+                    assignment.by_paper[paper_id].append(target[2:])
+            assignment.by_paper[paper_id].sort()
     return assignment
 
 
+def optimal_assignment(problem: AssignmentProblem) -> Assignment:
+    """Exact maximum-coverage, maximum-score assignment via min-cost flow.
+
+    The pure-score special case of :func:`min_cost_flow_assignment`,
+    kept as the stable name existing callers and benchmarks use.
+    """
+    return min_cost_flow_assignment(problem, AssignmentObjective())
+
+
 def random_assignment(problem: AssignmentProblem, seed: int = 0) -> Assignment:
-    """Uniformly random feasible assignment — the quality floor."""
+    """Uniformly random feasible assignment — the quality floor.
+
+    Candidate pools are sorted before the seeded shuffle, so the draw
+    depends only on ``seed`` and the problem's *content*, not on dict
+    insertion order.
+    """
     rng = random_module.Random(seed)
     remaining_load = {r: problem.max_load for r in problem.reviewers()}
     assignment = Assignment(by_paper={p: [] for p in problem.scores})
     papers = problem.papers()
     rng.shuffle(papers)
     for paper_id in papers:
-        candidates = [
-            r
-            for r in problem.scores[paper_id]
-            if remaining_load[r] > 0
-        ]
+        candidates = sorted(
+            r for r in problem.scores[paper_id] if remaining_load[r] > 0
+        )
         rng.shuffle(candidates)
         chosen = candidates[: problem.reviewers_per_paper]
         for reviewer_id in chosen:

@@ -18,6 +18,10 @@ Subcommands
 ``minaret assign --world world.json --batch batch.json``
     Batch mode (§3): recommend for every manuscript in the batch file
     and solve the cross-paper reviewer assignment.
+``minaret assign --world world.json --conference 24 --capacity 2``
+    Conference mode: plant a ground-truth scenario in the world, assign
+    the whole program under per-reviewer capacity, and report
+    planted-recall / precision@set / load-spread against the truth.
 
 ``demo``, ``recommend`` and ``assign`` additionally accept
 ``--log-json PATH`` (stream structured telemetry events to a JSONL
@@ -128,11 +132,57 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     assign = subparsers.add_parser("assign", help="batch paper-reviewer assignment")
     assign.add_argument("--world", required=True, help="world dataset JSON")
-    assign.add_argument("--batch", required=True, help="batch JSON: [{paper_id, manuscript}]")
-    assign.add_argument("--reviewers-per-paper", type=int, default=3)
-    assign.add_argument("--max-load", type=int, default=2)
     assign.add_argument(
-        "--solver", choices=("optimal", "greedy", "random"), default="optimal"
+        "--batch",
+        default=None,
+        help="batch JSON: [{paper_id, manuscript}] (omit in --conference mode)",
+    )
+    assign.add_argument(
+        "--conference",
+        type=int,
+        default=None,
+        metavar="N",
+        help="conference mode: plant an N-paper scenario in the world, "
+        "assign the whole program, and report planted-truth quality",
+    )
+    assign.add_argument("--reviewers-per-paper", type=int, default=3)
+    assign.add_argument(
+        "--max-load",
+        "--capacity",
+        dest="max_load",
+        type=int,
+        default=2,
+        help="per-reviewer paper cap (--capacity is an alias)",
+    )
+    assign.add_argument(
+        "--solver",
+        choices=("optimal", "flow", "greedy", "greedy-swap", "random"),
+        default="optimal",
+    )
+    assign.add_argument(
+        "--balance",
+        type=float,
+        default=0.0,
+        help="load-balance objective weight (penalizes squared loads)",
+    )
+    assign.add_argument(
+        "--coverage",
+        type=float,
+        default=0.0,
+        help="set-coverage objective weight (greedy-swap only)",
+    )
+    assign.add_argument(
+        "--on-error",
+        choices=("raise", "skip"),
+        default="raise",
+        help="'skip' degrades gracefully: failed papers are reported "
+        "and excluded from the solve instead of aborting the run",
+    )
+    assign.add_argument(
+        "--scenario-seed",
+        type=int,
+        default=7,
+        help="seed for the planted conference scenario (--conference)",
     )
     assign.add_argument(
         "--workers",
@@ -366,30 +416,117 @@ def _run_recommend(args) -> int:
 def _run_assign(args) -> int:
     from repro.api.router import ApiError
     from repro.api.serialization import manuscript_from_payload
-    from repro.assignment import assign_batch
+    from repro.assignment import (
+        AssignmentObjective,
+        assign_batch,
+        assign_conference,
+        scenario_metrics,
+    )
     from repro.world.io import load_world
 
+    if (args.batch is None) == (args.conference is None):
+        print(
+            "error: pass exactly one of --batch or --conference", file=sys.stderr
+        )
+        return 1
     try:
         world = load_world(args.world)
-        with open(args.batch, encoding="utf-8") as handle:
-            batch_payload = json.load(handle)
-        entries = [
-            (str(entry["paper_id"]), manuscript_from_payload(entry["manuscript"]))
-            for entry in batch_payload
-        ]
-    except (OSError, ValueError, KeyError, ApiError) as exc:
-        print(f"error: cannot load inputs: {exc}", file=sys.stderr)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot load world {args.world!r}: {exc}", file=sys.stderr)
         return 1
+    objective = AssignmentObjective(
+        balance_weight=args.balance, coverage_weight=args.coverage
+    )
+    scenario = None
+    if args.conference is not None:
+        from repro.world.conference import ConferenceConfig, generate_conference
+
+        try:
+            scenario = generate_conference(
+                world,
+                ConferenceConfig(
+                    paper_count=args.conference,
+                    reviewers_per_paper=args.reviewers_per_paper,
+                    max_load=args.max_load,
+                    seed=args.scenario_seed,
+                ),
+            )
+        except ValueError as exc:
+            print(f"error: cannot plant scenario: {exc}", file=sys.stderr)
+            return 1
+        entries = scenario.entries()
+    else:
+        try:
+            with open(args.batch, encoding="utf-8") as handle:
+                batch_payload = json.load(handle)
+            entries = [
+                (str(entry["paper_id"]), manuscript_from_payload(entry["manuscript"]))
+                for entry in batch_payload
+            ]
+        except (OSError, ValueError, KeyError, ApiError) as exc:
+            print(f"error: cannot load inputs: {exc}", file=sys.stderr)
+            return 1
     hub = ScholarlyHub.deploy(world)
     minaret = Minaret(
         hub, config=PipelineConfig(warm_cache=args.warm_cache, top_k=args.top_k)
     )
+    if scenario is not None:
+        from repro.baselines.evaluation import CandidateResolver
+
+        resolver = CandidateResolver(hub)
+        conference = assign_conference(
+            minaret,
+            entries,
+            reviewers_per_paper=args.reviewers_per_paper,
+            capacity=args.max_load,
+            top_k=args.top_k,
+            solver=args.solver,
+            objective=objective,
+            workers=max(1, args.workers),
+            on_error=args.on_error,
+            # The scenario's program committee is the assignable pool:
+            # a reviewer outside the PC cannot take a paper, however
+            # well the pipeline scores them.
+            candidate_filter=lambda cid: resolver.world_id(cid) in scenario.pool,
+        )
+        quality = conference.quality
+        print(
+            f"Conference assignment ({args.solver}): "
+            f"{len(conference.results)} papers, "
+            f"{len(conference.problem.reviewers())} reviewers, "
+            f"capacity={args.max_load}"
+        )
+        print(
+            f"  total={quality.total_score:.3f} "
+            f"min-paper={quality.min_paper_score:.3f} "
+            f"unfilled={quality.unfilled_slots} max-load={quality.max_load} "
+            f"objective={conference.objective_value:.3f}"
+        )
+        metrics = scenario_metrics(
+            scenario, conference.assignment, resolve=resolver.world_id
+        )
+        print(
+            f"  planted-recall={metrics['planted_recall']:.3f} "
+            f"precision@set={metrics['precision_at_set']:.3f} "
+            f"load-spread={metrics['load_spread']}"
+        )
+        for failure in conference.failures:
+            print(f"  FAILED {failure.paper_id}: {failure.error}: {failure.message}")
+        for paper_id in conference.problem.papers():
+            reviewers = conference.assignment.reviewers_of(paper_id)
+            rendered = (
+                ", ".join(conference.reviewer_names.get(r, r) for r in reviewers)
+                or "(none)"
+            )
+            print(f"  {paper_id}: {rendered}")
+        return 0
     batch = assign_batch(
         minaret,
         entries,
         reviewers_per_paper=args.reviewers_per_paper,
         max_load=args.max_load,
         solver=args.solver,
+        objective=objective,
         workers=max(1, args.workers),
     )
     quality = batch.quality

@@ -31,6 +31,7 @@ from repro.core.errors import (
     ExtractionError,
     IdentityVerificationError,
     MinaretError,
+    SourceUnavailableError,
 )
 from repro.core.explain import explain_candidate, explain_ranking
 from repro.core.extraction import CandidateExtractor
@@ -98,6 +99,7 @@ __all__ = [
     "RecommendationResult",
     "ScoreBreakdown",
     "ScoredCandidate",
+    "SourceUnavailableError",
     "UNDATED_SPAN_YEARS",
     "VerifiedAuthor",
     "explain_candidate",

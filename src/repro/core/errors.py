@@ -41,3 +41,20 @@ class AmbiguousIdentityError(MinaretError):
 
 class ExtractionError(MinaretError):
     """A non-recoverable failure while querying the scholarly sources."""
+
+
+class SourceUnavailableError(MinaretError):
+    """An anchor source stayed down through every retry.
+
+    Secondary sources degrade silently (their fields are simply
+    missing), but some lookups have no fallback — DBLP is the identity
+    anchor, and without it an author can be neither verified nor
+    fairly rejected.  This wraps the transport-level failure in the
+    framework's taxonomy so batch callers can report it per paper
+    instead of dying on an untyped crawler exception.
+    """
+
+    def __init__(self, host: str, detail: str):
+        super().__init__(f"source {host} unavailable: {detail}")
+        self.host = host
+        self.detail = detail

@@ -20,7 +20,11 @@ from __future__ import annotations
 import threading
 from collections.abc import Callable
 
-from repro.core.errors import AmbiguousIdentityError, IdentityVerificationError
+from repro.core.errors import (
+    AmbiguousIdentityError,
+    IdentityVerificationError,
+    SourceUnavailableError,
+)
 from repro.core.models import IdentityMatch, ManuscriptAuthor, VerifiedAuthor
 from repro.scholarly.merge import merge_source_profiles
 from repro.scholarly.records import SourceName, SourceProfile
@@ -262,8 +266,18 @@ class IdentityVerifier:
         self._linker = ProfileLinker(sources, use_all_sources=use_all_sources)
 
     def verify(self, author: ManuscriptAuthor) -> VerifiedAuthor:
-        """Verify one author; raises on not-found or unresolved ambiguity."""
-        hits = self._sources.dblp.search_author(author.name)
+        """Verify one author; raises on not-found or unresolved ambiguity.
+
+        DBLP is the anchor: its search, profile and publication legs
+        have no fallback, so when one of them exhausts its retries the
+        run fails with a typed :class:`SourceUnavailableError` rather
+        than a transport-level exception — batch callers report that
+        per paper instead of crashing the whole program.
+        """
+        try:
+            hits = self._sources.dblp.search_author(author.name)
+        except CrawlError as exc:
+            raise SourceUnavailableError(exc.host, str(exc)) from exc
         if not hits:
             raise IdentityVerificationError(author.name)
         matches = [
@@ -283,13 +297,21 @@ class IdentityVerifier:
                 raise AmbiguousIdentityError(author.name, len(matches))
         else:
             chosen = matches[0]
-        dblp_profile = self._sources.dblp.author_profile(chosen.source_author_id)
+        try:
+            dblp_profile = self._sources.dblp.author_profile(
+                chosen.source_author_id
+            )
+        except CrawlError as exc:
+            raise SourceUnavailableError(exc.host, str(exc)) from exc
         if dblp_profile is None:
             raise IdentityVerificationError(author.name)
         profiles = self._linker.link_from_dblp(dblp_profile)
-        dblp_publications = self._sources.dblp.author_publications(
-            chosen.source_author_id
-        )
+        try:
+            dblp_publications = self._sources.dblp.author_publications(
+                chosen.source_author_id
+            )
+        except CrawlError as exc:
+            raise SourceUnavailableError(exc.host, str(exc)) from exc
         return VerifiedAuthor(
             submitted=author,
             profile=merge_source_profiles(profiles),

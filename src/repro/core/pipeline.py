@@ -30,6 +30,7 @@ from repro.ontology.expansion import KeywordExpander
 from repro.ontology.graph import TopicOntology
 from repro.retrieval import RetrievalPlane
 from repro.web.accounting import RequestScope
+from repro.web.crawler import CrawlError
 
 
 class Minaret:
@@ -254,12 +255,17 @@ class Minaret:
         """Canonicalize the editor's target-outlet string against DBLP.
 
         An exact-or-unique match replaces the typed name with the
-        venue's canonical one; ambiguity or no match leaves the input
-        untouched (name-based familiarity matching still applies).
+        venue's canonical one; ambiguity, no match, or an exhausted
+        lookup leaves the input untouched (name-based familiarity
+        matching still applies) — the lookup is advisory, so a degraded
+        DBLP must not sink the whole run.
         """
         if not manuscript.target_venue:
             return manuscript
-        hits = self._sources.dblp.search_venue(manuscript.target_venue)
+        try:
+            hits = self._sources.dblp.search_venue(manuscript.target_venue)
+        except CrawlError:
+            return manuscript
         if len(hits) != 1:
             return manuscript
         canonical = hits[0]["name"]

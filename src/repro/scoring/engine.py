@@ -191,8 +191,12 @@ def rank_with_plane(
             ]
             # Descending upper bounds: once the next bound cannot beat
             # the best exact value seen, the pool maximum is settled.
+            # Equal bounds order by candidate id, not list position, so
+            # the walk is canonical for any candidate arrival order.
             best = 0.0
-            for i in sorted(range(n), key=lambda i: -ubs[i]):
+            for i in sorted(
+                range(n), key=lambda i: (-ubs[i], candidates[i].candidate_id)
+            ):
                 if ubs[i] <= best:
                     break
                 value = exact_recency(i)

@@ -21,14 +21,47 @@ from repro.world.generator import generate_world
 from repro.world.io import load_world, save_world, world_from_dict, world_to_dict
 from repro.world.model import GroundTruthOracle, ScholarlyWorld, WorldAuthor
 
+#: Conference-scenario exports resolved lazily: :mod:`repro.world.conference`
+#: depends on :mod:`repro.assignment`, which reaches back through
+#: :mod:`repro.core` into the scholarly sources — and those import this
+#: package.  Deferring the import until first attribute access keeps
+#: ``from repro.world import generate_conference`` working without the cycle.
+_CONFERENCE_EXPORTS = frozenset(
+    {
+        "ConferenceConfig",
+        "ConferencePaper",
+        "ConferenceScenario",
+        "generate_conference",
+        "load_spread",
+        "planted_recall",
+        "precision_at_set",
+    }
+)
+
+
+def __getattr__(name: str):
+    if name in _CONFERENCE_EXPORTS:
+        from repro.world import conference
+
+        return getattr(conference, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
+    "ConferenceConfig",
+    "ConferencePaper",
+    "ConferenceScenario",
     "GroundTruthOracle",
     "ScholarlyWorld",
     "WorldAuthor",
     "WorldConfig",
     "WorldDynamics",
+    "generate_conference",
     "generate_world",
+    "load_spread",
     "load_world",
+    "planted_recall",
+    "precision_at_set",
     "save_world",
     "world_from_dict",
     "world_to_dict",

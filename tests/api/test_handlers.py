@@ -244,6 +244,66 @@ class TestAssign:
         )
         assert response.status == 400
 
+    def test_capacity_alias_and_conference_solvers(self, api, world):
+        payload = {
+            "manuscripts": self.batch_payload(world),
+            "reviewers_per_paper": 2,
+            "solver": "greedy-swap",
+            "balance_weight": 0.1,
+            "on_error": "skip",
+        }
+        response = api.handle(
+            "POST", "/api/v1/assign", {**payload, "capacity": 2}
+        )
+        assert response.ok
+        assert response.body["failures"] == []
+        assert response.body["objective_value"] > 0
+        via_max_load = api.handle(
+            "POST", "/api/v1/assign", {**payload, "max_load": 2}
+        )
+        assert via_max_load.ok
+        assert via_max_load.body["assignments"] == response.body["assignments"]
+
+    def test_capacity_and_max_load_together_400(self, api, world):
+        response = api.handle(
+            "POST",
+            "/api/v1/assign",
+            {
+                "manuscripts": self.batch_payload(world, count=1),
+                "capacity": 2,
+                "max_load": 2,
+            },
+        )
+        assert response.status == 400
+        assert "not both" in response.body["error"]
+
+    def test_bad_on_error_400(self, api, world):
+        response = api.handle(
+            "POST",
+            "/api/v1/assign",
+            {
+                "manuscripts": self.batch_payload(world, count=1),
+                "on_error": "retry",
+            },
+        )
+        assert response.status == 400
+
+    def test_require_full_infeasible_409(self, api, world):
+        # One reviewer slot available per paper cannot satisfy a
+        # 3-reviewer quota under load 1 with 3 papers sharing a pool.
+        response = api.handle(
+            "POST",
+            "/api/v1/assign",
+            {
+                "manuscripts": self.batch_payload(world),
+                "reviewers_per_paper": 40,
+                "capacity": 1,
+                "require_full": True,
+            },
+        )
+        assert response.status == 409
+        assert "unfilled" in response.body["error"] or "candidate" in response.body["error"] or "demand" in response.body["error"]
+
 
 class TestSourceStats:
     def test_stats_accumulate(self, api, manuscript):

@@ -191,3 +191,44 @@ class TestPruneMetrics:
         with use(obs):
             Ranker(PipelineConfig()).rank(manuscript, pool, SEEDS)
         assert "scoring_recency_pruned_total" not in obs.metrics.snapshot()["counters"]
+
+
+class TestCanonicalPruneOrder:
+    """Regression: the prune walk's tie-break is candidate id, not
+    arrival position (ISSUE 6, satellite 3).
+
+    Clone pools give every candidate an identical recency upper bound,
+    so the walk's visiting order is decided purely by the tie-break —
+    if that ever regresses to list position, a permuted pool changes
+    which candidate's exact recency settles the maximum first and the
+    rankings drift.
+    """
+
+    def clone_pool(self, size=10):
+        pubs = [pub(f"shared-{j}", 2018, keywords=["Semantic Web"]) for j in range(3)]
+        return [
+            make_candidate(
+                f"cand-{i:02d}",
+                interests=("Semantic Web",),
+                citations=100 + i,
+                h_index=5,
+                review_count=3,
+                scholar_pubs=[
+                    dict(p, id=f"c{i}-{p['id']}") for p in pubs
+                ],
+            )
+            for i in range(size)
+        ]
+
+    @pytest.mark.parametrize("k", [1, 3, 8])
+    def test_arrival_order_never_changes_pruned_ranking(self, k):
+        import random as stdlib_random
+
+        pool = self.clone_pool()
+        manuscript = make_manuscript()
+        ranker = Ranker(PipelineConfig(top_k=k))
+        reference = signature(ranker.rank(manuscript, pool, SEEDS))
+        for seed in range(5):
+            shuffled = list(pool)
+            stdlib_random.Random(seed).shuffle(shuffled)
+            assert signature(ranker.rank(manuscript, shuffled, SEEDS)) == reference

@@ -195,6 +195,58 @@ class TestAssignCommand:
         assert code == 1
         assert "cannot load inputs" in capsys.readouterr().err
 
+    def test_conference_mode_reports_planted_quality(self, dataset, capsys):
+        code = main(
+            [
+                "assign",
+                "--world", str(dataset),
+                "--conference", "4",
+                "--capacity", "2",
+                "--reviewers-per-paper", "2",
+                "--solver", "greedy-swap",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "Conference assignment (greedy-swap)" in output
+        assert "planted-recall=" in output
+        assert "precision@set=" in output
+        assert "load-spread=" in output
+        assert "paper-000:" in output
+
+    def test_conference_and_batch_are_exclusive(
+        self, tmp_path, dataset, capsys
+    ):
+        batch = self.batch_file(tmp_path, dataset)
+        code = main(
+            [
+                "assign",
+                "--world", str(dataset),
+                "--batch", str(batch),
+                "--conference", "4",
+            ]
+        )
+        assert code == 1
+        assert "exactly one of" in capsys.readouterr().err
+        code = main(["assign", "--world", str(dataset)])
+        assert code == 1
+        assert "exactly one of" in capsys.readouterr().err
+
+    def test_capacity_is_max_load_alias(self, tmp_path, dataset, capsys):
+        batch = self.batch_file(tmp_path, dataset)
+        base = [
+            "assign",
+            "--world", str(dataset),
+            "--batch", str(batch),
+            "--reviewers-per-paper", "2",
+            "--solver", "flow",
+        ]
+        assert main(base + ["--max-load", "1"]) == 0
+        via_max_load = capsys.readouterr().out
+        assert main(base + ["--capacity", "1"]) == 0
+        via_capacity = capsys.readouterr().out
+        assert via_capacity == via_max_load
+
 
 class TestNoCommand:
     def test_prints_help(self, capsys):
