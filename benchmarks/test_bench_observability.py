@@ -1,27 +1,49 @@
-"""EXP-OBS — observability overhead stays under 10% wall-clock.
+"""EXP-OBS — full-telemetry-plane overhead stays under 10% wall-clock.
 
-The full instrumentation set (spans, metrics, ring sink *and* a JSONL
-file sink) runs against the same recommendation workload as a disabled
-instance whose every call is an early-returning no-op.  The workload
-gets realistic I/O-shaped waits via ``wall_latency_scale`` (the
-EXP-CONC technique): the paper's pipeline is network-bound, so that is
-the wall time the overhead budget is a fraction of — and it keeps the
-ratio stable on a noisy machine, where a purely CPU-bound ~70ms run
-would drown a 10% budget in scheduler jitter.  Each mode is timed
-min-of-3, interleaved so machine drift hits both modes equally.  The
-outputs must be bit-identical — instrumentation is read-only — and the
-enabled run must cost at most 10% more wall time.
+The full instrumentation set — spans, metrics, ring sink, a JSONL file
+sink, per-host SLO specs ticking every request, a per-request cost
+ledger and tail-based trace retention — runs against the same
+recommendation workload as a disabled instance whose every call is an
+early-returning no-op.  The workload gets realistic I/O-shaped waits
+via ``wall_latency_scale`` (the EXP-CONC technique): the paper's
+pipeline is network-bound, so that is the wall time the overhead budget
+is a fraction of — and it keeps the ratio stable on a noisy machine,
+where a purely CPU-bound ~70ms run would drown a 10% budget in
+scheduler jitter.  Each mode is timed min-of-3, interleaved so machine
+drift hits both modes equally.  The outputs must be bit-identical —
+instrumentation is read-only — and the enabled run must cost at most
+10% more wall time.
+
+A second benchmark bursts 500 synthetic requests through tail-based
+retention (faults on ~5% of them) and micro-times the ledger's charge
+path.  Both write ``BENCH_obs.json`` at the repo root, uploaded by CI
+like the other benchmark artifacts.
 """
 
 from __future__ import annotations
 
+import json
 import time
+from pathlib import Path
 
 from repro.core.config import PipelineConfig
 from repro.core.pipeline import Minaret
-from repro.obs import Observability, use
+from repro.obs import (
+    Observability,
+    RequestLedger,
+    SloSpec,
+    TailRetentionPolicy,
+    default_http_slos,
+    use,
+)
+from repro.obs.ledger import charge_http
 from repro.scholarly.registry import ScholarlyHub
+from repro.web.clock import SimulatedClock
+from repro.web.faults import FaultPolicy
+from repro.web.http import LatencyModel, ServiceUnavailableError, SimulatedHttpClient
 from benchmarks.conftest import print_table, sample_manuscripts
+
+OUTPUT = Path(__file__).resolve().parents[1] / "BENCH_obs.json"
 
 REPETITIONS = 3
 MAX_OVERHEAD = 0.10
@@ -30,18 +52,62 @@ MAX_OVERHEAD = 0.10
 #: ~300ms wall run at two workers).
 WALL_SCALE = 0.01
 
+BURST_REQUESTS = 500
+BURST_FAULT_RATE = 0.05
+LEDGER_CHARGES = 20_000
+
 
 def _signature(result):
     return [(s.candidate.candidate_id, s.total_score) for s in result.ranked]
 
 
-def _run(world, manuscript, obs):
+def _merge_output(section: str, payload: dict) -> None:
+    record = {}
+    if OUTPUT.exists():
+        record = json.loads(OUTPUT.read_text(encoding="utf-8"))
+    record[section] = payload
+    OUTPUT.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {OUTPUT.name} [{section}]")
+
+
+def _full_plane(obs, hub, tmp_path, tag):
+    """Arm every telemetry subsystem this PR ships on ``obs``."""
+    sink = obs.add_jsonl_sink(tmp_path / f"events-{tag}.jsonl")
+    obs.tracer.enable_tail_retention(
+        TailRetentionPolicy(latency_threshold=1e9)  # healthy => evict
+    )
+    obs.slo.bind_clock(hub.clock)
+    for spec in default_http_slos(hub.http.hosts()):
+        obs.slo.add(spec)
+    obs.slo.add(
+        SloSpec(
+            name="pipeline",
+            metric="http_request_latency_seconds",
+            threshold=2.0,
+            objective=0.9,
+            window=600.0,
+        )
+    )
+    return sink
+
+
+def _run(world, manuscript, obs, plane_hooks=None):
     hub = ScholarlyHub.deploy(world, wall_latency_scale=WALL_SCALE)
-    with use(obs):
-        minaret = Minaret(hub, config=PipelineConfig(workers=2))
-        start = time.perf_counter()
-        result = minaret.recommend(manuscript)
-        elapsed = time.perf_counter() - start
+    sink = plane_hooks(obs, hub) if plane_hooks is not None else None
+    try:
+        with use(obs):
+            minaret = Minaret(hub, config=PipelineConfig(workers=2))
+            start = time.perf_counter()
+            if obs.enabled:
+                with RequestLedger("bench"):
+                    result = minaret.recommend(manuscript)
+                obs.slo.tick()
+            else:
+                result = minaret.recommend(manuscript)
+            elapsed = time.perf_counter() - start
+    finally:
+        if sink is not None:
+            sink.close()
     return elapsed, _signature(result)
 
 
@@ -50,6 +116,7 @@ def test_bench_observability_overhead(bench_world, tmp_path):
     timings = {"disabled": [], "enabled": []}
     signatures = {}
     spans = events = 0
+    verdict = None
     # Warm-up run so import/JIT-ish first-touch costs hit neither mode.
     _run(bench_world, manuscript, Observability.disabled())
     for repetition in range(REPETITIONS):
@@ -60,27 +127,51 @@ def test_bench_observability_overhead(bench_world, tmp_path):
         signatures["disabled"] = signature
 
         obs = Observability()
-        sink = obs.add_jsonl_sink(tmp_path / f"events-{repetition}.jsonl")
-        try:
-            elapsed, signature = _run(bench_world, manuscript, obs)
-        finally:
-            sink.close()
+        elapsed, signature = _run(
+            bench_world,
+            manuscript,
+            obs,
+            plane_hooks=lambda o, hub, r=repetition: _full_plane(
+                o, hub, tmp_path, r
+            ),
+        )
         timings["enabled"].append(elapsed)
         signatures["enabled"] = signature
-        spans = len(obs.tracer.finished())
+        spans = len(obs.tracer.finished()) + (
+            obs.tracer.retention_stats()["evicted_spans"]
+        )
         events = len(obs.ring.events())
+        verdict = obs.slo.verdict()
 
     best_disabled = min(timings["disabled"])
     best_enabled = min(timings["enabled"])
     overhead = best_enabled / best_disabled - 1.0
     print_table(
-        "EXP-OBS instrumentation overhead (one recommendation, workers=2)",
-        ("mode", "best wall", "spans", "events"),
+        "EXP-OBS full telemetry plane overhead (one recommendation, workers=2)",
+        ("mode", "best wall", "spans", "events", "verdict"),
         [
-            ("disabled", f"{best_disabled * 1000:.1f}ms", 0, 0),
-            ("enabled+jsonl", f"{best_enabled * 1000:.1f}ms", spans, events),
-            ("overhead", f"{overhead * 100:+.1f}%", "", ""),
+            ("disabled", f"{best_disabled * 1000:.1f}ms", 0, 0, "-"),
+            (
+                "full plane",
+                f"{best_enabled * 1000:.1f}ms",
+                spans,
+                events,
+                verdict,
+            ),
+            ("overhead", f"{overhead * 100:+.1f}%", "", "", ""),
         ],
+    )
+    _merge_output(
+        "overhead",
+        {
+            "disabled_ms": round(best_disabled * 1000, 3),
+            "full_plane_ms": round(best_enabled * 1000, 3),
+            "overhead_pct": round(overhead * 100, 2),
+            "budget_pct": MAX_OVERHEAD * 100,
+            "spans": spans,
+            "events": events,
+            "slo_verdict": verdict,
+        },
     )
     assert signatures["enabled"] == signatures["disabled"]
     assert spans > 0 and events > 0
@@ -88,3 +179,76 @@ def test_bench_observability_overhead(bench_world, tmp_path):
         f"observability overhead {overhead * 100:.1f}% exceeds "
         f"{MAX_OVERHEAD * 100:.0f}% budget"
     )
+
+
+def test_bench_retention_memory_and_ledger_cost():
+    host = "burst.example"
+    clock = SimulatedClock()
+    client = SimulatedHttpClient(clock)
+    client.register_host(
+        host, lambda req: {}, latency=LatencyModel(base=0.5, jitter=0.0)
+    )
+    client.set_fault_policy(
+        host, FaultPolicy(failure_probability=BURST_FAULT_RATE, seed=13)
+    )
+
+    # --- tail retention under a 500-request synthetic burst ------------
+    obs = Observability()
+    obs.tracer.enable_tail_retention(TailRetentionPolicy(latency_threshold=1e9))
+    with use(obs):
+        for index in range(BURST_REQUESTS):
+            try:
+                with obs.span("request", clock=clock, i=index):
+                    client.get(host, f"/item/{index}")
+            except ServiceUnavailableError:
+                pass
+    stats = obs.tracer.retention_stats()
+    retained_spans = len(obs.tracer.finished())
+    total_spans = retained_spans + stats["evicted_spans"]
+    kept_fraction = retained_spans / total_spans if total_spans else 0.0
+
+    # --- ledger charge-path micro-cost ---------------------------------
+    with RequestLedger("bench"):
+        start = time.perf_counter()
+        for index in range(LEDGER_CHARGES):
+            charge_http(host, 200, 0.001)
+        active_ns = (time.perf_counter() - start) / LEDGER_CHARGES * 1e9
+    start = time.perf_counter()
+    for index in range(LEDGER_CHARGES):
+        charge_http(host, 200, 0.001)  # nobody listening: the fast path
+    idle_ns = (time.perf_counter() - start) / LEDGER_CHARGES * 1e9
+
+    print_table(
+        f"EXP-OBS retention burst ({BURST_REQUESTS} requests, "
+        f"{BURST_FAULT_RATE:.0%} faults) and ledger charge cost",
+        ("measure", "value"),
+        [
+            ("retained traces", stats["retained_traces"]),
+            ("evicted traces", stats["evicted_traces"]),
+            ("retained spans", retained_spans),
+            ("span memory kept", f"{kept_fraction:.1%}"),
+            ("charge (active ledger)", f"{active_ns:.0f}ns"),
+            ("charge (no ledger)", f"{idle_ns:.0f}ns"),
+        ],
+    )
+    _merge_output(
+        "retention_and_ledger",
+        {
+            "burst_requests": BURST_REQUESTS,
+            "fault_rate": BURST_FAULT_RATE,
+            "retained_traces": stats["retained_traces"],
+            "evicted_traces": stats["evicted_traces"],
+            "retained_spans": retained_spans,
+            "evicted_spans": stats["evicted_spans"],
+            "span_memory_kept_pct": round(kept_fraction * 100, 2),
+            "ledger_charge_active_ns": round(active_ns, 1),
+            "ledger_charge_idle_ns": round(idle_ns, 1),
+        },
+    )
+    # The acceptance bar: >=90% of healthy traces evicted.  Here every
+    # healthy trace is evicted, so retained == the faulted ones.
+    healthy = BURST_REQUESTS - stats["retained_traces"]
+    assert stats["evicted_traces"] >= 0.9 * healthy
+    assert 0 < stats["retained_traces"] < 0.2 * BURST_REQUESTS
+    # The no-listener fast path must be much cheaper than a real charge.
+    assert idle_ns < active_ns

@@ -24,13 +24,28 @@ Endpoints
     under-filled program into a 409.
 ``GET  /api/v1/metrics``
     The deployment's observability snapshot: counters, gauges and
-    histograms from the ambient :mod:`repro.obs` registry (per-host
-    request/latency series among them), plus per-host HTTP statistics
-    and the crawler cache's hit ratio.
+    histograms (with p50/p95/p99 estimates and trace exemplars) from
+    the ambient :mod:`repro.obs` registry, plus per-host HTTP
+    statistics, the crawler cache's hit ratio, and retrieval-plane and
+    feature-store stats.  ``?format=prometheus`` returns the registry
+    in the Prometheus text exposition format instead.
+``GET  /api/v1/slo``
+    Every registered SLO's full status: verdict, good-ratio over the
+    compliance window, budget consumption, and per-tier burn rates.
+``GET  /api/v1/profile``
+    The deterministic phase profiler: per-span-name self-time rollups
+    (flame table) over the retained span forest.
 ``GET  /api/v1/trace`` / ``GET /api/v1/trace/{trace_id}``
     Request traces *and* the span forest: every finished span as a
     nested tree (phases above their fan-out tasks), optionally filtered
     to a single trace id.
+
+Cost attribution
+----------------
+Any POST carrying ``"debug_cost": true`` gets a ``cost`` object on its
+response: the request's itemized bill (HTTP by host, cache traffic,
+features built/reused, prune rate, per-phase timings) from a
+:class:`~repro.obs.RequestLedger` scoped to exactly that request.
 """
 
 from __future__ import annotations
@@ -43,12 +58,22 @@ from repro.api.serialization import (
     config_from_payload,
     manuscript_from_payload,
     result_to_payload,
+    slo_report_to_payload,
 )
 from repro.core.errors import AmbiguousIdentityError, IdentityVerificationError
 from repro.core.identity import IdentityVerifier
 from repro.core.models import ManuscriptAuthor
 from repro.core.pipeline import Minaret
-from repro.obs import Observability, use
+from repro.obs import (
+    Observability,
+    RequestLedger,
+    TailRetentionPolicy,
+    default_http_slos,
+    deployment_metrics,
+    phase_profile,
+    render_prometheus,
+    use,
+)
 from repro.ontology.expansion import ExpansionConfig, KeywordExpander
 from repro.ontology.graph import TopicOntology
 
@@ -86,6 +111,8 @@ class MinaretApi:
         resolver=None,
         obs: Observability | None = None,
         trace_capacity: int = DEFAULT_TRACE_CAPACITY,
+        slos=None,
+        tail_retention: TailRetentionPolicy | None = None,
     ):
         from repro.ontology.data import build_seed_ontology
 
@@ -102,10 +129,27 @@ class MinaretApi:
             and not getattr(http, "tracing_enabled", True)
         ):
             http.enable_tracing(trace_capacity)
+        # SLOs: the engine watches this deployment's registry against the
+        # simulation's virtual clock.  ``slos=None`` installs one
+        # availability+latency objective per simulated host; pass an
+        # explicit (possibly empty) list to override.
+        clock = getattr(sources, "clock", None)
+        if clock is not None:
+            self._obs.slo.bind_clock(clock)
+        if slos is None and http is not None:
+            slos = default_http_slos(http.hosts())
+        for spec in slos or ():
+            self._obs.slo.add(spec)
+        # Tail-based retention is opt-in: keep-all remains the default so
+        # every healthy request's span tree stays inspectable via /trace.
+        if tail_retention is not None:
+            self._obs.tracer.enable_tail_retention(tail_retention)
         self._router = Router()
         self._router.add("GET", "/api/v1/health", self._health)
         self._router.add("GET", "/api/v1/sources", self._source_stats)
         self._router.add("GET", "/api/v1/metrics", self._metrics)
+        self._router.add("GET", "/api/v1/slo", self._slo)
+        self._router.add("GET", "/api/v1/profile", self._profile)
         self._router.add("GET", "/api/v1/trace", self._trace)
         self._router.add("GET", "/api/v1/trace/{trace_id}", self._trace)
         self._router.add("POST", "/api/v1/expand", self._expand)
@@ -141,17 +185,47 @@ class MinaretApi:
             return self._plane
 
     def handle(self, method: str, path: str, body: dict | None = None) -> ApiResponse:
-        """Entry point: dispatch one API call."""
+        """Entry point: dispatch one API call.
+
+        Beyond dispatch this is the telemetry chokepoint: the request
+        runs under this deployment's ambient observability inside an
+        ``api.request`` span, the SLO engine checkpoints after every
+        request (its heartbeat), 5xx responses pin their trace for
+        tail-based retention, and a ``debug_cost`` body flag wraps the
+        request in a :class:`~repro.obs.RequestLedger` whose bill is
+        attached to the response and emitted as a ``request_cost`` event.
+        """
         start = time.perf_counter()
+        clock = getattr(self._sources, "clock", None)
+        ledger = (
+            RequestLedger(f"{method} {path}")
+            if self._obs.enabled and body and body.get("debug_cost")
+            else None
+        )
         with use(self._obs):
             with self._obs.span(
                 "api.request",
-                clock=getattr(self._sources, "clock", None),
+                clock=clock,
                 method=method,
                 path=path,
             ) as span:
-                response = self._router.dispatch(method, path, body)
+                if ledger is not None:
+                    with ledger:
+                        response = self._router.dispatch(method, path, body)
+                else:
+                    response = self._router.dispatch(method, path, body)
                 span.set_label("status", response.status)
+                if response.status >= 500:
+                    trace_id = getattr(span, "trace_id", None)
+                    if trace_id is not None:
+                        self._obs.tracer.mark_retain(trace_id)
+            if ledger is not None:
+                bill = ledger.to_dict()
+                if response.ok:
+                    response.body["cost"] = bill
+                self._obs.emit("request_cost", clock=clock, **bill)
+            if self._obs.slo.has_specs:
+                self._obs.slo.tick()
         self._obs.inc(
             "api_requests_total", route=path, method=method, status=str(response.status)
         )
@@ -171,7 +245,23 @@ class MinaretApi:
     def _health(self, request: ApiRequest) -> dict:
         from repro import __version__
 
-        return {"status": "ok", "version": __version__}
+        # The health verdict is the worst verdict across registered SLOs
+        # — "ok" when nothing is registered or no traffic has flowed, so
+        # a fresh deployment is healthy by definition.
+        engine = self._obs.slo
+        slos = {
+            status.name: {
+                "verdict": status.verdict,
+                "good_ratio": round(status.good_ratio, 6),
+                "objective": status.objective,
+            }
+            for status in engine.report()
+        }
+        return {
+            "status": engine.verdict(),
+            "version": __version__,
+            "slos": slos,
+        }
 
     def _source_stats(self, request: ApiRequest) -> dict:
         http = getattr(self._sources, "http", None)
@@ -191,29 +281,31 @@ class MinaretApi:
         }
 
     def _metrics(self, request: ApiRequest) -> dict:
-        http = getattr(self._sources, "http", None)
-        hosts = {}
-        if http is not None:
-            hosts = {
-                host: {
-                    "requests": stats.requests,
-                    "rate_limited": stats.rate_limited,
-                    "faults": stats.faults,
-                    "not_found": stats.not_found,
-                    "total_latency": round(stats.total_latency, 4),
-                }
-                for host, stats in sorted(http.stats.items())
+        if request.query.get("format") == "prometheus":
+            return {
+                "content_type": "text/plain; version=0.0.4",
+                "text": render_prometheus(self._obs.metrics.snapshot()),
             }
+        http = getattr(self._sources, "http", None)
         cache = getattr(getattr(self._sources, "crawler", None), "cache", None)
-        cache_stats = None
-        if cache is not None:
-            cache_stats = dict(cache.stats())
-            cache_stats["hit_rate"] = round(cache.hit_rate(), 4)
+        return deployment_metrics(
+            self._obs,
+            http=http,
+            cache=cache,
+            plane=self._plane,
+            features=(
+                self._plane.feature_store() if self._plane is not None else None
+            ),
+        )
+
+    def _slo(self, request: ApiRequest) -> dict:
+        return slo_report_to_payload(self._obs.slo)
+
+    def _profile(self, request: ApiRequest) -> dict:
+        profiles = phase_profile(self._obs.tracer.finished())
         return {
-            "metrics": self._obs.metrics.snapshot(),
-            "http": hosts,
-            "cache": cache_stats,
-            "retrieval": self._plane.stats() if self._plane is not None else None,
+            "profiles": [profile.to_dict() for profile in profiles],
+            "retention": self._obs.tracer.retention_stats(),
         }
 
     def _trace(self, request: ApiRequest) -> dict:

@@ -14,12 +14,13 @@ from dataclasses import dataclass, field
 
 @dataclass(frozen=True)
 class ApiRequest:
-    """One API call: method, path, parsed body, and path parameters."""
+    """One API call: method, path, body, path and query parameters."""
 
     method: str
     path: str
     body: dict = field(default_factory=dict)
     path_params: dict[str, str] = field(default_factory=dict)
+    query: dict[str, str] = field(default_factory=dict)
 
     def require(self, field_name: str) -> object:
         """Fetch a required body field or raise a 400 :class:`ApiError`."""
@@ -74,8 +75,16 @@ class Router:
         self._routes.append((method, segments, handler))
 
     def dispatch(self, method: str, path: str, body: dict | None = None) -> ApiResponse:
-        """Resolve and invoke the handler; errors become JSON envelopes."""
+        """Resolve and invoke the handler; errors become JSON envelopes.
+
+        A ``?key=value&...`` suffix on ``path`` is parsed into
+        ``request.query`` and ignored for route matching, mirroring URL
+        semantics (``/metrics`` and ``/metrics?format=prometheus`` hit
+        the same handler).
+        """
         method = method.upper()
+        path, _, query_string = path.partition("?")
+        query = _parse_query(query_string)
         path_segments = _split(path)
         path_exists = False
         for route_method, template_segments, handler in self._routes:
@@ -86,7 +95,11 @@ class Router:
             if route_method != method:
                 continue
             request = ApiRequest(
-                method=method, path=path, body=body or {}, path_params=params
+                method=method,
+                path=path,
+                body=body or {},
+                path_params=params,
+                query=query,
             )
             return self._invoke(handler, request)
         if path_exists:
@@ -95,10 +108,17 @@ class Router:
 
     @staticmethod
     def _invoke(handler: Handler, request: ApiRequest) -> ApiResponse:
+        from repro.core.errors import SourceUnavailableError
+
         try:
             result = handler(request)
         except ApiError as exc:
             return ApiResponse(exc.status, {"error": exc.message})
+        except SourceUnavailableError as exc:
+            # An upstream source exhausted its retries: a gateway-style
+            # 503, so callers see degradation instead of a crash — and
+            # the telemetry chokepoint pins the trace for retention.
+            return ApiResponse(503, {"error": str(exc)})
         except (ValueError, KeyError, TypeError) as exc:
             return ApiResponse(400, {"error": str(exc)})
         return ApiResponse(200, result)
@@ -113,6 +133,16 @@ class Router:
 
 def _split(path: str) -> list[str]:
     return [segment for segment in path.split("/") if segment]
+
+
+def _parse_query(query_string: str) -> dict[str, str]:
+    query: dict[str, str] = {}
+    for piece in query_string.split("&"):
+        if not piece:
+            continue
+        key, _, value = piece.partition("=")
+        query[key] = value
+    return query
 
 
 def _match(template: list[str], path: list[str]) -> dict[str, str] | None:

@@ -105,6 +105,20 @@ def config_from_payload(payload: dict) -> PipelineConfig:
         raise ApiError(400, f"invalid config payload: {exc}") from exc
 
 
+def slo_report_to_payload(engine) -> dict:
+    """The full SLO report for one deployment's engine.
+
+    Shared by ``GET /api/v1/slo`` and the CLI's ``slo report`` so both
+    surfaces render the exact same structure: the overall verdict plus
+    every spec's status (good-ratio, budget consumption, per-tier burn
+    rates and firing state), sorted by name.
+    """
+    return {
+        "verdict": engine.verdict(),
+        "slos": [status.to_dict() for status in engine.report()],
+    }
+
+
 def scored_candidate_to_payload(scored: ScoredCandidate) -> dict:
     """One row of the Fig. 5 result table, with the score breakdown."""
     candidate = scored.candidate

@@ -35,7 +35,7 @@ from repro.assignment.solvers import (
 )
 from repro.concurrency import Executor, create_executor
 from repro.core.models import Manuscript, RecommendationResult
-from repro.obs import get_obs
+from repro.obs import RequestLedger, get_obs
 
 #: Solver registry shared by the CLI and the API.  Every entry takes
 #: ``(problem, objective=None)``; solvers that cannot honour an
@@ -95,8 +95,16 @@ def recommend_batch(
         paper_id, manuscript = entry
         # The span opens inside the fan-out task, so per-manuscript work
         # parents under the batch span through the propagated context.
+        # The ledger rides the same context: each paper gets its own
+        # itemized bill, emitted as a ``request_cost`` event so a batch
+        # log answers "which paper was expensive, and on what?".
         with obs.span("manuscript.recommend", clock=clock, paper_id=paper_id):
-            return minaret.recommend(manuscript)
+            if not obs.enabled:
+                return minaret.recommend(manuscript)
+            with RequestLedger(paper_id) as ledger:
+                result = minaret.recommend(manuscript)
+            obs.emit("request_cost", clock=clock, **ledger.to_dict())
+            return result
 
     with obs.span(
         "batch.recommend",

@@ -22,10 +22,20 @@ Subcommands
     Conference mode: plant a ground-truth scenario in the world, assign
     the whole program under per-reviewer capacity, and report
     planted-recall / precision@set / load-spread against the truth.
+``minaret slo report --world world.json [--degrade HOST]``
+    Deploy the world, run a stream of recommendations against it —
+    optionally degrading one source host with injected faults mid-run —
+    and print every SLO's verdict, good-ratio and burn-rate alerts
+    (the same report ``GET /api/v1/slo`` serves).
+``minaret profile --log events.jsonl``
+    Post-hoc deterministic profiler: roll a ``--log-json`` telemetry
+    log's span ends up into a per-phase self-time flame table.
 
 ``demo``, ``recommend`` and ``assign`` additionally accept
 ``--log-json PATH`` (stream structured telemetry events to a JSONL
-file), ``--metrics`` (print the run's metrics summary to stderr), and
+file), ``--metrics`` (print the run's metrics summary to stderr —
+including the same per-host HTTP, cache, retrieval-plane and
+feature-store stats ``GET /api/v1/metrics`` exposes), and
 ``--warm-cache`` / ``--cold`` (route retrieval through the shared
 warm-path plane of :mod:`repro.retrieval`, or stay with the paper's
 pure on-the-fly mode — the default; rankings are identical either way).
@@ -63,6 +73,10 @@ def main(argv: list[str] | None = None) -> int:
         return _observed_run(args, _run_recommend)
     if args.command == "assign":
         return _observed_run(args, _run_assign)
+    if args.command == "slo":
+        return _run_slo(args)
+    if args.command == "profile":
+        return _run_profile(args)
     parser.print_help()
     return 2
 
@@ -75,8 +89,13 @@ def _observed_run(args, run) -> int:
     object per line; ``--metrics`` prints the run's metrics summary to
     stderr on exit.  Both default off, in which case telemetry still
     accumulates in the per-run instance and simply vanishes with it.
+
+    The summary carries the deployment roll-up the run stashed via
+    :func:`_stash_deployment` — per-host HTTP, cache, retrieval-plane
+    and feature-store stats, identical in shape to what
+    ``GET /api/v1/metrics`` serves for an API deployment.
     """
-    from repro.obs import Observability, use
+    from repro.obs import Observability, deployment_metrics, use
 
     obs = Observability()
     sink = obs.add_jsonl_sink(args.log_json) if args.log_json else None
@@ -88,7 +107,24 @@ def _observed_run(args, run) -> int:
             obs.events.remove_sink(sink)
             sink.close()
         if args.metrics:
-            print(json.dumps(obs.summary(), indent=2), file=sys.stderr)
+            summary = obs.summary()
+            deployment = getattr(args, "_deployment", None)
+            if deployment is not None:
+                payload = deployment_metrics(obs, **deployment)
+                # The summary already carries the registry snapshot.
+                payload.pop("metrics", None)
+                summary.update(payload)
+            print(json.dumps(summary, indent=2), file=sys.stderr)
+
+
+def _stash_deployment(args, hub, minaret) -> None:
+    """Remember the run's deployment pieces for the ``--metrics`` report."""
+    args._deployment = {
+        "http": getattr(hub, "http", None),
+        "cache": getattr(getattr(hub, "crawler", None), "cache", None),
+        "plane": getattr(minaret, "plane", None),
+        "features": getattr(minaret, "features", None),
+    }
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -197,6 +233,52 @@ def _build_parser() -> argparse.ArgumentParser:
         help="rank only the exact best K candidates per paper (lets the "
         "scoring plane prune; default ranks everyone)",
     )
+    slo = subparsers.add_parser(
+        "slo", help="evaluate SLOs over a simulated recommendation stream"
+    )
+    slo.add_argument(
+        "action", nargs="?", choices=("report",), default="report",
+        help="what to do (only 'report' for now)",
+    )
+    slo.add_argument("--world", required=True, help="world dataset JSON")
+    slo.add_argument(
+        "--papers", type=int, default=6,
+        help="recommendation requests to drive through the deployment",
+    )
+    slo.add_argument(
+        "--objective", type=float, default=0.95, help="target good-event ratio"
+    )
+    slo.add_argument(
+        "--threshold", type=float, default=0.5,
+        help="per-request latency threshold (virtual seconds)",
+    )
+    slo.add_argument(
+        "--window", type=float, default=3600.0,
+        help="compliance window (virtual seconds)",
+    )
+    slo.add_argument(
+        "--degrade", metavar="HOST", default=None,
+        help="inject faults into HOST for the second half of the run",
+    )
+    slo.add_argument(
+        "--failure-rate", type=float, default=0.5,
+        help="fault probability for the degraded host",
+    )
+    slo.add_argument(
+        "--json", action="store_true", help="emit the full report as JSON"
+    )
+    prof = subparsers.add_parser(
+        "profile", help="phase flame table from a --log-json telemetry log"
+    )
+    prof.add_argument(
+        "--log", required=True, help="JSONL telemetry log (from --log-json)"
+    )
+    prof.add_argument(
+        "--top", type=int, default=None, help="show only the top N rows"
+    )
+    prof.add_argument(
+        "--json", action="store_true", help="emit profiles as JSON"
+    )
     for sub in (demo, rec, assign):
         sub.add_argument(
             "--log-json",
@@ -247,6 +329,7 @@ def _run_demo(args) -> int:
     print(f"  target venue: {manuscript.target_venue}")
 
     minaret = Minaret(hub, config=PipelineConfig(warm_cache=args.warm_cache))
+    _stash_deployment(args, hub, minaret)
     result = minaret.recommend(manuscript)
 
     print("\nAuthor identity verification (Fig. 4):")
@@ -399,7 +482,9 @@ def _run_recommend(args) -> int:
         warm_cache=args.warm_cache,
         top_k=args.top_k,
     )
-    result = Minaret(hub, config=config).recommend(manuscript)
+    minaret = Minaret(hub, config=config)
+    _stash_deployment(args, hub, minaret)
+    result = minaret.recommend(manuscript)
     if args.json:
         print(json.dumps(result_to_payload(result, top_k=args.top), indent=2))
         return 0
@@ -470,6 +555,7 @@ def _run_assign(args) -> int:
     minaret = Minaret(
         hub, config=PipelineConfig(warm_cache=args.warm_cache, top_k=args.top_k)
     )
+    _stash_deployment(args, hub, minaret)
     if scenario is not None:
         from repro.baselines.evaluation import CandidateResolver
 
@@ -539,6 +625,123 @@ def _run_assign(args) -> int:
         reviewers = batch.assignment.reviewers_of(paper_id)
         rendered = ", ".join(batch.reviewer_names.get(r, r) for r in reviewers) or "(none)"
         print(f"  {paper_id}: {rendered}")
+    return 0
+
+
+def _run_slo(args) -> int:
+    """Drive a recommendation stream and report every SLO's verdict.
+
+    Deploys the world, registers one availability+latency SLO per
+    simulated host, and runs ``--papers`` recommendations under the
+    engine's eye, ticking it between papers.  ``--degrade HOST`` swaps
+    the host's fault policy to ``--failure-rate`` for the second half
+    of the stream — the synthetic incident that walks the verdict from
+    ``ok`` towards ``burning``.  Failed papers are reported, not fatal:
+    a degraded source is exactly what the report is for.
+    """
+    from repro.api.serialization import slo_report_to_payload
+    from repro.obs import Observability, default_http_slos, use
+    from repro.web.faults import FaultPolicy
+    from repro.world.io import load_world
+
+    try:
+        world = load_world(args.world)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot load world {args.world!r}: {exc}", file=sys.stderr)
+        return 1
+    obs = Observability()
+    with use(obs):
+        hub = ScholarlyHub.deploy(world)
+        engine = obs.slo
+        engine.bind_clock(hub.clock)
+        for spec in default_http_slos(
+            hub.http.hosts(),
+            objective=args.objective,
+            threshold=args.threshold,
+            window=args.window,
+        ):
+            engine.add(spec)
+        if args.degrade is not None and args.degrade not in hub.http.hosts():
+            print(
+                f"error: unknown host {args.degrade!r}; "
+                f"hosts: {', '.join(sorted(hub.http.hosts()))}",
+                file=sys.stderr,
+            )
+            return 1
+        minaret = Minaret(hub)
+        manuscript = _demo_manuscript(world)
+        papers = max(1, args.papers)
+        degrade_at = papers // 2 if args.degrade is not None else None
+        failed = 0
+        for index in range(papers):
+            if degrade_at is not None and index == degrade_at:
+                hub.http.set_fault_policy(
+                    args.degrade,
+                    FaultPolicy(failure_probability=args.failure_rate, seed=index),
+                )
+            try:
+                minaret.recommend(manuscript)
+            except Exception as exc:  # degraded sources sink whole runs
+                failed += 1
+                print(
+                    f"  paper {index + 1}/{papers} failed: "
+                    f"{type(exc).__name__}: {exc}",
+                    file=sys.stderr,
+                )
+            engine.tick()
+        report = slo_report_to_payload(engine)
+    if args.json:
+        print(json.dumps(report, indent=2))
+        return 0
+    print(
+        f"SLO report after {papers} paper(s) "
+        f"({failed} failed) — overall: {report['verdict']}"
+    )
+    header = (
+        f"  {'slo':28s} {'verdict':>8s} {'good':>8s} {'objective':>9s} "
+        f"{'events':>7s} {'budget':>7s} {'alerts':s}"
+    )
+    print(header)
+    for status in report["slos"]:
+        firing = [
+            f"{alert['severity']}@{alert['factor']:g}x"
+            for alert in status["alerts"]
+            if alert["firing"]
+        ]
+        print(
+            f"  {status['name'][:28]:28s} {status['verdict']:>8s} "
+            f"{status['good_ratio']:8.4f} {status['objective']:9.4f} "
+            f"{status['events']:7.0f} {status['budget_consumed']:7.2f} "
+            f"{', '.join(firing) or '-'}"
+        )
+    return 0
+
+
+def _run_profile(args) -> int:
+    """Roll a ``--log-json`` telemetry log into a phase flame table."""
+    from repro.obs import phase_profile, render_flame_table, spans_from_events
+
+    records = []
+    try:
+        with open(args.log, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    records.append(json.loads(line))
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read log {args.log!r}: {exc}", file=sys.stderr)
+        return 1
+    spans = spans_from_events(records)
+    if not spans:
+        print(f"error: no span_end events in {args.log!r}", file=sys.stderr)
+        return 1
+    profiles = phase_profile(spans)
+    if args.top is not None:
+        profiles = profiles[: args.top]
+    if args.json:
+        print(json.dumps([profile.to_dict() for profile in profiles], indent=2))
+        return 0
+    print(render_flame_table(profiles))
     return 0
 
 

@@ -25,6 +25,7 @@ from repro.core.identity import IdentityResolver, IdentityVerifier
 from repro.core.models import Manuscript, PhaseReport, RecommendationResult
 from repro.core.ranking import Ranker
 from repro.obs import get_obs
+from repro.obs.ledger import record_phase
 from repro.ontology.data import build_seed_ontology
 from repro.ontology.expansion import KeywordExpander
 from repro.ontology.graph import TopicOntology
@@ -329,3 +330,9 @@ class _PhaseTimer:
             self._span = None
         if exc_type is None:
             self._reports.append(self._report)
+            record_phase(
+                self._report.phase,
+                self._report.wall_seconds,
+                self._report.virtual_seconds,
+                self._report.requests,
+            )

@@ -76,11 +76,23 @@ class RingSink:
             self._events.clear()
 
 
+class SinkClosedError(RuntimeError):
+    """Raised when an event is written to a sink already closed.
+
+    A silent drop here would mean telemetry quietly vanishing after a
+    mis-ordered shutdown; the typed error turns that bug into a loud one
+    at the exact call site.
+    """
+
+
 class JsonlSink:
     """Appends one JSON object per event to a file.
 
     Values that are not natively JSON-serialisable are stringified so a
-    telemetry bug can never crash the run being observed.
+    telemetry bug can never crash the run being observed.  The sink is a
+    context manager whose ``__exit__`` always flushes and closes — also
+    while an exception is propagating, so a crashing run still leaves
+    every buffered line on disk for post-mortem profiling.
     """
 
     def __init__(self, path):
@@ -93,6 +105,12 @@ class JsonlSink:
         """Where the log lines go."""
         return self._path
 
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run."""
+        with self._lock:
+            return self._file.closed
+
     def write(self, event: Event) -> None:
         # Writes ride the file object's own buffer; lines only reach the
         # disk on :meth:`flush`/:meth:`close`.  Keeps the per-event cost
@@ -100,7 +118,10 @@ class JsonlSink:
         line = json.dumps(event.to_dict(), default=str)
         with self._lock:
             if self._file.closed:
-                return
+                raise SinkClosedError(
+                    f"JsonlSink({self._path!r}) is closed; event "
+                    f"{event.name!r} would be lost"
+                )
             self._file.write(line + "\n")
 
     def flush(self) -> None:

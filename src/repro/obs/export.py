@@ -1,0 +1,136 @@
+"""Registry export: Prometheus text format and deployment roll-ups.
+
+:func:`render_prometheus` turns a :class:`~repro.obs.metrics.MetricsRegistry`
+snapshot into the Prometheus text exposition format (``# TYPE`` headers,
+``_bucket``/``_sum``/``_count`` histogram series with cumulative ``le``
+labels), which is what ``GET /api/v1/metrics?format=prometheus`` serves
+— point a real scraper at the simulated deployment and the panels just
+work.
+
+:func:`deployment_metrics` is the one shared answer to "what does this
+deployment's telemetry look like": the registry snapshot plus per-host
+HTTP statistics, crawler-cache counters, warm-plane stats and scoring
+feature-store stats.  Both ``GET /api/v1/metrics`` and the CLI's
+``--metrics`` flag render exactly this payload, so a CLI run is
+debuggable with the same numbers an API deployment would serve.
+"""
+
+from __future__ import annotations
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _sanitize_name(name: str) -> str:
+    cleaned = [
+        ch if ch.isalnum() or ch in ("_", ":") else "_" for ch in str(name)
+    ]
+    if cleaned and cleaned[0].isdigit():
+        cleaned.insert(0, "_")
+    return "".join(cleaned) or "_"
+
+
+def _render_labels(labels: dict, extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = [(str(k), str(v)) for k, v in sorted(labels.items())] + list(extra)
+    if not pairs:
+        return ""
+    inner = ",".join(
+        f'{_sanitize_name(key)}="{_escape_label_value(value)}"'
+        for key, value in pairs
+    )
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    number = float(value)
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def render_prometheus(snapshot: dict) -> str:
+    """Render a registry :meth:`snapshot` in Prometheus text format.
+
+    Counters keep their registry name (``*_total`` by convention
+    already), gauges render as-is, histograms expand into cumulative
+    ``_bucket`` series plus ``_sum`` and ``_count``.  Output ordering is
+    fully determined by the snapshot's own (sorted) ordering.
+    """
+    lines: list[str] = []
+    for name, series in snapshot.get("counters", {}).items():
+        metric = _sanitize_name(name)
+        lines.append(f"# TYPE {metric} counter")
+        for entry in series:
+            lines.append(
+                f"{metric}{_render_labels(entry['labels'])} "
+                f"{_format_value(entry['value'])}"
+            )
+    for name, series in snapshot.get("gauges", {}).items():
+        metric = _sanitize_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        for entry in series:
+            lines.append(
+                f"{metric}{_render_labels(entry['labels'])} "
+                f"{_format_value(entry['value'])}"
+            )
+    for name, series in snapshot.get("histograms", {}).items():
+        metric = _sanitize_name(name)
+        lines.append(f"# TYPE {metric} histogram")
+        for entry in series:
+            labels = entry["labels"]
+            for bound, cumulative in entry["buckets"].items():
+                lines.append(
+                    f"{metric}_bucket"
+                    f"{_render_labels(labels, (('le', bound),))} "
+                    f"{_format_value(cumulative)}"
+                )
+            lines.append(
+                f"{metric}_sum{_render_labels(labels)} "
+                f"{_format_value(entry['sum'])}"
+            )
+            lines.append(
+                f"{metric}_count{_render_labels(labels)} "
+                f"{_format_value(entry['count'])}"
+            )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def deployment_metrics(
+    obs,
+    http=None,
+    cache=None,
+    plane=None,
+    features=None,
+) -> dict:
+    """The canonical metrics payload for one deployment.
+
+    ``obs`` is the deployment's :class:`~repro.obs.Observability`;
+    ``http``/``cache``/``plane``/``features`` are the simulated client,
+    crawler response cache, warm retrieval plane and scoring feature
+    store, each optional.  Served verbatim by ``GET /api/v1/metrics``
+    and printed by the CLI's ``--metrics``.
+    """
+    hosts = {}
+    if http is not None:
+        hosts = {
+            host: {
+                "requests": stats.requests,
+                "rate_limited": stats.rate_limited,
+                "faults": stats.faults,
+                "not_found": stats.not_found,
+                "total_latency": round(stats.total_latency, 4),
+            }
+            for host, stats in sorted(http.stats.items())
+        }
+    cache_stats = None
+    if cache is not None:
+        cache_stats = dict(cache.stats())
+        cache_stats["hit_rate"] = round(cache.hit_rate(), 4)
+    return {
+        "metrics": obs.metrics.snapshot(),
+        "http": hosts,
+        "cache": cache_stats,
+        "retrieval": plane.stats() if plane is not None else None,
+        "features": features.stats() if features is not None else None,
+    }

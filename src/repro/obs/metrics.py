@@ -2,9 +2,15 @@
 
 The registry is deliberately Prometheus-shaped without being Prometheus:
 metrics are identified by a name plus a small label set (``host``,
-``route``, ``cache`` ...), histograms use **fixed bucket bounds** chosen
-at first observation, and :meth:`MetricsRegistry.snapshot` returns a
-plain JSON-serialisable dict the API and CLI can ship as-is.
+``route``, ``cache`` ...), histograms use **fixed bucket bounds** —
+declared up front via :meth:`MetricsRegistry.declare_histogram` or fixed
+by the first observation — and :meth:`MetricsRegistry.snapshot` returns
+a plain JSON-serialisable dict the API and CLI can ship as-is.
+
+Histograms additionally support quantile estimation (an exact path while
+the sample window still holds every observation, bucket interpolation
+past that) and bounded ``(trace_id, span_id)`` exemplars so a latency
+outlier in a dashboard links back to the trace that explains it.
 
 Everything mutates under one lock.  Critical sections are a handful of
 dict operations, so a single registry comfortably absorbs writes from
@@ -15,6 +21,7 @@ recording a metric never draws randomness or advances any clock.
 from __future__ import annotations
 
 import threading
+from collections import deque
 
 #: Default histogram bounds, tuned for the simulated web's latencies
 #: (tens of milliseconds) while still resolving multi-second waits.
@@ -32,7 +39,22 @@ DEFAULT_BUCKETS: tuple[float, ...] = (
     10.0,
 )
 
+#: Raw observations retained per histogram series.  While ``count`` is
+#: still within this window the quantile path is exact; past it the
+#: estimate falls back to bucket interpolation.
+SAMPLE_CAPACITY = 512
+
+#: Exemplars retained per histogram series (most recent first out).
+EXEMPLAR_CAPACITY = 8
+
+#: The quantiles every stats/snapshot rendering reports.
+REPORTED_QUANTILES: tuple[float, ...] = (0.5, 0.95, 0.99)
+
 LabelKey = tuple[tuple[str, str], ...]
+
+
+class HistogramBoundsError(ValueError):
+    """Conflicting bucket bounds were declared for one histogram name."""
 
 
 def _label_key(labels: dict[str, object]) -> LabelKey:
@@ -46,24 +68,95 @@ def _label_key(labels: dict[str, object]) -> LabelKey:
 
 
 class _Histogram:
-    """One histogram series: cumulative bucket counts + sum + count."""
+    """One histogram series: cumulative bucket counts + sum + count.
 
-    __slots__ = ("bounds", "bucket_counts", "total", "count")
+    Alongside the buckets it keeps a bounded window of raw observations
+    (exact quantiles while nothing has been dropped) and a bounded ring
+    of exemplars — ``(value, trace_id, span_id)`` triples linking
+    observations back to the span that produced them.
+    """
+
+    __slots__ = ("bounds", "bucket_counts", "total", "count", "samples", "exemplars")
 
     def __init__(self, bounds: tuple[float, ...]):
         self.bounds = bounds
         self.bucket_counts = [0] * (len(bounds) + 1)  # +1 for +Inf
         self.total = 0.0
         self.count = 0
+        self.samples: deque[float] = deque(maxlen=SAMPLE_CAPACITY)
+        self.exemplars: deque[tuple[float, int, int]] = deque(
+            maxlen=EXEMPLAR_CAPACITY
+        )
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: tuple[int, int] | None = None) -> None:
         self.total += value
         self.count += 1
+        self.samples.append(value)
+        if exemplar is not None:
+            self.exemplars.append((value, exemplar[0], exemplar[1]))
         for i, bound in enumerate(self.bounds):
             if value <= bound:
                 self.bucket_counts[i] += 1
                 return
         self.bucket_counts[-1] += 1
+
+    def quantile(self, q: float) -> float | None:
+        """Estimate the ``q``-quantile (``0 <= q <= 1``) of this series.
+
+        Exact (linear interpolation between order statistics) while the
+        sample window still holds every observation; bucket-boundary
+        interpolation afterwards.  ``None`` when nothing was observed.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return None
+        if self.count <= len(self.samples):
+            ordered = sorted(self.samples)
+            position = q * (len(ordered) - 1)
+            lower = int(position)
+            upper = min(lower + 1, len(ordered) - 1)
+            fraction = position - lower
+            return ordered[lower] + (ordered[upper] - ordered[lower]) * fraction
+        return self._bucket_quantile(q)
+
+    def _bucket_quantile(self, q: float) -> float:
+        target = q * self.count
+        running = 0
+        previous_bound = 0.0
+        for bound, bucket in zip(self.bounds, self.bucket_counts):
+            if running + bucket >= target:
+                if bucket == 0:
+                    return bound
+                fraction = (target - running) / bucket
+                return previous_bound + (bound - previous_bound) * fraction
+            running += bucket
+            previous_bound = bound
+        # Target falls in the +Inf bucket: the upper edge is unknown, so
+        # report the highest finite bound — the conventional clamp.
+        return self.bounds[-1] if self.bounds else previous_bound
+
+    def count_at_or_below(self, threshold: float) -> float:
+        """Estimated observations ``<= threshold`` (exact when sampled).
+
+        The SLO engine's good-event reader: exact while the sample
+        window is complete, cumulative-bucket interpolation afterwards.
+        """
+        if self.count == 0:
+            return 0.0
+        if self.count <= len(self.samples):
+            return float(sum(1 for value in self.samples if value <= threshold))
+        running = 0
+        previous_bound = 0.0
+        for bound, bucket in zip(self.bounds, self.bucket_counts):
+            if threshold <= bound:
+                if bucket == 0 or bound == previous_bound:
+                    return float(running)
+                fraction = (threshold - previous_bound) / (bound - previous_bound)
+                return running + bucket * max(0.0, min(1.0, fraction))
+            running += bucket
+            previous_bound = bound
+        return float(self.count)
 
     def to_dict(self) -> dict:
         cumulative, running = {}, 0
@@ -71,11 +164,21 @@ class _Histogram:
             running += bucket
             cumulative[str(bound)] = running
         cumulative["+Inf"] = running + self.bucket_counts[-1]
-        return {
+        record = {
             "buckets": cumulative,
             "sum": self.total,
             "count": self.count,
         }
+        for q in REPORTED_QUANTILES:
+            estimate = self.quantile(q)
+            if estimate is not None:
+                record[f"p{int(q * 100)}"] = round(estimate, 6)
+        if self.exemplars:
+            record["exemplars"] = [
+                {"value": value, "trace_id": trace_id, "span_id": span_id}
+                for value, trace_id, span_id in self.exemplars
+            ]
+        return record
 
 
 class MetricsRegistry:
@@ -137,19 +240,50 @@ class MetricsRegistry:
 
     # -- histograms ----------------------------------------------------
 
+    def declare_histogram(self, name: str, buckets: tuple[float, ...]) -> None:
+        """Fix ``name``'s bucket bounds before any observation arrives.
+
+        First-observation-fixes-bounds is a silent footgun: a latency
+        metric observed once on a code path that forgot to pass bounds
+        is stuck with :data:`DEFAULT_BUCKETS` forever.  Declaring the
+        bounds at deployment time removes the race.  Re-declaring the
+        same bounds is a no-op; declaring *different* bounds than the
+        ones already fixed (by a declaration or a first observation)
+        raises :class:`HistogramBoundsError` instead of silently keeping
+        the old ones.
+        """
+        if not buckets:
+            raise ValueError(f"histogram {name!r} needs at least one bucket bound")
+        bounds = tuple(float(b) for b in buckets)
+        if list(bounds) != sorted(set(bounds)):
+            raise ValueError(
+                f"histogram {name!r} bounds must be strictly increasing: {bounds}"
+            )
+        with self._lock:
+            existing = self._histogram_bounds.get(name)
+            if existing is not None and existing != bounds:
+                raise HistogramBoundsError(
+                    f"histogram {name!r} bounds already fixed to {existing}, "
+                    f"cannot redeclare as {bounds}"
+                )
+            self._histogram_bounds[name] = bounds
+
     def observe(
         self,
         name: str,
         value: float,
         buckets: tuple[float, ...] | None = None,
+        exemplar: tuple[int, int] | None = None,
         **labels: object,
     ) -> None:
         """Record ``value`` into a histogram series.
 
-        The first observation of ``name`` fixes its bucket bounds
-        (``buckets`` or :data:`DEFAULT_BUCKETS`); later ``buckets``
-        arguments are ignored so every series of one metric stays
-        comparable.
+        Bucket bounds come from an earlier :meth:`declare_histogram`,
+        else the first observation fixes them (``buckets`` or
+        :data:`DEFAULT_BUCKETS`); later ``buckets`` arguments are
+        ignored so every series of one metric stays comparable.
+        ``exemplar`` optionally attaches a ``(trace_id, span_id)`` pair
+        linking this observation to the span that produced it.
         """
         key = _label_key(labels)
         with self._lock:
@@ -160,13 +294,67 @@ class MetricsRegistry:
             histogram = series.get(key)
             if histogram is None:
                 histogram = series[key] = _Histogram(bounds)
-            histogram.observe(value)
+            histogram.observe(value, exemplar=exemplar)
 
     def histogram_stats(self, name: str, **labels: object) -> dict | None:
-        """``{"buckets": ..., "sum": ..., "count": ...}`` or ``None``."""
+        """``{"buckets": ..., "sum": ..., "count": ..., "p50": ...}`` or ``None``."""
         with self._lock:
             histogram = self._histograms.get(name, {}).get(_label_key(labels))
             return histogram.to_dict() if histogram else None
+
+    def quantile(self, name: str, q: float, **labels: object) -> float | None:
+        """Estimated ``q``-quantile of one histogram series, or ``None``."""
+        with self._lock:
+            histogram = self._histograms.get(name, {}).get(_label_key(labels))
+            return histogram.quantile(q) if histogram else None
+
+    def histogram_series(self, name: str) -> list[tuple[dict[str, str], dict]]:
+        """Every series of one histogram: ``(labels, stats)`` pairs.
+
+        The SLO engine walks this to aggregate good/total counts across
+        the label sets matching a spec's filter.
+        """
+        with self._lock:
+            series = self._histograms.get(name, {})
+            return [(dict(key), hist.to_dict()) for key, hist in sorted(series.items())]
+
+    def histogram_window_counts(
+        self,
+        name: str,
+        threshold: float | None,
+        label_filter: dict[str, str] | None = None,
+    ) -> tuple[float, float]:
+        """``(good, total)`` cumulative counts across matching series.
+
+        ``good`` is the estimated number of observations at or below
+        ``threshold`` (all of them when ``threshold`` is ``None``);
+        ``label_filter`` keeps only series whose labels are a superset
+        of the filter.  This is the SLO engine's one read path.
+        """
+        wanted = {(k, str(v)) for k, v in (label_filter or {}).items()}
+        good = total = 0.0
+        with self._lock:
+            for key, histogram in self._histograms.get(name, {}).items():
+                if wanted and not wanted <= set(key):
+                    continue
+                total += histogram.count
+                if threshold is None:
+                    good += histogram.count
+                else:
+                    good += histogram.count_at_or_below(threshold)
+        return good, total
+
+    def counter_matching(
+        self, name: str, label_filter: dict[str, str] | None = None
+    ) -> float:
+        """Sum of a counter across series whose labels contain the filter."""
+        wanted = {(k, str(v)) for k, v in (label_filter or {}).items()}
+        with self._lock:
+            return sum(
+                value
+                for key, value in self._counters.get(name, {}).items()
+                if not wanted or wanted <= set(key)
+            )
 
     # -- export --------------------------------------------------------
 

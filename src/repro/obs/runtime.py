@@ -27,7 +27,8 @@ from contextvars import ContextVar
 
 from repro.obs.events import EventBus, JsonlSink, RingSink
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.spans import NULL_SPAN, Tracer
+from repro.obs.slo import SloEngine
+from repro.obs.spans import NULL_SPAN, Span, Tracer, current_span
 
 
 class Observability:
@@ -57,6 +58,7 @@ class Observability:
         self.events.add_sink(self.ring)
         self.metrics = MetricsRegistry()
         self.tracer = Tracer(capacity=span_capacity, events=self.events)
+        self.slo = SloEngine(self.metrics)
 
     @classmethod
     def disabled(cls) -> "Observability":
@@ -89,9 +91,19 @@ class Observability:
             self.metrics.gauge_add(name, delta, **labels)
 
     def observe(self, name: str, value: float, **labels: object) -> None:
-        """Record a histogram observation."""
-        if self.enabled:
-            self.metrics.observe(name, value, **labels)
+        """Record a histogram observation.
+
+        When the calling context sits inside an open span, the
+        observation carries a ``(trace_id, span_id)`` exemplar — the
+        bridge from "p99 is bad" to "here is a trace that made it bad".
+        """
+        if not self.enabled:
+            return
+        span = current_span()
+        exemplar = (
+            (span.trace_id, span.span_id) if isinstance(span, Span) else None
+        )
+        self.metrics.observe(name, value, exemplar=exemplar, **labels)
 
     # -- events --------------------------------------------------------
 

@@ -31,8 +31,9 @@ from __future__ import annotations
 import itertools
 import threading
 import time
-from collections import deque
+from collections import OrderedDict, deque
 from contextvars import ContextVar
+from dataclasses import dataclass
 
 _CURRENT_SPAN: ContextVar["Span | None"] = ContextVar(
     "repro_obs_current_span", default=None
@@ -175,6 +176,42 @@ class _NullSpan:
 NULL_SPAN = _NullSpan()
 
 
+@dataclass(frozen=True)
+class TailRetentionPolicy:
+    """What makes a finished trace worth keeping in full.
+
+    Tail-based retention decides *after* a trace completes — when its
+    root span closes — whether to keep the whole span tree or evict it.
+    A trace is kept when any of these hold:
+
+    - any of its spans recorded an error and ``keep_errors`` is set;
+    - the root span's duration breaches ``latency_threshold`` (measured
+      on the virtual clock when ``use_virtual`` and a virtual timing is
+      present, wall time otherwise);
+    - something called :meth:`Tracer.mark_retain` on the trace (e.g. an
+      SLO engine flagging a breaching request).
+
+    ``pending_capacity`` bounds how many still-open traces buffer spans
+    at once; the oldest pending trace is evicted on overflow, so a trace
+    whose root never closes cannot leak memory.
+    """
+
+    latency_threshold: float | None = None
+    keep_errors: bool = True
+    use_virtual: bool = True
+    pending_capacity: int = 1024
+
+    def __post_init__(self):
+        if self.pending_capacity < 1:
+            raise ValueError(
+                f"pending_capacity must be >= 1, got {self.pending_capacity}"
+            )
+        if self.latency_threshold is not None and self.latency_threshold < 0:
+            raise ValueError(
+                f"latency_threshold must be >= 0, got {self.latency_threshold}"
+            )
+
+
 class Tracer:
     """Allocates span/trace ids and keeps finished spans in a ring.
 
@@ -200,6 +237,13 @@ class Tracer:
         self._span_ids = itertools.count(1)
         self._trace_ids = itertools.count(1)
         self._events = events
+        # Tail-based retention (off by default: every span is kept).
+        self._retention: TailRetentionPolicy | None = None
+        self._pending: OrderedDict[int, list[Span]] = OrderedDict()
+        self._marked: set[int] = set()
+        self._retained_traces = 0
+        self._evicted_traces = 0
+        self._evicted_spans = 0
 
     def span(self, name: str, clock=None, **labels: object) -> Span:
         """Open a new span (enter the returned object as a context).
@@ -225,9 +269,85 @@ class Tracer:
             clock=clock,
         )
 
+    # -- tail-based retention ------------------------------------------
+
+    def enable_tail_retention(self, policy: TailRetentionPolicy) -> None:
+        """Keep full span trees only for interesting traces (see policy).
+
+        While enabled, finished spans buffer per trace until the trace's
+        root span closes; the whole tree is then either committed to the
+        ring or evicted.  ``span_end`` events are emitted for every span
+        regardless — retention governs the in-memory ring, not the log.
+        """
+        with self._lock:
+            self._retention = policy
+
+    def disable_tail_retention(self) -> None:
+        """Commit everything pending and go back to keep-all behaviour."""
+        with self._lock:
+            self._retention = None
+            for spans in self._pending.values():
+                self._finished.extend(spans)
+            self._pending.clear()
+            self._marked.clear()
+
+    def mark_retain(self, trace_id: int) -> None:
+        """Force retention of ``trace_id`` whatever the policy says."""
+        with self._lock:
+            self._marked.add(trace_id)
+
+    def retention_stats(self) -> dict:
+        """Retention counters (all zero until a policy is enabled)."""
+        with self._lock:
+            return {
+                "enabled": self._retention is not None,
+                "retained_traces": self._retained_traces,
+                "evicted_traces": self._evicted_traces,
+                "evicted_spans": self._evicted_spans,
+                "pending_traces": len(self._pending),
+            }
+
+    def _keep_trace(self, root: Span, spans: list[Span]) -> bool:
+        policy = self._retention
+        if root.trace_id in self._marked:
+            return True
+        if policy.keep_errors and any(s.error is not None for s in spans):
+            return True
+        if policy.latency_threshold is not None:
+            duration = None
+            if policy.use_virtual:
+                duration = root.virtual_seconds
+            if duration is None:
+                duration = root.wall_seconds
+            if duration > policy.latency_threshold:
+                return True
+        return False
+
+    def _finalize_trace(self, trace_id: int, root: Span) -> None:
+        # Caller holds the lock.
+        spans = self._pending.pop(trace_id, [])
+        keep = self._keep_trace(root, spans)
+        self._marked.discard(trace_id)
+        if keep:
+            self._finished.extend(spans)
+            self._retained_traces += 1
+        else:
+            self._evicted_traces += 1
+            self._evicted_spans += len(spans)
+
     def _record(self, span: Span) -> None:
         with self._lock:
-            self._finished.append(span)
+            if self._retention is None:
+                self._finished.append(span)
+            else:
+                self._pending.setdefault(span.trace_id, []).append(span)
+                if span.parent_id is None:
+                    self._finalize_trace(span.trace_id, span)
+                while len(self._pending) > self._retention.pending_capacity:
+                    stale_id, stale = self._pending.popitem(last=False)
+                    self._marked.discard(stale_id)
+                    self._evicted_traces += 1
+                    self._evicted_spans += len(stale)
         if self._events is not None:
             fields = span.to_dict()
             # ``name`` would collide with the event's own name.
@@ -267,6 +387,8 @@ class Tracer:
         return roots
 
     def clear(self) -> None:
-        """Drop all finished spans."""
+        """Drop all finished spans (and any retention buffers)."""
         with self._lock:
             self._finished.clear()
+            self._pending.clear()
+            self._marked.clear()

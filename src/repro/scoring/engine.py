@@ -47,6 +47,7 @@ from repro.core.models import (
     ScoredCandidate,
 )
 from repro.obs import get_obs
+from repro.obs.ledger import charge_pruning
 from repro.ontology.expansion import ExpandedKeyword
 from repro.scoring.aggregate import owa_aggregate, weighted_total
 from repro.scoring.features import CandidateFeatures, FeatureStore, ScoringContext
@@ -279,4 +280,5 @@ def rank_with_plane(
         if pruned:
             obs.inc("scoring_recency_pruned_total", value=float(pruned))
         obs.gauge("scoring_prune_rate", round(pruned / n, 4))
+        charge_pruning(n, pruned)
         return result

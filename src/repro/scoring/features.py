@@ -36,6 +36,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.obs import get_obs
+from repro.obs.ledger import charge_features
 from repro.text.normalize import normalize_keyword
 from repro.text.tokenize import tokenize
 
@@ -372,6 +373,7 @@ class FeatureStore:
                 value=float(len(candidates) - len(misses)),
                 store=self._name,
             )
+        charge_features(len(misses), len(candidates) - len(misses))
         return features
 
     def clear(self) -> None:

@@ -13,6 +13,7 @@ from collections import OrderedDict
 from collections.abc import Hashable
 
 from repro.obs import get_obs
+from repro.obs.ledger import charge_cache
 from repro.web.clock import SimulatedClock
 
 
@@ -90,11 +91,13 @@ class TTLCache:
             if self._ttl == 0:
                 self.misses += 1
                 get_obs().inc("cache_misses_total", cache=self._name)
+                charge_cache(self._name, hit=False)
                 return None
             entry = self._entries.get(key)
             if entry is None:
                 self.misses += 1
                 get_obs().inc("cache_misses_total", cache=self._name)
+                charge_cache(self._name, hit=False)
                 return None
             stored_at, value = entry
             if self._ttl is not None and self._clock.now() - stored_at > self._ttl:
@@ -104,10 +107,12 @@ class TTLCache:
                 obs = get_obs()
                 obs.inc("cache_misses_total", cache=self._name)
                 obs.inc("cache_evictions_total", cache=self._name, reason="expired")
+                charge_cache(self._name, hit=False)
                 return None
             self._entries.move_to_end(key)
             self.hits += 1
             get_obs().inc("cache_hits_total", cache=self._name)
+            charge_cache(self._name, hit=True)
             return value
 
     def put(self, key: Hashable, value: object) -> None:

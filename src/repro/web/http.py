@@ -35,6 +35,7 @@ from collections.abc import Callable, Mapping
 from dataclasses import dataclass, field
 
 from repro.obs import get_obs
+from repro.obs.ledger import charge_http
 from repro.web import accounting
 from repro.web.clock import SimulatedClock
 from repro.web.faults import FaultPolicy
@@ -279,6 +280,19 @@ class SimulatedHttpClient:
         with self._lock:
             return list(self._endpoints)
 
+    def set_fault_policy(self, host: str, faults: FaultPolicy) -> None:
+        """Swap a registered host's fault policy mid-run.
+
+        Models a source degrading (or recovering) while the deployment
+        is live — the degradation ramp the SLO scenario drives.  Only
+        the fate of *future* ordinals changes; latency models, rate
+        limits and accumulated statistics stay put.
+        """
+        with self._lock:
+            if host not in self._endpoints:
+                raise ValueError(f"host not registered: {host!r}")
+            self._faults[host] = faults
+
     def replace_endpoint(self, host: str, endpoint: Endpoint) -> None:
         """Swap a registered host's endpoint, keeping its behaviour models.
 
@@ -435,8 +449,9 @@ class SimulatedHttpClient:
                 self._traces.clear()
 
     def _finish(self, obs, request: HttpRequest, status: int, latency: float) -> None:
-        """Record one completed attempt: per-host metrics + trace ring."""
+        """Record one completed attempt: per-host metrics, ledgers, trace ring."""
         obs.inc("http_requests_total", host=request.host, status=str(status))
+        charge_http(request.host, status, latency)
         self._trace(request, status, latency)
 
     def _trace(self, request: HttpRequest, status: int, latency: float) -> None:

@@ -467,3 +467,154 @@ class TestTraceEndpoint:
         MinaretApi(hub)  # must not shrink or replace the existing ring
         assert hub.http.tracing_enabled
         assert hub.http.trace_capacity == 7
+
+
+class TestSloEndpoint:
+    def test_report_lists_default_host_slos(self, api, manuscript):
+        api.handle(
+            "POST",
+            "/api/v1/recommend",
+            {"manuscript": manuscript_payload(manuscript)},
+        )
+        response = api.handle("GET", "/api/v1/slo")
+        assert response.ok
+        assert response.body["verdict"] in ("ok", "warn", "burning")
+        names = {slo["name"] for slo in response.body["slos"]}
+        assert "http-dblp.org" in names
+        assert "http-scholar.google.com" in names
+        for slo in response.body["slos"]:
+            assert {"verdict", "good_ratio", "objective", "alerts"} <= set(slo)
+
+    def test_custom_specs_override_defaults(self, hub):
+        from repro.obs import SloSpec
+
+        api = MinaretApi(
+            hub,
+            slos=[SloSpec(name="only-one", metric="http_request_latency_seconds")],
+        )
+        names = {slo["name"] for slo in api.handle("GET", "/api/v1/slo").body["slos"]}
+        assert names == {"only-one"}
+
+    def test_health_carries_slo_verdicts(self, api, manuscript):
+        api.handle(
+            "POST",
+            "/api/v1/recommend",
+            {"manuscript": manuscript_payload(manuscript)},
+        )
+        body = api.handle("GET", "/api/v1/health").body
+        assert body["status"] in ("ok", "warn", "burning")
+        assert body["slos"]
+        for slo in body["slos"].values():
+            assert {"verdict", "good_ratio", "objective"} <= set(slo)
+
+    def test_health_goes_burning_when_a_host_dies(self, world, manuscript):
+        from repro.scholarly.registry import ScholarlyHub
+        from repro.web.faults import FaultPolicy
+
+        hub = ScholarlyHub.deploy(world)
+        api = MinaretApi(hub)
+        hub.http.set_fault_policy(
+            "dblp.org", FaultPolicy(failure_probability=1.0, seed=3)
+        )
+        response = api.handle(
+            "POST",
+            "/api/v1/recommend",
+            {"manuscript": manuscript_payload(manuscript)},
+        )
+        assert response.status >= 500
+        body = api.handle("GET", "/api/v1/health").body
+        assert body["status"] == "burning"
+        assert body["slos"]["http-dblp.org"]["verdict"] == "burning"
+
+
+class TestProfileEndpoint:
+    def test_flame_profiles_after_traffic(self, api, manuscript):
+        api.handle(
+            "POST",
+            "/api/v1/recommend",
+            {"manuscript": manuscript_payload(manuscript)},
+        )
+        response = api.handle("GET", "/api/v1/profile")
+        assert response.ok
+        names = {profile["name"] for profile in response.body["profiles"]}
+        assert "pipeline.recommend" in names
+        assert any(name.startswith("phase.") for name in names)
+        for profile in response.body["profiles"]:
+            assert profile["wall_self"] <= profile["wall_total"] + 1e-9
+        assert response.body["retention"]["enabled"] is False
+
+    def test_retention_stats_reflect_policy(self, world, manuscript):
+        from repro.obs import TailRetentionPolicy
+        from repro.scholarly.registry import ScholarlyHub
+
+        api = MinaretApi(
+            ScholarlyHub.deploy(world),
+            tail_retention=TailRetentionPolicy(latency_threshold=1e9),
+        )
+        api.handle(
+            "POST",
+            "/api/v1/recommend",
+            {"manuscript": manuscript_payload(manuscript)},
+        )
+        retention = api.handle("GET", "/api/v1/profile").body["retention"]
+        assert retention["enabled"] is True
+        assert retention["evicted_traces"] > 0
+
+
+class TestPrometheusExposition:
+    def test_format_prometheus_query(self, api, manuscript):
+        api.handle(
+            "POST",
+            "/api/v1/recommend",
+            {"manuscript": manuscript_payload(manuscript)},
+        )
+        response = api.handle("GET", "/api/v1/metrics?format=prometheus")
+        assert response.ok
+        assert response.body["content_type"].startswith("text/plain")
+        text = response.body["text"]
+        assert "# TYPE http_requests_total counter" in text
+        assert 'http_request_latency_seconds_bucket{host="dblp.org"' in text
+        assert "le=\"+Inf\"" in text
+
+    def test_default_format_unchanged(self, api):
+        body = api.handle("GET", "/api/v1/metrics").body
+        assert "metrics" in body and "text" not in body
+
+
+class TestDebugCost:
+    def test_cost_attached_on_request(self, api, manuscript):
+        response = api.handle(
+            "POST",
+            "/api/v1/recommend",
+            {
+                "manuscript": manuscript_payload(manuscript),
+                "debug_cost": True,
+            },
+        )
+        assert response.ok
+        cost = response.body["cost"]
+        assert cost["requests"] > 0
+        assert cost["http"]["dblp.org"]["requests"] > 0
+        assert {p["phase"] for p in cost["phases"]} >= {"rank"}
+
+    def test_cost_absent_by_default(self, api, manuscript):
+        response = api.handle(
+            "POST",
+            "/api/v1/recommend",
+            {"manuscript": manuscript_payload(manuscript)},
+        )
+        assert response.ok
+        assert "cost" not in response.body
+
+    def test_cost_emitted_as_event(self, api, manuscript):
+        api.handle(
+            "POST",
+            "/api/v1/recommend",
+            {
+                "manuscript": manuscript_payload(manuscript),
+                "debug_cost": True,
+            },
+        )
+        events = api.obs.ring.events("request_cost")
+        assert events
+        assert events[-1].fields["label"] == "POST /api/v1/recommend"

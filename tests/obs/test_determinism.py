@@ -78,6 +78,46 @@ class TestObservabilityIsReadOnly:
         assert _fingerprint(result) == fingerprint
         assert hub.total_requests() == requests
 
+    @pytest.mark.parametrize("workers", [1, 2, 8])
+    def test_full_telemetry_plane_is_read_only(
+        self, world, manuscript, baseline, workers, tmp_path
+    ):
+        """SLOs ticking + ledger + tail retention + jsonl, still bit-identical."""
+        from repro.obs import (
+            RequestLedger,
+            SloSpec,
+            TailRetentionPolicy,
+            default_http_slos,
+        )
+
+        obs = Observability()
+        obs.tracer.enable_tail_retention(
+            TailRetentionPolicy(latency_threshold=0.001)  # keep ~everything
+        )
+        sink = obs.add_jsonl_sink(tmp_path / "events.jsonl")
+        hub = ScholarlyHub.deploy(world)
+        for spec in default_http_slos(hub.http.hosts()):
+            obs.slo.add(spec)
+        obs.slo.add(SloSpec(name="strict", metric="http_request_latency_seconds",
+                            threshold=0.0001, objective=0.999, window=60.0))
+        obs.slo.bind_clock(hub.clock)
+        try:
+            with use(obs):
+                with RequestLedger("determinism") as ledger:
+                    result = Minaret(
+                        hub, config=PipelineConfig(workers=workers)
+                    ).recommend(manuscript)
+                obs.slo.tick()
+        finally:
+            sink.close()
+        fingerprint, requests, latency = baseline
+        assert _fingerprint(result) == fingerprint
+        assert hub.total_requests() == requests
+        assert hub.total_latency() == latency
+        # The plane really ran: bills were itemised, verdicts computed.
+        assert ledger.requests == requests
+        assert obs.slo.verdict() in ("ok", "warn", "burning")
+
     def test_batch_identical_across_worker_counts(self, world):
         from repro.assignment.batch import recommend_batch
         from tests.conftest import make_manuscript

@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.obs.events import Event, EventBus, JsonlSink, RingSink
+from repro.obs.events import Event, EventBus, JsonlSink, RingSink, SinkClosedError
 
 
 class TestEvent:
@@ -67,12 +67,34 @@ class TestJsonlSink:
         record = json.loads(path.read_text())
         assert record["obj"].startswith("<object object")
 
-    def test_write_after_close_is_a_noop(self, tmp_path):
+    def test_write_after_close_raises_typed_error(self, tmp_path):
+        # A silent drop would lose telemetry after a mis-ordered
+        # shutdown; the contract is now a loud, typed failure.
         path = tmp_path / "events.jsonl"
         sink = JsonlSink(path)
         sink.close()
-        sink.write(Event("late", wall_time=0.0))
+        with pytest.raises(SinkClosedError, match="late"):
+            sink.write(Event("late", wall_time=0.0))
         assert path.read_text() == ""
+        assert sink.closed
+
+    def test_exit_flushes_during_exception_propagation(self, tmp_path):
+        # A crashing run must still leave its buffered lines on disk.
+        path = tmp_path / "events.jsonl"
+        with pytest.raises(RuntimeError, match="boom"):
+            with JsonlSink(path) as sink:
+                bus = EventBus([sink])
+                bus.emit("before_crash", n=1)
+                raise RuntimeError("boom")
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [line["event"] for line in lines] == ["before_crash"]
+        assert sink.closed
+
+    def test_close_is_idempotent(self, tmp_path):
+        sink = JsonlSink(tmp_path / "events.jsonl")
+        sink.close()
+        sink.close()
+        assert sink.closed
 
 
 class TestEventBus:

@@ -1,0 +1,180 @@
+"""Per-request cost ledger: unit accounting and pipeline wiring.
+
+The ledger is a contextvar-scoped accumulator: instrumented code calls
+the module-level ``charge_*`` helpers, which bill every ledger active
+on the current context — so a whole recommendation run rolls up into
+one itemised cost record without threading a handle through the stack.
+"""
+
+import pytest
+
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import Minaret
+from repro.obs import Observability, RequestLedger, use
+from repro.obs.ledger import (
+    active_ledgers,
+    charge_cache,
+    charge_features,
+    charge_http,
+    charge_pruning,
+    record_phase,
+)
+from repro.scholarly.registry import ScholarlyHub
+
+
+class TestRequestLedgerUnit:
+    def test_http_rolls_up_by_host(self):
+        ledger = RequestLedger("r")
+        ledger.add_http("a.example", 200, 0.5)
+        ledger.add_http("a.example", 503, 1.5)
+        ledger.add_http("b.example", 200, 0.25)
+        payload = ledger.to_dict()
+        assert payload["http"]["a.example"] == {
+            "requests": 2,
+            "errors": 1,
+            "virtual_seconds": 2.0,
+        }
+        assert payload["http"]["b.example"]["errors"] == 0
+        assert ledger.requests == 3
+        assert ledger.virtual_seconds == pytest.approx(2.25)
+
+    def test_client_errors_counted_as_errors(self):
+        ledger = RequestLedger()
+        ledger.add_http("a.example", 404, 0.1)
+        assert ledger.to_dict()["http"]["a.example"]["errors"] == 1
+
+    def test_cache_hit_rates(self):
+        ledger = RequestLedger()
+        for hit in (True, True, False):
+            ledger.add_cache("crawler", hit)
+        payload = ledger.to_dict()["caches"]["crawler"]
+        assert payload == {"hits": 2, "misses": 1, "hit_rate": pytest.approx(2 / 3)}
+
+    def test_feature_reuse_and_prune_rates(self):
+        ledger = RequestLedger()
+        ledger.add_features(built=3, reused=1)
+        ledger.add_pruning(ranked=10, pruned=4)
+        payload = ledger.to_dict()
+        assert payload["features"] == {
+            "built": 3,
+            "reused": 1,
+            "reuse_rate": pytest.approx(0.25),
+        }
+        assert payload["pruning"] == {
+            "ranked": 10,
+            "pruned": 4,
+            "prune_rate": pytest.approx(0.4),
+        }
+
+    def test_phases_preserve_order(self):
+        ledger = RequestLedger()
+        ledger.add_phase("resolve", 0.1, 1.0, 2)
+        ledger.add_phase("score", 0.2, 3.0, 5)
+        names = [phase["phase"] for phase in ledger.to_dict()["phases"]]
+        assert names == ["resolve", "score"]
+
+    def test_empty_ledger_serialises_cleanly(self):
+        payload = RequestLedger("empty").to_dict()
+        assert payload["label"] == "empty"
+        assert payload["requests"] == 0
+        assert payload["http"] == {}
+        assert payload["features"]["reuse_rate"] == 0.0
+
+
+class TestChargeHelpers:
+    def test_charges_reach_only_active_ledgers(self):
+        outside = RequestLedger("outside")
+        with RequestLedger("inside") as inside:
+            charge_http("a.example", 200, 0.5)
+            charge_cache("crawler", hit=True)
+        charge_http("a.example", 200, 0.5)  # nobody listening
+        assert inside.requests == 1
+        assert outside.requests == 0
+        assert active_ledgers() == ()
+
+    def test_nested_ledgers_both_billed(self):
+        with RequestLedger("outer") as outer:
+            charge_http("a.example", 200, 1.0)
+            with RequestLedger("inner") as inner:
+                charge_http("b.example", 503, 2.0)
+                charge_features(2, 3)
+                charge_pruning(10, 5)
+                record_phase("score", 0.1, 2.0, 1)
+        assert outer.requests == 2
+        assert inner.requests == 1
+        assert outer.to_dict()["features"]["built"] == 2
+        assert inner.to_dict()["pruning"]["pruned"] == 5
+        assert [p["phase"] for p in outer.to_dict()["phases"]] == ["score"]
+
+    def test_zero_feature_charge_is_free(self):
+        with RequestLedger() as ledger:
+            charge_features(0, 0)
+        assert ledger.to_dict()["features"] == {
+            "built": 0,
+            "reused": 0,
+            "reuse_rate": 0.0,
+        }
+
+    def test_exit_restores_previous_stack(self):
+        with RequestLedger("a") as a:
+            with RequestLedger("b"):
+                assert len(active_ledgers()) == 2
+            assert active_ledgers() == (a,)
+
+
+class TestLedgerPipelineWiring:
+    """A real recommendation run bills http, caches, features, phases."""
+
+    @pytest.fixture(scope="class")
+    def bills(self, world):
+        from tests.conftest import make_manuscript
+
+        author = next(iter(world.authors.values()))
+        manuscript = make_manuscript(world, author)
+        hub = ScholarlyHub.deploy(world, cache_ttl=None)
+        obs = Observability()
+        with use(obs):
+            minaret = Minaret(hub, config=PipelineConfig(workers=2))
+            with RequestLedger("cold") as cold:
+                minaret.recommend(manuscript)
+            with RequestLedger("warm") as warm:
+                minaret.recommend(manuscript)
+        return cold.to_dict(), warm.to_dict()
+
+    def test_http_charged_per_host(self, bills):
+        cold, _ = bills
+        assert cold["requests"] > 0
+        assert cold["http"]
+        for host, row in cold["http"].items():
+            assert host in ("dblp.org", "scholar.google.com", "dl.acm.org",
+                            "orcid.org", "publons.com", "researcherid.com")
+            assert row["requests"] >= 1
+            assert row["virtual_seconds"] > 0
+
+    def test_warm_run_billed_to_caches_not_the_wire(self, bills):
+        cold, warm = bills
+        assert cold["caches"]["crawler"]["misses"] > 0
+        assert warm["caches"]["crawler"]["hit_rate"] == 1.0
+        assert warm["caches"]["crawler"]["misses"] == 0
+        assert warm["requests"] == 0  # cache absorbed the whole run
+
+    def test_features_built_then_reused(self, bills):
+        cold, warm = bills
+        assert cold["features"]["built"] > 0
+        assert warm["features"]["built"] == 0
+        assert warm["features"]["reuse_rate"] == 1.0
+
+    def test_phases_cover_the_pipeline(self, bills):
+        cold, _ = bills
+        phases = {phase["phase"] for phase in cold["phases"]}
+        assert {"verify_authors", "extract_candidates", "rank"} <= phases
+        total_virtual = sum(phase["virtual_seconds"] for phase in cold["phases"])
+        assert total_virtual >= cold["virtual_seconds"] * 0.5
+
+    def test_worker_threads_bill_the_request_ledger(self, bills):
+        # Phase work runs on pool threads; context propagation means
+        # their http spend still lands on this request's ledger.
+        cold, _ = bills
+        assert sum(row["requests"] for row in cold["http"].values()) == (
+            cold["requests"]
+        )

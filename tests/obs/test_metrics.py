@@ -88,6 +88,62 @@ class TestHistograms:
         assert MetricsRegistry().histogram_stats("nope") is None
 
 
+class TestDeclaredBounds:
+    """declare_histogram fixes bucket bounds ahead of any observation."""
+
+    def test_declared_bounds_used_by_all_series(self):
+        registry = MetricsRegistry()
+        registry.declare_histogram("latency", (0.25, 0.5, 1.0))
+        registry.observe("latency", 0.3, host="a")
+        registry.observe("latency", 0.3, host="b")
+        for host in ("a", "b"):
+            buckets = registry.histogram_stats("latency", host=host)["buckets"]
+            assert set(buckets) == {"0.25", "0.5", "1.0", "+Inf"}
+
+    def test_declaration_beats_observe_time_buckets(self):
+        registry = MetricsRegistry()
+        registry.declare_histogram("latency", (1.0, 2.0))
+        registry.observe("latency", 0.5, buckets=(9.9,))  # ignored
+        buckets = registry.histogram_stats("latency")["buckets"]
+        assert set(buckets) == {"1.0", "2.0", "+Inf"}
+
+    def test_identical_redeclaration_is_a_noop(self):
+        registry = MetricsRegistry()
+        registry.declare_histogram("latency", (1.0, 2.0))
+        registry.declare_histogram("latency", (1.0, 2.0))
+        registry.observe("latency", 1.5)
+        assert registry.histogram_stats("latency")["count"] == 1
+
+    def test_conflicting_redeclaration_raises(self):
+        from repro.obs.metrics import HistogramBoundsError
+
+        registry = MetricsRegistry()
+        registry.declare_histogram("latency", (1.0, 2.0))
+        with pytest.raises(HistogramBoundsError, match="already fixed"):
+            registry.declare_histogram("latency", (1.0, 3.0))
+
+    def test_mismatch_after_first_observation_raises(self):
+        # Regression guard: the silent-footgun case the declaration API
+        # exists to catch — bounds fixed implicitly by a first
+        # observation, then a deployment declares different ones.
+        from repro.obs.metrics import HistogramBoundsError
+
+        registry = MetricsRegistry()
+        registry.observe("latency", 0.2)  # DEFAULT_BUCKETS now fixed
+        with pytest.raises(HistogramBoundsError, match="latency"):
+            registry.declare_histogram("latency", (1.0, 2.0))
+        registry.declare_histogram("latency", DEFAULT_BUCKETS)  # same: fine
+
+    def test_invalid_declarations_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="at least one"):
+            registry.declare_histogram("latency", ())
+        with pytest.raises(ValueError, match="strictly increasing"):
+            registry.declare_histogram("latency", (2.0, 1.0))
+        with pytest.raises(ValueError, match="strictly increasing"):
+            registry.declare_histogram("latency", (1.0, 1.0))
+
+
 class TestSnapshotAndReset:
     def test_snapshot_shape(self):
         registry = MetricsRegistry()

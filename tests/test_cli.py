@@ -341,3 +341,130 @@ class TestObservabilityFlags:
         summary = json.loads(captured.err)
         assert summary["events"] > 0
         assert all(json.loads(line) for line in log.read_text().splitlines())
+
+
+class TestSloCommand:
+    @pytest.fixture()
+    def dataset(self, tmp_path, capsys):
+        path = tmp_path / "world.json"
+        assert main(["generate", "--authors", "60", "--seed", "9", "--out", str(path)]) == 0
+        capsys.readouterr()
+        return path
+
+    def test_healthy_report_table(self, dataset, capsys):
+        assert main(["slo", "report", "--world", str(dataset), "--papers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "verdict" in out
+        assert "http-dblp.org" in out
+        assert "http-scholar.google.com" in out
+
+    def test_degrade_drives_burning_json(self, dataset, capsys):
+        import json
+
+        assert (
+            main(
+                [
+                    "slo",
+                    "report",
+                    "--world",
+                    str(dataset),
+                    "--papers",
+                    "4",
+                    "--degrade",
+                    "scholar.google.com",
+                    "--failure-rate",
+                    "0.6",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        report = json.loads(capsys.readouterr().out)
+        by_name = {slo["name"]: slo for slo in report["slos"]}
+        scholar = by_name["http-scholar.google.com"]
+        assert scholar["verdict"] == "burning"
+        assert any(alert["firing"] for alert in scholar["alerts"])
+        assert report["verdict"] == "burning"
+        assert by_name["http-dblp.org"]["verdict"] == "ok"
+
+    def test_unknown_degrade_host_errors(self, dataset, capsys):
+        assert (
+            main(
+                [
+                    "slo",
+                    "report",
+                    "--world",
+                    str(dataset),
+                    "--degrade",
+                    "no-such.example",
+                ]
+            )
+            == 1
+        )
+        assert "no-such.example" in capsys.readouterr().err
+
+
+class TestProfileCommand:
+    def test_flame_table_from_demo_log(self, tmp_path, capsys):
+        log = tmp_path / "events.jsonl"
+        assert (
+            main(["demo", "--authors", "60", "--seed", "9", "--log-json", str(log)])
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["profile", "--log", str(log)]) == 0
+        out = capsys.readouterr().out
+        lines = out.strip().splitlines()
+        assert lines[0].startswith("span")
+        assert any("pipeline.recommend" in line for line in lines)
+        assert any("executor.task" in line for line in lines)
+
+    def test_top_and_json(self, tmp_path, capsys):
+        import json
+
+        log = tmp_path / "events.jsonl"
+        assert (
+            main(["demo", "--authors", "60", "--seed", "9", "--log-json", str(log)])
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["profile", "--log", str(log), "--top", "3", "--json"]) == 0
+        profiles = json.loads(capsys.readouterr().out)
+        assert len(profiles) == 3
+        assert {"name", "calls", "virtual_self", "wall_self"} <= set(profiles[0])
+
+    def test_log_without_spans_errors(self, tmp_path, capsys):
+        log = tmp_path / "empty.jsonl"
+        log.write_text('{"event": "metric", "wall_time": 0.0}\n')
+        assert main(["profile", "--log", str(log)]) == 1
+        assert "span" in capsys.readouterr().err
+
+
+class TestMetricsParity:
+    def test_cli_metrics_matches_api_payload_keys(self, capsys):
+        """--metrics must expose every section the API metrics payload has."""
+        import json
+
+        assert (
+            main(
+                [
+                    "demo",
+                    "--authors",
+                    "60",
+                    "--seed",
+                    "9",
+                    "--metrics",
+                    "--warm-cache",
+                ]
+            )
+            == 0
+        )
+        summary = json.loads(capsys.readouterr().err)
+        # Same sections as GET /api/v1/metrics: registry snapshot parts
+        # plus the deployment's http/cache/retrieval/features stats.
+        assert {"counters", "gauges", "histograms", "http",
+                "cache", "retrieval", "features"} <= set(summary)
+        assert summary["http"]["dblp.org"]["requests"] > 0
+        assert summary["cache"]["name"] == "crawler"
+        assert summary["retrieval"]["store_entries"] >= 0
+        assert summary["features"]["features_built"] > 0
