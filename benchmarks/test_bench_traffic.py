@@ -1,0 +1,219 @@
+"""EXP-TRAFFIC — admission control under a 2x-capacity burst.
+
+The same seeded open-loop arrival schedule (a multi-tenant mix of
+recommendation and health traffic with a burst window) is replayed
+twice against identical deployments:
+
+- **naive**: no admission limits — every request is queued and served,
+  the open-loop backlog grows without bound during the burst, and the
+  p95 served latency blows through the SLO threshold;
+- **admission**: per-tenant token buckets plus a bounded queue shed the
+  overload with typed 429/503 envelopes carrying ``retry_after``, and
+  the p95 of what *is* served stays inside the SLO.
+
+A second experiment replays the admission run at 1, 2 and 8 logical
+servers and checks the serving invariant: worker count changes *when*
+requests are served (and therefore which ones shed), never *what* any
+admitted request answers — every served body is bit-identical to a
+direct unthrottled dispatch of the same request.
+
+Everything runs on the virtual clock, so every number in
+``BENCH_traffic.json`` (QPS, shed rate, p50/p95/p99) reproduces
+exactly; only ``wall_seconds`` is physical.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.api.handlers import MinaretApi
+from repro.scholarly.registry import ScholarlyHub
+from repro.serving import (
+    Burst,
+    LoadGenerator,
+    RequestTemplate,
+    ServingConfig,
+    ServingFrontend,
+    TenantLoad,
+    TenantPolicy,
+    canonical_body,
+    manuscript_templates,
+    request_key,
+    run_load,
+)
+from benchmarks.conftest import print_table
+
+OUTPUT = Path(__file__).resolve().parents[1] / "BENCH_traffic.json"
+
+OFFERED = 50
+BASE_RATE = 0.5  # req/s of steady traffic
+BURST = Burst(start=20.0, duration=40.0, multiplier=8.0)
+LOAD_SEED = 13
+TENANTS = (TenantLoad("chairs", 3.0), TenantLoad("editors", 1.0))
+#: Served-latency SLO threshold (virtual seconds).  The admission run
+#: must keep p95 at or below it; the naive run must blow through it.
+SLO_THRESHOLD = 400.0
+
+ADMISSION = dict(
+    queue_capacity=6,
+    default_policy=TenantPolicy(capacity=8.0, refill_rate=0.25),
+    degraded_serving=False,
+    slo_threshold=SLO_THRESHOLD,
+)
+#: "No admission control": buckets and queue far beyond the offered load.
+NAIVE = dict(
+    queue_capacity=1_000_000,
+    default_policy=TenantPolicy(capacity=1e9, refill_rate=1e9),
+    degraded_serving=False,
+    slo_threshold=SLO_THRESHOLD,
+)
+
+
+def _merge_output(section: str, payload: dict) -> None:
+    record = {}
+    if OUTPUT.exists():
+        record = json.loads(OUTPUT.read_text(encoding="utf-8"))
+    record[section] = payload
+    OUTPUT.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {OUTPUT.name} [{section}]")
+
+
+def _templates(world):
+    templates = manuscript_templates(world, count=3)
+    templates.append(RequestTemplate("GET", "/api/v1/health", weight=0.5))
+    return templates
+
+
+def _arrivals(world):
+    return LoadGenerator(
+        _templates(world),
+        tenants=TENANTS,
+        rate=BASE_RATE,
+        seed=LOAD_SEED,
+        bursts=(BURST,),
+    ).arrivals(count=OFFERED)
+
+
+def _run(world, config, workers):
+    api = MinaretApi(ScholarlyHub.deploy(world))
+    frontend = ServingFrontend(api, ServingConfig(**config))
+    started = time.perf_counter()
+    report = run_load(frontend, _arrivals(world), workers=workers)
+    wall = time.perf_counter() - started
+    return report, wall
+
+
+def _report_row(name, report, wall):
+    d = report.to_dict()
+    return [
+        name,
+        report.offered,
+        report.served,
+        sum(report.shed.values()),
+        report.degraded,
+        f"{d['shed_rate']:.3f}",
+        f"{d['offered_qps']:.4f}",
+        f"{d['served_qps']:.4f}",
+        f"{d['latency']['p50']:.1f}",
+        f"{d['latency']['p95']:.1f}",
+        f"{d['latency']['p99']:.1f}",
+        f"{wall:.2f}s",
+    ]
+
+
+def test_bench_traffic_burst_shedding(bench_world):
+    naive_report, naive_wall = _run(bench_world, NAIVE, workers=2)
+    admission_report, admission_wall = _run(bench_world, ADMISSION, workers=2)
+
+    print_table(
+        "EXP-TRAFFIC: 8x burst over steady traffic, 2 workers",
+        ["mode", "offered", "served", "shed", "degraded", "shed-rate",
+         "offered-qps", "served-qps", "p50", "p95", "p99", "wall"],
+        [
+            _report_row("naive", naive_report, naive_wall),
+            _report_row("admission", admission_report, admission_wall),
+        ],
+    )
+
+    # The naive run serves everything — and pays for it in the tail.
+    assert naive_report.served == OFFERED
+    assert naive_report.latency["p95"] > SLO_THRESHOLD
+
+    # Admission sheds the overload with typed envelopes instead.
+    sheds = [r for r in admission_report.records if not r.admitted]
+    rate_limited = [r for r in sheds if r.reason == "rate_limited"]
+    assert rate_limited, "the burst must overrun the token buckets"
+    for shed in rate_limited:
+        assert shed.status == 429
+        assert shed.response.body["reason"] == "rate_limited"
+        assert shed.retry_after is not None and shed.retry_after > 0
+    for shed in sheds:
+        if shed.reason == "queue_full":
+            assert shed.status == 503
+            assert shed.retry_after is not None
+
+    # What *is* admitted stays within the latency SLO.
+    assert admission_report.served > 0
+    assert admission_report.latency["p95"] <= SLO_THRESHOLD
+    assert admission_report.slo is not None
+    # The naive run, measured against the same objective, burns.
+    assert naive_report.slo["verdict"] == "burning"
+
+    _merge_output(
+        "burst",
+        {
+            "offered": OFFERED,
+            "burst_multiplier": BURST.multiplier,
+            "slo_threshold": SLO_THRESHOLD,
+            "naive": {
+                **naive_report.to_dict(),
+                "wall_seconds": round(naive_wall, 3),
+            },
+            "admission": {
+                **admission_report.to_dict(),
+                "wall_seconds": round(admission_wall, 3),
+            },
+        },
+    )
+
+
+def test_bench_traffic_worker_invariance(bench_world):
+    # Direct unthrottled dispatch is the reference answer per request.
+    reference_api = MinaretApi(ScholarlyHub.deploy(bench_world))
+    reference = {}
+    for template in _templates(bench_world):
+        key = request_key(template.method, template.path, template.body)
+        response = reference_api.handle(template.method, template.path, template.body)
+        assert response.ok
+        reference[key] = canonical_body(response.body)
+
+    rows = []
+    sweep = {}
+    for workers in (1, 2, 8):
+        report, wall = _run(bench_world, ADMISSION, workers=workers)
+        checked = 0
+        for record in report.records:
+            if not record.admitted or record.response is None:
+                continue
+            if record.path == "/api/v1/health":
+                continue  # health bodies carry live SLO state by design
+            key = request_key(record.method, record.path, record.body)
+            assert canonical_body(record.response.body) == reference[key]
+            checked += 1
+        assert checked > 0
+        sweep[str(workers)] = {
+            **report.to_dict(),
+            "bodies_checked": checked,
+            "wall_seconds": round(wall, 3),
+        }
+        rows.append(_report_row(f"workers={workers}", report, wall))
+
+    print_table(
+        "EXP-TRAFFIC: admission run at 1/2/8 workers (bodies bit-identical)",
+        ["mode", "offered", "served", "shed", "degraded", "shed-rate",
+         "offered-qps", "served-qps", "p50", "p95", "p99", "wall"],
+        rows,
+    )
+    _merge_output("worker_invariance", sweep)

@@ -6,6 +6,11 @@ Endpoints
     Liveness and version.
 ``GET  /api/v1/sources``
     Registered scholarly sources with per-host request statistics.
+``GET  /api/v1/serving``
+    The serving front-end's admission statistics — queue depth,
+    admitted/shed/degraded counts, per-tenant token-bucket state and
+    served-latency quantiles (``{"enabled": false}`` when the
+    deployment runs unfronted; see :mod:`repro.serving`).
 ``POST /api/v1/expand``
     Semantic keyword expansion: ``{keywords, max_depth?, min_score?}``.
 ``POST /api/v1/verify-authors``
@@ -53,7 +58,13 @@ from __future__ import annotations
 import threading
 import time
 
-from repro.api.router import ApiError, ApiRequest, ApiResponse, Router
+from repro.api.router import (
+    ApiError,
+    ApiRequest,
+    ApiResponse,
+    Router,
+    ValidationError,
+)
 from repro.api.serialization import (
     config_from_payload,
     manuscript_from_payload,
@@ -81,6 +92,27 @@ from repro.ontology.graph import TopicOntology
 #: off — a client built with ``trace_capacity=0`` would otherwise leave
 #: ``GET /api/v1/trace`` permanently empty.
 DEFAULT_TRACE_CAPACITY = 256
+
+
+def _as_int(value: object, name: str) -> int:
+    """Coerce a client-supplied field to int or raise a typed 400.
+
+    Since the router stopped laundering bare ``ValueError`` into 400s,
+    every handler-side conversion of caller input must raise the typed
+    :class:`ValidationError` itself.
+    """
+    try:
+        return int(value)  # type: ignore[arg-type]
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(f"{name} must be an integer, got {value!r}") from exc
+
+
+def _as_float(value: object, name: str) -> float:
+    """Coerce a client-supplied field to float or raise a typed 400."""
+    try:
+        return float(value)  # type: ignore[arg-type]
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(f"{name} must be a number, got {value!r}") from exc
 
 
 class MinaretApi:
@@ -144,9 +176,11 @@ class MinaretApi:
         # every healthy request's span tree stays inspectable via /trace.
         if tail_retention is not None:
             self._obs.tracer.enable_tail_retention(tail_retention)
+        self._serving = None
         self._router = Router()
         self._router.add("GET", "/api/v1/health", self._health)
         self._router.add("GET", "/api/v1/sources", self._source_stats)
+        self._router.add("GET", "/api/v1/serving", self._serving_stats)
         self._router.add("GET", "/api/v1/metrics", self._metrics)
         self._router.add("GET", "/api/v1/slo", self._slo)
         self._router.add("GET", "/api/v1/profile", self._profile)
@@ -163,9 +197,28 @@ class MinaretApi:
         return self._obs
 
     @property
+    def sources(self):
+        """The deployment's scholarly source bundle (the hub)."""
+        return self._sources
+
+    @property
     def plane(self):
         """The deployment's shared retrieval plane (``None`` until warm)."""
         return self._plane
+
+    @property
+    def serving(self):
+        """The attached serving front-end (``None`` when unfronted)."""
+        return self._serving
+
+    def attach_serving(self, frontend) -> None:
+        """Register the deployment's serving front-end.
+
+        Called by :class:`~repro.serving.ServingFrontend` on
+        construction so ``GET /api/v1/serving`` reports admission-queue
+        and shed/degrade statistics for the deployment.
+        """
+        self._serving = frontend
 
     def _plane_for(self, config):
         """The shared plane when ``config`` wants the warm path."""
@@ -296,7 +349,13 @@ class MinaretApi:
             features=(
                 self._plane.feature_store() if self._plane is not None else None
             ),
+            serving=self._serving,
         )
+
+    def _serving_stats(self, request: ApiRequest) -> dict:
+        if self._serving is None:
+            return {"enabled": False}
+        return {"enabled": True, **self._serving.stats()}
 
     def _slo(self, request: ApiRequest) -> dict:
         return slo_report_to_payload(self._obs.slo)
@@ -341,8 +400,8 @@ class MinaretApi:
         if not isinstance(keywords, list) or not keywords:
             raise ApiError(400, "keywords must be a non-empty list")
         config = ExpansionConfig(
-            max_depth=int(request.body.get("max_depth", 2)),
-            min_score=float(request.body.get("min_score", 0.5)),
+            max_depth=_as_int(request.body.get("max_depth", 2), "max_depth"),
+            min_score=_as_float(request.body.get("min_score", 0.5), "min_score"),
         )
         expander = KeywordExpander(self._ontology, config)
         expansions = expander.expand([str(k) for k in keywords])
@@ -365,11 +424,16 @@ class MinaretApi:
         verifier = IdentityVerifier(self._sources, resolver=self._resolver)
         verified = []
         for author_payload in authors_payload:
-            author = ManuscriptAuthor(
-                name=str(author_payload["name"]),
-                affiliation=str(author_payload.get("affiliation", "")),
-                country=str(author_payload.get("country", "")),
-            )
+            try:
+                author = ManuscriptAuthor(
+                    name=str(author_payload["name"]),
+                    affiliation=str(author_payload.get("affiliation", "")),
+                    country=str(author_payload.get("country", "")),
+                )
+            except (KeyError, TypeError, AttributeError) as exc:
+                raise ValidationError(
+                    f"invalid author entry {author_payload!r}: each needs a name"
+                ) from exc
             try:
                 result = verifier.verify(author)
             except AmbiguousIdentityError as exc:
@@ -403,7 +467,7 @@ class MinaretApi:
         config = config_from_payload(request.body.get("config", {}))
         top_k = request.body.get("top_k")
         if top_k is not None:
-            top_k = int(top_k)
+            top_k = _as_int(top_k, "top_k")
             if top_k < 1:
                 raise ApiError(400, "top_k must be >= 1")
         pipeline = Minaret(
@@ -437,7 +501,7 @@ class MinaretApi:
             solver_by_name(solver_name)
         except ValueError as exc:
             raise ApiError(400, str(exc)) from exc
-        workers = int(request.body.get("workers", 1))
+        workers = _as_int(request.body.get("workers", 1), "workers")
         if workers < 1:
             raise ApiError(400, "workers must be >= 1")
         on_error = str(request.body.get("on_error", "raise"))
@@ -445,11 +509,17 @@ class MinaretApi:
             raise ApiError(400, "on_error must be 'raise' or 'skip'")
         if "capacity" in request.body and "max_load" in request.body:
             raise ApiError(400, "pass capacity or max_load, not both")
-        capacity = int(request.body.get("capacity", request.body.get("max_load", 2)))
+        capacity = _as_int(
+            request.body.get("capacity", request.body.get("max_load", 2)), "capacity"
+        )
         try:
             objective = AssignmentObjective(
-                balance_weight=float(request.body.get("balance_weight", 0.0)),
-                coverage_weight=float(request.body.get("coverage_weight", 0.0)),
+                balance_weight=_as_float(
+                    request.body.get("balance_weight", 0.0), "balance_weight"
+                ),
+                coverage_weight=_as_float(
+                    request.body.get("coverage_weight", 0.0), "coverage_weight"
+                ),
             )
         except ValueError as exc:
             raise ApiError(400, str(exc)) from exc
@@ -471,8 +541,8 @@ class MinaretApi:
             conference = assign_conference(
                 pipeline,
                 entries,
-                reviewers_per_paper=int(
-                    request.body.get("reviewers_per_paper", 3)
+                reviewers_per_paper=_as_int(
+                    request.body.get("reviewers_per_paper", 3), "reviewers_per_paper"
                 ),
                 capacity=capacity,
                 top_k=request.body.get("top_k"),

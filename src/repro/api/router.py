@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from collections.abc import Callable
 from dataclasses import dataclass, field
+from urllib.parse import unquote_plus
 
 
 @dataclass(frozen=True)
@@ -51,6 +52,19 @@ class ApiError(Exception):
         self.message = message
 
 
+class ValidationError(ApiError):
+    """A typed 400: the *client's* input failed validation.
+
+    Handlers raise this (or :class:`ApiError`) for anything the caller
+    can fix.  A bare ``ValueError``/``KeyError``/``TypeError`` escaping
+    a handler is treated as a handler bug and surfaces as a 500 — it is
+    never laundered into a client error.
+    """
+
+    def __init__(self, message: str):
+        super().__init__(400, message)
+
+
 Handler = Callable[[ApiRequest], dict]
 
 
@@ -86,12 +100,12 @@ class Router:
         path, _, query_string = path.partition("?")
         query = _parse_query(query_string)
         path_segments = _split(path)
-        path_exists = False
+        allowed: set[str] = set()
         for route_method, template_segments, handler in self._routes:
             params = _match(template_segments, path_segments)
             if params is None:
                 continue
-            path_exists = True
+            allowed.add(route_method)
             if route_method != method:
                 continue
             request = ApiRequest(
@@ -102,13 +116,23 @@ class Router:
                 query=query,
             )
             return self._invoke(handler, request)
-        if path_exists:
-            return ApiResponse(405, {"error": f"method {method} not allowed"})
+        if allowed:
+            # The JSON-envelope equivalent of the Allow header: tell the
+            # caller which methods *would* have matched.
+            return ApiResponse(
+                405,
+                {
+                    "error": f"method {method} not allowed",
+                    "allow": sorted(allowed),
+                },
+            )
         return ApiResponse(404, {"error": f"no route for {path!r}"})
 
     @staticmethod
     def _invoke(handler: Handler, request: ApiRequest) -> ApiResponse:
         from repro.core.errors import SourceUnavailableError
+        from repro.obs import current_span, get_obs
+        from repro.obs.spans import Span
 
         try:
             result = handler(request)
@@ -119,8 +143,35 @@ class Router:
             # 503, so callers see degradation instead of a crash — and
             # the telemetry chokepoint pins the trace for retention.
             return ApiResponse(503, {"error": str(exc)})
-        except (ValueError, KeyError, TypeError) as exc:
-            return ApiResponse(400, {"error": str(exc)})
+        except Exception as exc:  # noqa: BLE001 — the 500 boundary
+            # A handler bug must not masquerade as a client error: only
+            # typed ApiError/ValidationError map to 4xx.  Anything else
+            # is a crash — emit an event and pin the trace so tail-based
+            # retention keeps the evidence.
+            obs = get_obs()
+            obs.emit(
+                "api.handler_crashed",
+                method=request.method,
+                path=request.path,
+                exception=type(exc).__name__,
+                message=str(exc),
+            )
+            obs.inc(
+                "api_handler_crashes_total",
+                route=request.path,
+                exception=type(exc).__name__,
+            )
+            span = current_span()
+            if isinstance(span, Span):
+                obs.tracer.mark_retain(span.trace_id)
+            return ApiResponse(
+                500,
+                {
+                    "error": "internal server error",
+                    "exception": type(exc).__name__,
+                    "detail": str(exc),
+                },
+            )
         return ApiResponse(200, result)
 
     def routes(self) -> list[tuple[str, str]]:
@@ -136,12 +187,20 @@ def _split(path: str) -> list[str]:
 
 
 def _parse_query(query_string: str) -> dict[str, str]:
+    """Parse ``k=v&...`` with URL semantics.
+
+    Percent-escapes and ``+`` decode in both keys and values
+    (``?q=deep%20learning`` and ``?q=deep+learning`` both reach the
+    handler as ``"deep learning"``).  Duplicate keys — including ones
+    that only collide *after* decoding — resolve deterministically to
+    the lexically last occurrence.
+    """
     query: dict[str, str] = {}
     for piece in query_string.split("&"):
         if not piece:
             continue
         key, _, value = piece.partition("=")
-        query[key] = value
+        query[unquote_plus(key)] = unquote_plus(value)
     return query
 
 

@@ -30,6 +30,12 @@ Subcommands
 ``minaret profile --log events.jsonl``
     Post-hoc deterministic profiler: roll a ``--log-json`` telemetry
     log's span ends up into a per-phase self-time flame table.
+``minaret serve-bench [--rate 8 --burst 20:10:4 ...]``
+    Drive a seeded open-loop traffic mix through the admission-controlled
+    serving front-end and print the load report: offered/served QPS,
+    shed rate by reason, degraded serves, p50/p95/p99 served latency
+    and the serving SLO verdict.  Deterministic on the virtual clock —
+    the same seed reproduces the identical report.
 
 ``demo``, ``recommend`` and ``assign`` additionally accept
 ``--log-json PATH`` (stream structured telemetry events to a JSONL
@@ -77,6 +83,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_slo(args)
     if args.command == "profile":
         return _run_profile(args)
+    if args.command == "serve-bench":
+        return _run_serve_bench(args)
     parser.print_help()
     return 2
 
@@ -278,6 +286,60 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     prof.add_argument(
         "--json", action="store_true", help="emit profiles as JSON"
+    )
+    bench = subparsers.add_parser(
+        "serve-bench",
+        help="benchmark the admission-controlled serving front-end",
+    )
+    bench.add_argument("--authors", type=int, default=120, help="world size")
+    bench.add_argument("--seed", type=int, default=5, help="world seed")
+    bench.add_argument(
+        "--requests", type=int, default=200, help="offered requests to schedule"
+    )
+    bench.add_argument(
+        "--rate", type=float, default=8.0, help="baseline arrival rate (req/s)"
+    )
+    bench.add_argument(
+        "--load-seed", type=int, default=13, help="arrival-schedule seed"
+    )
+    bench.add_argument(
+        "--burst",
+        action="append",
+        default=None,
+        metavar="START:DURATION:MULTIPLIER",
+        help="rate-multiplier window, repeatable (e.g. 20:10:4)",
+    )
+    bench.add_argument(
+        "--tenant",
+        action="append",
+        default=None,
+        metavar="NAME:WEIGHT",
+        help="traffic-mix tenant, repeatable (default: chairs:3, editors:1)",
+    )
+    bench.add_argument("--workers", type=int, default=2, help="logical servers")
+    bench.add_argument("--queue-capacity", type=int, default=16)
+    bench.add_argument(
+        "--bucket-capacity", type=float, default=10.0, help="per-tenant burst tokens"
+    )
+    bench.add_argument(
+        "--refill-rate", type=float, default=4.0, help="per-tenant tokens/s"
+    )
+    bench.add_argument(
+        "--slo-threshold",
+        type=float,
+        default=60.0,
+        help="served-latency SLO threshold (virtual seconds)",
+    )
+    bench.add_argument(
+        "--no-degrade",
+        action="store_true",
+        help="shed instead of serving warm degraded responses",
+    )
+    bench.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    bench.add_argument(
+        "--out", default=None, metavar="PATH", help="also write the JSON report to PATH"
     )
     for sub in (demo, rec, assign):
         sub.add_argument(
@@ -713,6 +775,110 @@ def _run_slo(args) -> int:
             f"{status['good_ratio']:8.4f} {status['objective']:9.4f} "
             f"{status['events']:7.0f} {status['budget_consumed']:7.2f} "
             f"{', '.join(firing) or '-'}"
+        )
+    return 0
+
+
+def _run_serve_bench(args) -> int:
+    """Benchmark the serving front-end under a seeded traffic mix.
+
+    Generates a world, deploys it behind the API, wraps the API in an
+    admission-controlled :class:`~repro.serving.frontend.ServingFrontend`,
+    and replays a deterministic open-loop arrival schedule through the
+    discrete-event harness.  Everything runs on the virtual clock, so
+    the report — every admit, shed, degrade and latency quantile — is
+    bit-reproducible for a given seed.
+    """
+    from repro.api.handlers import MinaretApi
+    from repro.serving import (
+        Burst,
+        LoadGenerator,
+        RequestTemplate,
+        ServingConfig,
+        ServingFrontend,
+        TenantLoad,
+        TenantPolicy,
+        manuscript_templates,
+        run_load,
+    )
+
+    try:
+        bursts = tuple(
+            Burst(*(float(part) for part in spec.split(":")))
+            for spec in (args.burst or ())
+        )
+        tenants = tuple(
+            TenantLoad(name, float(weight))
+            for name, _, weight in (
+                spec.partition(":") for spec in (args.tenant or ())
+            )
+        ) or (TenantLoad("chairs", 3.0), TenantLoad("editors", 1.0))
+    except (TypeError, ValueError) as exc:
+        print(f"error: bad --burst/--tenant spec: {exc}", file=sys.stderr)
+        return 1
+    world = generate_world(WorldConfig(author_count=args.authors, seed=args.seed))
+    hub = ScholarlyHub.deploy(world)
+    api = MinaretApi(hub)
+    templates = manuscript_templates(world, count=3)
+    templates.append(RequestTemplate("GET", "/api/v1/health", weight=0.5))
+    generator = LoadGenerator(
+        templates,
+        tenants=tenants,
+        rate=args.rate,
+        seed=args.load_seed,
+        bursts=bursts,
+    )
+    frontend = ServingFrontend(
+        api,
+        ServingConfig(
+            queue_capacity=args.queue_capacity,
+            default_policy=TenantPolicy(
+                capacity=args.bucket_capacity, refill_rate=args.refill_rate
+            ),
+            degraded_serving=not args.no_degrade,
+            slo_threshold=args.slo_threshold,
+        ),
+    )
+    report = run_load(
+        frontend, generator.arrivals(count=args.requests), workers=args.workers
+    )
+    payload = report.to_dict()
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(
+        f"serve-bench: {report.offered} offered @ {payload['offered_qps']:g} "
+        f"req/s over {payload['duration']:g}s (virtual), {args.workers} worker(s)"
+    )
+    shed_rendered = (
+        ", ".join(f"{reason}={count}" for reason, count in sorted(report.shed.items()))
+        or "-"
+    )
+    print(
+        f"  served={report.served} degraded={report.degraded} "
+        f"shed={sum(report.shed.values())} ({shed_rendered}) "
+        f"shed-rate={payload['shed_rate']:.3f}"
+    )
+    latency = payload["latency"]
+    print(
+        f"  served latency (virtual s): p50={latency['p50']:g} "
+        f"p95={latency['p95']:g} p99={latency['p99']:g} max={latency['max']:g}"
+    )
+    for name, tenant in sorted(report.per_tenant.items()):
+        print(
+            f"  tenant {name:10s} submitted={tenant.get('submitted', 0):4d} "
+            f"served={tenant.get('served', 0):4d} shed={tenant.get('shed', 0):4d} "
+            f"degraded={tenant.get('degraded', 0):4d}"
+        )
+    if report.slo is not None:
+        print(
+            f"  serving SLO: {report.slo['verdict']} "
+            f"(good={report.slo['good_ratio']:.4f}, "
+            f"objective={report.slo['objective']:g})"
         )
     return 0
 

@@ -102,14 +102,16 @@ def deployment_metrics(
     cache=None,
     plane=None,
     features=None,
+    serving=None,
 ) -> dict:
     """The canonical metrics payload for one deployment.
 
     ``obs`` is the deployment's :class:`~repro.obs.Observability`;
-    ``http``/``cache``/``plane``/``features`` are the simulated client,
-    crawler response cache, warm retrieval plane and scoring feature
-    store, each optional.  Served verbatim by ``GET /api/v1/metrics``
-    and printed by the CLI's ``--metrics``.
+    ``http``/``cache``/``plane``/``features``/``serving`` are the
+    simulated client, crawler response cache, warm retrieval plane,
+    scoring feature store and serving front-end, each optional.  Served
+    verbatim by ``GET /api/v1/metrics`` and printed by the CLI's
+    ``--metrics``.
     """
     hosts = {}
     if http is not None:
@@ -133,4 +135,5 @@ def deployment_metrics(
         "cache": cache_stats,
         "retrieval": plane.stats() if plane is not None else None,
         "features": features.stats() if features is not None else None,
+        "serving": serving.stats() if serving is not None else None,
     }

@@ -1,0 +1,54 @@
+"""``repro.serving`` — the admission-controlled serving front-end.
+
+The traffic half of the production story: a bounded admission queue and
+per-tenant token-bucket fairness in front of the API
+(:mod:`repro.serving.frontend`), seeded open-loop load generation with
+multi-tenant mixes and burst windows (:mod:`repro.serving.loadgen`),
+and a deterministic discrete-event harness that replays a schedule
+through logical servers on the virtual clock
+(:mod:`repro.serving.harness`).  Overload sheds with typed 429/503
+envelopes carrying ``retry_after`` — or degrades onto warm cached
+responses marked ``degraded: true`` — while everything feeds the
+:mod:`repro.obs` telemetry plane: queue-depth gauges, shed/admit
+counters, served-latency histograms and a serving SLO.
+"""
+
+from repro.serving.frontend import (
+    DEGRADABLE_PATHS,
+    Admission,
+    ServingConfig,
+    ServingFrontend,
+    TenantPolicy,
+    canonical_body,
+    request_key,
+    serving_slo,
+)
+from repro.serving.harness import LoadReport, latency_summary, run_load
+from repro.serving.loadgen import (
+    Arrival,
+    Burst,
+    LoadGenerator,
+    RequestTemplate,
+    TenantLoad,
+    manuscript_templates,
+)
+
+__all__ = [
+    "DEGRADABLE_PATHS",
+    "Admission",
+    "Arrival",
+    "Burst",
+    "LoadGenerator",
+    "LoadReport",
+    "RequestTemplate",
+    "ServingConfig",
+    "ServingFrontend",
+    "TenantLoad",
+    "TenantPolicy",
+    "canonical_body",
+    "latency_summary",
+    "manuscript_templates",
+    "request_key",
+    "run_load",
+    "serving_slo",
+]

@@ -70,9 +70,15 @@ class TokenBucket:
             return self._tokens
 
     def try_acquire(self, tokens: float = 1.0) -> bool:
-        """Take ``tokens`` if available; return whether it succeeded."""
-        if tokens <= 0:
-            raise ValueError(f"tokens must be > 0, got {tokens}")
+        """Take ``tokens`` if available; return whether it succeeded.
+
+        Validation mirrors :meth:`time_until_available` exactly: a
+        request for more tokens than the bucket can ever hold raises
+        instead of returning ``False`` forever — an admission loop
+        polling the pair sees one consistent contract, never a
+        silent-spin/crash split.
+        """
+        self._validate(tokens)
         with self._lock:
             self._refill()
             if self._tokens >= tokens:
@@ -90,20 +96,29 @@ class TokenBucket:
         """Virtual seconds until ``tokens`` will be available (0 if now).
 
         The crawler uses this to compute a Retry-After style backoff
-        instead of polling.
+        instead of polling.  Whenever this returns a finite bound,
+        :meth:`try_acquire` for the same ``tokens`` is guaranteed to
+        succeed once the clock has advanced that far (absent competing
+        acquirers).
         """
-        if tokens <= 0:
-            raise ValueError(f"tokens must be > 0, got {tokens}")
-        if tokens > self._capacity:
-            raise ValueError(
-                f"requested {tokens} tokens exceeds capacity {self._capacity}"
-            )
+        self._validate(tokens)
         with self._lock:
             self._refill()
             deficit = tokens - self._tokens
             if deficit <= 0:
                 return 0.0
             return deficit / self._refill_rate
+
+    def _validate(self, tokens: float) -> None:
+        # One validation contract for try_acquire and
+        # time_until_available: both reject non-positive requests and
+        # requests that can never be satisfied at any future time.
+        if tokens <= 0:
+            raise ValueError(f"tokens must be > 0, got {tokens}")
+        if tokens > self._capacity:
+            raise ValueError(
+                f"requested {tokens} tokens exceeds capacity {self._capacity}"
+            )
 
     def _refill(self) -> None:
         # Caller holds self._lock.

@@ -34,6 +34,38 @@ class TestHealth:
 
     def test_routes_exposed(self, api):
         assert ("POST", "/api/v1/recommend") in api.routes()
+        assert ("GET", "/api/v1/serving") in api.routes()
+
+
+class TestInputValidation:
+    """Client-input coercion must raise typed 400s, never crash to 500.
+
+    Regression for the router no longer laundering bare ValueError:
+    every handler coercion site now goes through ``_as_int``/
+    ``_as_float`` (or raises ``ValidationError`` directly).
+    """
+
+    @pytest.mark.parametrize(
+        ("path", "body"),
+        [
+            ("/api/v1/expand", {"keywords": ["RDF"], "max_depth": "deep"}),
+            ("/api/v1/expand", {"keywords": ["RDF"], "min_score": "high"}),
+            ("/api/v1/recommend", {"manuscript": None, "top_k": "many"}),
+            ("/api/v1/assign", {"manuscripts": [], "workers": "all"}),
+            ("/api/v1/assign", {"manuscripts": [], "capacity": []}),
+            ("/api/v1/assign", {"manuscripts": [], "balance_weight": "heavy"}),
+        ],
+    )
+    def test_bad_numeric_input_is_400(self, api, path, body):
+        response = api.handle("POST", path, body)
+        assert response.status == 400
+        assert "error" in response.body
+
+    def test_malformed_author_entry_is_400(self, api):
+        response = api.handle(
+            "POST", "/api/v1/verify-authors", {"authors": ["not a dict"]}
+        )
+        assert response.status == 400
 
 
 class TestExpand:

@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.api.router import ApiError, ApiRequest, Router
+from repro.api.router import ApiError, ApiRequest, Router, ValidationError
+from repro.obs import Observability, use
 
 
 @pytest.fixture()
@@ -30,6 +31,20 @@ class TestDispatch:
     def test_wrong_method_405(self, router):
         assert router.dispatch("DELETE", "/things").status == 405
 
+    def test_405_lists_allowed_methods(self, router):
+        # /things is registered under GET and POST; the 405 envelope
+        # must advertise both, sorted, like an Allow header would.
+        response = router.dispatch("DELETE", "/things")
+        assert response.status == 405
+        assert response.body["allow"] == ["GET", "POST"]
+
+    def test_405_allow_excludes_other_paths(self, router):
+        # /things/{id} is GET-only; its 405 must not leak methods
+        # registered on sibling paths.
+        response = router.dispatch("POST", "/things/42")
+        assert response.status == 405
+        assert response.body["allow"] == ["GET"]
+
     def test_method_case_insensitive(self, router):
         assert router.dispatch("get", "/things").ok
 
@@ -43,11 +58,11 @@ class TestErrors:
         assert response.status == 400
         assert "name" in response.body["error"]
 
-    def test_value_error_becomes_400(self):
+    def test_validation_error_becomes_400(self):
         router = Router()
 
         def boom(request):
-            raise ValueError("bad input")
+            raise ValidationError("bad input")
 
         router.add("GET", "/boom", boom)
         response = router.dispatch("GET", "/boom")
@@ -62,6 +77,86 @@ class TestErrors:
 
         router.add("GET", "/c", conflict)
         assert router.dispatch("GET", "/c").status == 409
+
+    def test_value_error_is_a_crash_not_a_client_error(self):
+        # Regression: bare ValueError used to be laundered into a 400,
+        # hiding handler bugs behind "bad request".  It must be a 500.
+        router = Router()
+
+        def buggy(request):
+            raise ValueError("off-by-one in the handler")
+
+        router.add("GET", "/buggy", buggy)
+        with use(Observability()):
+            response = router.dispatch("GET", "/buggy")
+        assert response.status == 500
+        assert response.body["error"] == "internal server error"
+        assert response.body["exception"] == "ValueError"
+
+    def test_crash_emits_event_and_counter(self):
+        router = Router()
+
+        def explode(request):
+            raise RuntimeError("kaboom")
+
+        router.add("POST", "/explode", explode)
+        obs = Observability()
+        with use(obs):
+            response = router.dispatch("POST", "/explode", {"x": 1})
+        assert response.status == 500
+        assert response.body["exception"] == "RuntimeError"
+        assert response.body["detail"] == "kaboom"
+        events = obs.ring.events("api.handler_crashed")
+        assert len(events) == 1
+        assert events[0].fields["exception"] == "RuntimeError"
+        assert events[0].fields["path"] == "/explode"
+        crashes = obs.metrics.counter_value(
+            "api_handler_crashes_total",
+            route="/explode",
+            exception="RuntimeError",
+        )
+        assert crashes == 1
+
+
+class TestQueryParsing:
+    @pytest.fixture()
+    def echo_router(self):
+        r = Router()
+        r.add("GET", "/echo", lambda req: dict(req.query))
+        return r
+
+    @pytest.mark.parametrize(
+        ("query", "expected"),
+        [
+            # plain pairs
+            ("a=1&b=2", {"a": "1", "b": "2"}),
+            # percent-escapes decode in values...
+            ("q=deep%20learning", {"q": "deep learning"}),
+            # ...and in keys
+            ("my%20key=v", {"my key": "v"}),
+            # '+' is a space, same as %20
+            ("q=deep+learning", {"q": "deep learning"}),
+            # escaped reserved characters survive decoding
+            ("q=a%3Db%26c", {"q": "a=b&c"}),
+            # value-less and empty-value keys
+            ("flag&x=", {"flag": "", "x": ""}),
+            # duplicate keys: last occurrence wins, deterministically
+            ("k=first&k=last", {"k": "last"}),
+            # keys that only collide *after* decoding also last-win
+            ("a%20b=1&a+b=2", {"a b": "2"}),
+            # empty pieces are skipped
+            ("&&a=1&&", {"a": "1"}),
+            ("", {}),
+        ],
+    )
+    def test_decoding_table(self, echo_router, query, expected):
+        response = echo_router.dispatch("GET", f"/echo?{query}")
+        assert response.ok
+        assert response.body == expected
+
+    def test_query_ignored_for_route_matching(self, echo_router):
+        assert echo_router.dispatch("GET", "/echo?x=1").ok
+        assert echo_router.dispatch("GET", "/echo").ok
 
 
 class TestRegistration:

@@ -468,3 +468,52 @@ class TestMetricsParity:
         assert summary["cache"]["name"] == "crawler"
         assert summary["retrieval"]["store_entries"] >= 0
         assert summary["features"]["features_built"] > 0
+
+
+class TestServeBenchCommand:
+    ARGS = [
+        "serve-bench",
+        "--authors", "60",
+        "--seed", "9",
+        "--requests", "40",
+        "--rate", "4",
+        "--burst", "5:5:4",
+        "--load-seed", "13",
+    ]
+
+    def test_table_report(self, capsys):
+        assert main(self.ARGS) == 0
+        output = capsys.readouterr().out
+        assert "serve-bench: 40 offered" in output
+        assert "served latency" in output
+        assert "serving SLO" in output
+        assert "tenant chairs" in output
+
+    def test_json_report_is_deterministic(self, capsys):
+        import json
+
+        reports = []
+        for _ in range(2):
+            assert main([*self.ARGS, "--json"]) == 0
+            reports.append(json.loads(capsys.readouterr().out))
+        for report in reports:
+            report.pop("slo", None)
+        assert reports[0] == reports[1]
+        assert reports[0]["offered"] == 40
+        assert reports[0]["served"] + sum(reports[0]["shed"].values()) + reports[0][
+            "degraded"
+        ] == 40
+
+    def test_out_writes_json_file(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "traffic.json"
+        assert main([*self.ARGS, "--out", str(out)]) == 0
+        capsys.readouterr()
+        payload = json.loads(out.read_text())
+        assert payload["offered"] == 40
+        assert {"p50", "p95", "p99"} <= set(payload["latency"])
+
+    def test_bad_burst_spec_errors(self, capsys):
+        assert main(["serve-bench", "--burst", "nope"]) == 1
+        assert "bad --burst" in capsys.readouterr().err

@@ -1,6 +1,8 @@
 """Unit tests for the virtual clock and token bucket."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.web.clock import SimulatedClock
 from repro.web.ratelimit import TokenBucket
@@ -69,6 +71,28 @@ class TestTokenBucket:
         with pytest.raises(ValueError):
             bucket.time_until_available(5.0)
 
+    def test_try_acquire_over_capacity_rejected(self, clock):
+        # Regression: try_acquire(tokens > capacity) used to return
+        # False forever while time_until_available raised — the two
+        # entry points must validate identically.
+        bucket = TokenBucket(capacity=1, refill_rate=1.0, clock=clock)
+        with pytest.raises(ValueError):
+            bucket.try_acquire(5.0)
+
+    def test_validation_is_consistent_across_entry_points(self, clock):
+        bucket = TokenBucket(capacity=3, refill_rate=1.0, clock=clock)
+        for tokens in (-1.0, 0.0, 3.5, 100.0):
+            acquire_raises = wait_raises = False
+            try:
+                bucket.try_acquire(tokens)
+            except ValueError:
+                acquire_raises = True
+            try:
+                bucket.time_until_available(tokens)
+            except ValueError:
+                wait_raises = True
+            assert acquire_raises == wait_raises == (tokens <= 0 or tokens > 3)
+
     def test_invalid_parameters_rejected(self, clock):
         with pytest.raises(ValueError):
             TokenBucket(capacity=0, refill_rate=1.0, clock=clock)
@@ -85,3 +109,35 @@ class TestTokenBucket:
         assert bucket.try_acquire(0.5)
         assert bucket.try_acquire(0.5)
         assert not bucket.try_acquire(0.5)
+
+
+class TestBucketProperties:
+    """Property: whenever time_until_available returns a finite bound,
+    advancing the clock by exactly that bound makes try_acquire succeed."""
+
+    @given(
+        capacity=st.floats(min_value=0.5, max_value=50.0),
+        refill_rate=st.floats(min_value=0.1, max_value=20.0),
+        drains=st.lists(st.floats(min_value=0.05, max_value=1.0), max_size=8),
+        tokens_fraction=st.floats(min_value=0.05, max_value=1.0),
+    )
+    @settings(deadline=None, max_examples=80)
+    def test_wait_bound_is_sufficient(
+        self, capacity, refill_rate, drains, tokens_fraction
+    ):
+        clock = SimulatedClock()
+        bucket = TokenBucket(capacity=capacity, refill_rate=refill_rate, clock=clock)
+        # Drain an arbitrary (valid) amount to put the bucket in a
+        # partially-empty state.
+        for fraction in drains:
+            bucket.try_acquire(fraction * capacity)
+        tokens = tokens_fraction * capacity
+        wait = bucket.time_until_available(tokens)
+        assert wait >= 0.0
+        assert wait != float("inf")
+        if wait > 0:
+            clock.advance(wait)
+        # Tolerate one float-rounding ulp in the refill arithmetic.
+        assert bucket.try_acquire(tokens) or bucket.try_acquire(
+            tokens - 1e-9 * capacity
+        )
