@@ -156,6 +156,12 @@ class Admission:
     queued_at: float = 0.0
     service_seconds: float = 0.0  # virtual cost of the dispatch itself
     served_latency: float = 0.0  # queue wait + service (virtual seconds)
+    #: Set once a worker has finished dispatching this admission —
+    #: waiters (``ServingFrontend.handle``) block on it when a racing
+    #: drain took the admission out of the queue before they could.
+    done: threading.Event = field(
+        default_factory=threading.Event, repr=False, compare=False
+    )
 
     @property
     def status(self) -> int | None:
@@ -292,9 +298,28 @@ class ServingFrontend:
             return self._pressure_response(
                 method, path, body, tenant, "rate_limited", 429, retry_after
             )
+        admission = Admission(
+            method=method.upper(),
+            path=path,
+            body=body,
+            tenant=tenant,
+            admitted=True,
+            queued_at=self._clock.now(),
+        )
+        # Capacity check and append are one critical section: N racing
+        # submits can never jointly overshoot queue_capacity.  The depth
+        # gauge is published under the same lock so it can only ever
+        # move monotonically with the queue it describes.
         with self._lock:
             queue_full = len(self._queue) >= self._config.queue_capacity
+            if not queue_full:
+                self._queue.append(admission)
+                self._obs.gauge(QUEUE_DEPTH_GAUGE, len(self._queue))
         if queue_full:
+            # The tenant got no service, so it keeps its rate budget:
+            # without the refund an overloaded queue would burn tokens
+            # and then 429 the very retry the 503 hint asked for.
+            bucket.refund()
             return self._pressure_response(
                 method,
                 path,
@@ -304,20 +329,8 @@ class ServingFrontend:
                 503,
                 self._config.shed_retry_after,
             )
-        admission = Admission(
-            method=method.upper(),
-            path=path,
-            body=body,
-            tenant=tenant,
-            admitted=True,
-            queued_at=self._clock.now(),
-        )
-        with self._lock:
-            self._queue.append(admission)
-            depth = len(self._queue)
         self._count(tenant, "admitted")
         self._obs.inc("serving_admitted_total", tenant=tenant)
-        self._obs.gauge(QUEUE_DEPTH_GAUGE, depth)
         return admission
 
     def handle(
@@ -333,11 +346,15 @@ class ServingFrontend:
         outcomes return their envelope, admitted ones are served
         immediately (FIFO — anything already queued ahead is served
         first so the single-caller path can never starve the queue).
+        If a concurrently running drain already took this admission
+        out of the queue, wait for that worker to finish it — handle()
+        always returns a real :class:`~repro.api.router.ApiResponse`.
         """
         admission = self.submit(method, path, body, tenant=tenant)
         if not admission.admitted:
             return admission.response
         self.drain()
+        admission.done.wait()
         return admission.response
 
     # ------------------------------------------------------------------
@@ -354,7 +371,7 @@ class ServingFrontend:
         with self._lock:
             batch = list(self._queue)
             self._queue.clear()
-        self._obs.gauge(QUEUE_DEPTH_GAUGE, 0)
+            self._obs.gauge(QUEUE_DEPTH_GAUGE, 0)
         if not batch:
             return []
         executor = create_executor(workers)
@@ -365,9 +382,8 @@ class ServingFrontend:
         """Take the queue head (the load harness's worker-pull path)."""
         with self._lock:
             admission = self._queue.popleft() if self._queue else None
-            depth = len(self._queue)
-        if admission is not None:
-            self._obs.gauge(QUEUE_DEPTH_GAUGE, depth)
+            if admission is not None:
+                self._obs.gauge(QUEUE_DEPTH_GAUGE, len(self._queue))
         return admission
 
     def dispatch_one(self, admission: Admission, queue_wait: float = 0.0) -> Admission:
@@ -379,30 +395,36 @@ class ServingFrontend:
         :class:`~repro.web.accounting.RequestScope`, so the served
         latency is deterministic at any worker count or interleaving.
         """
-        with RequestScope(label=f"serving {admission.path}") as scope:
-            response = self._api.handle(
-                admission.method, admission.path, admission.body
+        try:
+            with RequestScope(label=f"serving {admission.path}") as scope:
+                response = self._api.handle(
+                    admission.method, admission.path, admission.body
+                )
+            admission.response = response
+            admission.service_seconds = scope.virtual_seconds
+            admission.served_latency = queue_wait + scope.virtual_seconds
+            self._count(admission.tenant, "served")
+            self._obs.inc(
+                "serving_served_total",
+                tenant=admission.tenant,
+                status=str(response.status),
             )
-        admission.response = response
-        admission.service_seconds = scope.virtual_seconds
-        admission.served_latency = queue_wait + scope.virtual_seconds
-        self._count(admission.tenant, "served")
-        self._obs.inc(
-            "serving_served_total",
-            tenant=admission.tenant,
-            status=str(response.status),
-        )
-        self._obs.observe(LATENCY_HISTOGRAM, admission.served_latency)
-        self._obs.observe(
-            TENANT_LATENCY_HISTOGRAM,
-            admission.served_latency,
-            tenant=admission.tenant,
-        )
-        if response.ok and admission.path in DEGRADABLE_PATHS:
-            self._warm_store(
-                request_key(admission.method, admission.path, admission.body),
-                response.body,
+            self._obs.observe(LATENCY_HISTOGRAM, admission.served_latency)
+            self._obs.observe(
+                TENANT_LATENCY_HISTOGRAM,
+                admission.served_latency,
+                tenant=admission.tenant,
             )
+            if response.ok and admission.path in DEGRADABLE_PATHS:
+                self._warm_store(
+                    request_key(admission.method, admission.path, admission.body),
+                    response.body,
+                )
+        finally:
+            # Always release waiters (handle() blocks on this even when
+            # the wrapped API raised) — a hung client is worse than a
+            # propagated exception.
+            admission.done.set()
         return admission
 
     # ------------------------------------------------------------------
@@ -425,7 +447,7 @@ class ServingFrontend:
             degraded_body["degraded_reason"] = reason
             self._count(tenant, "degraded")
             self._obs.inc("serving_degraded_total", tenant=tenant, reason=reason)
-            return Admission(
+            admission = Admission(
                 method=method.upper(),
                 path=path,
                 body=body,
@@ -435,6 +457,8 @@ class ServingFrontend:
                 reason=reason,
                 response=ApiResponse(200, degraded_body),
             )
+            admission.done.set()
+            return admission
         retry_after = round(max(0.0, retry_after), 6)
         with self._lock:
             self._shed[reason] = self._shed.get(reason, 0) + 1
@@ -452,7 +476,7 @@ class ServingFrontend:
             "tenant": tenant,
             "retry_after": retry_after,
         }
-        return Admission(
+        admission = Admission(
             method=method.upper(),
             path=path,
             body=body,
@@ -462,6 +486,8 @@ class ServingFrontend:
             retry_after=retry_after,
             response=ApiResponse(status, envelope),
         )
+        admission.done.set()
+        return admission
 
     def _degraded_lookup(
         self, method: str, path: str, body: dict | None

@@ -92,6 +92,20 @@ class TokenBucket:
         )
         return granted
 
+    def refund(self, tokens: float = 1.0) -> None:
+        """Return ``tokens`` to the bucket (capped at ``capacity``).
+
+        For callers whose acquire turned out not to buy any service —
+        e.g. a request that passed the rate limiter but was then shed
+        because the admission queue was full.  Refunding keeps such
+        tenants from being double-penalized: they already ate the 503,
+        they should not also eat a 429 on the hinted retry.
+        """
+        self._validate(tokens)
+        with self._lock:
+            self._refill()
+            self._tokens = min(self._capacity, self._tokens + tokens)
+
     def time_until_available(self, tokens: float = 1.0) -> float:
         """Virtual seconds until ``tokens`` will be available (0 if now).
 

@@ -128,6 +128,12 @@ class TestConcurrentSubmission:
         assert front.queue_depth == 5
         assert {r.reason for r in shed} == {"queue_full"}
         assert all(r.status == 503 for r in shed)
+        # The depth gauge is published under the queue lock, so after
+        # the storm settles it agrees with the queue exactly.
+        assert front.obs.metrics.gauge_value("serving_queue_depth") == 5
+        # queue_full sheds refund their token: only the 5 admits spent
+        # budget out of the 1000-token burst.
+        assert front._bucket_for("storm").available() == pytest.approx(995.0)
 
     def test_storm_outcome_is_repeatable(self, world):
         outcomes = []
@@ -140,6 +146,48 @@ class TestConcurrentSubmission:
             results = self._storm(front)
             outcomes.append(sum(1 for r in results if r.admitted))
         assert outcomes[0] == outcomes[1] == 10
+
+
+class TestHandleDrainRace:
+    def test_handle_always_returns_a_response(self, world):
+        # Regression: a racing drain() could take handle()'s admission
+        # out of the queue before handle()'s own drain ran, so handle()
+        # returned None while the other thread was still dispatching.
+        # handle() now waits on the admission's done event.
+        front = _fresh_frontend(
+            world,
+            queue_capacity=64,
+            default_policy=TenantPolicy(capacity=1000.0, refill_rate=10.0),
+        )
+        n_clients = 12
+        stop = threading.Event()
+
+        def drainer():
+            while not stop.is_set():
+                front.drain(workers=2)
+
+        stealer = threading.Thread(target=drainer)
+        stealer.start()
+        try:
+            responses = [None] * n_clients
+            barrier = threading.Barrier(n_clients)
+
+            def client(i):
+                barrier.wait()
+                responses[i] = front.handle("GET", "/api/v1/health", tenant="race")
+
+            clients = [
+                threading.Thread(target=client, args=(i,)) for i in range(n_clients)
+            ]
+            for t in clients:
+                t.start()
+            for t in clients:
+                t.join()
+        finally:
+            stop.set()
+            stealer.join()
+        assert all(r is not None for r in responses)
+        assert [r.status for r in responses] == [200] * n_clients
 
 
 class TestHarnessRuns:

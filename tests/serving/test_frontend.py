@@ -124,6 +124,25 @@ class TestQueueShedding:
         front.drain()
         assert front.submit("GET", "/api/v1/health").admitted
 
+    def test_queue_full_shed_refunds_the_token(self, api):
+        # Regression: a queue_full shed used to burn a rate-limit token
+        # the tenant never got service for, so the retry the 503 hint
+        # asked for could land on a spurious 429.
+        front = make_frontend(
+            api,
+            queue_capacity=1,
+            default_policy=TenantPolicy(capacity=2, refill_rate=0.001),
+            degraded_serving=False,
+        )
+        assert front.submit("GET", "/api/v1/health").admitted
+        assert front.submit("GET", "/api/v1/health").status == 503
+        assert front.submit("GET", "/api/v1/health").status == 503
+        # Only the admitted request consumed budget (no virtual time
+        # passed, so nothing refilled): one token remains.
+        assert front._bucket_for("default").available() == pytest.approx(1.0)
+        front.drain()
+        assert front.submit("GET", "/api/v1/health").admitted
+
 
 class TestDegradation:
     def _exhaust(self, front, tenant="default"):

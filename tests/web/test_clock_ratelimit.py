@@ -110,6 +110,26 @@ class TestTokenBucket:
         assert bucket.try_acquire(0.5)
         assert not bucket.try_acquire(0.5)
 
+    def test_refund_restores_budget(self, clock):
+        bucket = TokenBucket(capacity=2, refill_rate=0.001, clock=clock)
+        assert bucket.try_acquire()
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+        bucket.refund()
+        assert bucket.try_acquire()
+
+    def test_refund_capped_at_capacity(self, clock):
+        bucket = TokenBucket(capacity=2, refill_rate=1.0, clock=clock)
+        bucket.refund(1.5)
+        assert bucket.available() == pytest.approx(2.0)
+
+    def test_refund_validates_like_acquire(self, clock):
+        bucket = TokenBucket(capacity=1, refill_rate=1.0, clock=clock)
+        with pytest.raises(ValueError):
+            bucket.refund(0)
+        with pytest.raises(ValueError):
+            bucket.refund(5.0)
+
 
 class TestBucketProperties:
     """Property: whenever time_until_available returns a finite bound,
