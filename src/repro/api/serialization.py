@@ -57,8 +57,10 @@ def config_from_payload(payload: dict) -> PipelineConfig:
     component → weight map), ``impact_metric``, ``min_keyword_score``,
     ``coi`` (``check_coauthorship``, ``affiliation_level``,
     ``lookback_years``), ``constraints`` (the six range bounds),
-    ``pc_members``, ``max_candidates`` and ``workers`` (extraction
-    fan-out; output is identical at any value), plus ``warm_cache`` /
+    ``pc_members``, ``max_candidates``, ``workers`` (extraction
+    fan-out; output is identical at any value) and ``shards``
+    (hash-sharded feature store; likewise output-identical), plus
+    ``warm_cache`` /
     ``warm_cache_ttl`` / ``warm_cache_capacity`` (the deployment-shared
     warm-path retrieval plane; rankings are identical warm or cold),
     ``top_k`` (rank only the exact best k) and ``scoring_plane``
@@ -93,6 +95,7 @@ def config_from_payload(payload: dict) -> PipelineConfig:
             impact_metric=ImpactMetric(payload.get("impact_metric", "h_index")),
             max_candidates=int(payload.get("max_candidates", 50)),
             workers=int(payload.get("workers", 1)),
+            shards=int(payload.get("shards", 1)),
             warm_cache=bool(payload.get("warm_cache", False)),
             warm_cache_ttl=payload.get("warm_cache_ttl"),
             warm_cache_capacity=int(payload.get("warm_cache_capacity", 8192)),

@@ -85,6 +85,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_profile(args)
     if args.command == "serve-bench":
         return _run_serve_bench(args)
+    if args.command == "scale-bench":
+        return _run_scale_bench(args)
     parser.print_help()
     return 2
 
@@ -341,7 +343,45 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--out", default=None, metavar="PATH", help="also write the JSON report to PATH"
     )
+    scale = subparsers.add_parser(
+        "scale-bench",
+        help="EXP-SCALE: streamed worlds + sharded shard-parallel query path",
+    )
+    scale.add_argument(
+        "--pool-size",
+        action="append",
+        type=int,
+        default=None,
+        metavar="N",
+        help="world size (scholars), repeatable (default: 1000 10000 100000)",
+    )
+    scale.add_argument("--shards", type=int, default=16, help="index shard count")
+    scale.add_argument(
+        "--workers", type=int, default=8, help="shard fan-out worker threads"
+    )
+    scale.add_argument("--queries", type=int, default=5, help="queries per size")
+    scale.add_argument("--top", type=int, default=10, help="reviewers per query")
+    scale.add_argument(
+        "--pool-limit",
+        type=int,
+        default=200,
+        help="retrieved-pool cap per query (0 disables the cap)",
+    )
+    scale.add_argument("--seed", type=int, default=42, help="world seed")
+    scale.add_argument(
+        "--json", action="store_true", help="emit the full report as JSON"
+    )
+    scale.add_argument(
+        "--out", default=None, metavar="PATH", help="also write the JSON report to PATH"
+    )
     for sub in (demo, rec, assign):
+        sub.add_argument(
+            "--shards",
+            type=int,
+            default=1,
+            help="hash-shard count for the scoring feature store "
+            "(output identical at any value)",
+        )
         sub.add_argument(
             "--log-json",
             metavar="PATH",
@@ -390,7 +430,12 @@ def _run_demo(args) -> int:
         print(f"  author:       {author.name} ({author.affiliation})")
     print(f"  target venue: {manuscript.target_venue}")
 
-    minaret = Minaret(hub, config=PipelineConfig(warm_cache=args.warm_cache))
+    minaret = Minaret(
+        hub,
+        config=PipelineConfig(
+            warm_cache=args.warm_cache, shards=max(1, args.shards)
+        ),
+    )
     _stash_deployment(args, hub, minaret)
     result = minaret.recommend(manuscript)
 
@@ -541,6 +586,7 @@ def _run_recommend(args) -> int:
     hub = ScholarlyHub.deploy(world)
     config = PipelineConfig(
         workers=max(1, args.workers),
+        shards=max(1, args.shards),
         warm_cache=args.warm_cache,
         top_k=args.top_k,
     )
@@ -615,7 +661,12 @@ def _run_assign(args) -> int:
             return 1
     hub = ScholarlyHub.deploy(world)
     minaret = Minaret(
-        hub, config=PipelineConfig(warm_cache=args.warm_cache, top_k=args.top_k)
+        hub,
+        config=PipelineConfig(
+            warm_cache=args.warm_cache,
+            shards=max(1, args.shards),
+            top_k=args.top_k,
+        ),
     )
     _stash_deployment(args, hub, minaret)
     if scenario is not None:
@@ -879,6 +930,61 @@ def _run_serve_bench(args) -> int:
             f"  serving SLO: {report.slo['verdict']} "
             f"(good={report.slo['good_ratio']:.4f}, "
             f"objective={report.slo['objective']:g})"
+        )
+    return 0
+
+
+def _run_scale_bench(args) -> int:
+    """EXP-SCALE from the command line (same runner as the CI benchmark)."""
+    from repro.scale.bench import run_scale_bench
+
+    sizes = tuple(args.pool_size) if args.pool_size else (1_000, 10_000, 100_000)
+    report = run_scale_bench(
+        sizes=sizes,
+        shards=max(1, args.shards),
+        workers=max(1, args.workers),
+        queries_per_size=max(1, args.queries),
+        k=max(1, args.top),
+        pool_limit=args.pool_limit if args.pool_limit > 0 else None,
+        seed=args.seed,
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+    if args.json:
+        print(json.dumps(report, indent=2))
+        return 0
+    print(
+        f"scale-bench: shards={report['shards']} workers={report['workers']} "
+        f"k={report['k']}"
+    )
+    print(
+        f"  {'authors':>9s} {'ingest_s':>9s} {'postings':>9s} "
+        f"{'query_units':>11s} {'speedup':>8s} {'wall_s':>8s} {'brute=':>7s}"
+    )
+    for entry in report["sizes"]:
+        verified = entry["topk_matches_brute_force"]
+        print(
+            f"  {entry['authors']:>9d} {entry['ingest_seconds']:>9.2f} "
+            f"{entry['index']['postings']:>9d} "
+            f"{entry['mean_query_cost_units']:>11.1f} "
+            f"{entry['mean_modeled_speedup']:>8.2f} "
+            f"{entry['mean_wall_seconds']:>8.4f} "
+            f"{'yes' if verified else ('-' if verified is None else 'NO'):>7s}"
+        )
+    interning = report["interning"]
+    print(
+        f"  interning ({interning['authors']} authors): "
+        f"{interning['plain_bytes']} -> {interning['interned_bytes']} bytes "
+        f"({interning['saved_pct']}% saved)"
+    )
+    if "scaling" in report:
+        scaling = report["scaling"]
+        print(
+            f"  scaling: size x{scaling['size_ratio']:g} -> query cost "
+            f"x{scaling['query_cost_ratio']:g} "
+            f"({'sub-linear' if scaling['sublinear'] else 'NOT sub-linear'})"
         )
     return 0
 

@@ -105,9 +105,18 @@ class Minaret:
             # bump that invalidates cached profiles.
             from repro.scoring.features import FeatureStore, ScoringContext
 
-            self._features = (
-                plane.feature_store() if plane is not None else FeatureStore()
-            )
+            if plane is not None:
+                self._features = plane.feature_store(
+                    shards=self._config.shards, executor=self._executor
+                )
+            elif self._config.shards > 1:
+                from repro.scale import ShardedFeatureStore
+
+                self._features = ShardedFeatureStore(
+                    self._config.shards, executor=self._executor
+                )
+            else:
+                self._features = FeatureStore()
             scoring_context = ScoringContext.from_config(self._config)
         else:
             self._features = None

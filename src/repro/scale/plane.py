@@ -1,0 +1,669 @@
+"""The scale plane: end-to-end reviewer search over a streamed world.
+
+Composes the scale-plane pieces into the paper's §2 query path at
+population scale:
+
+1. **Ingest** walks the :class:`~repro.world.streaming.StreamingWorld`
+   once, block by block, and keeps only *index* structures: the sharded
+   interest index (keyword → scholar postings), and the COI screen's
+   posting maps — ``institution → (start, end, candidate)`` intervals
+   and per-candidate co-author sets — both sharded by
+   :func:`~repro.scale.sharding.shard_of`.  No scholar object stays
+   resident; memory is O(postings), not O(world).
+2. **Retrieval** runs the shard-parallel ranked union
+   (:meth:`ShardedInvertedIndex.search`) over the query keywords.
+3. **COI screening** fans per-shard: each shard screens its own pool
+   members against its own co-author sets and probes its own
+   institution postings with the submitters' affiliation intervals.
+4. **Scoring** realises only the surviving pool through the streaming
+   world (LRU-cached blocks), builds features through the
+   :class:`~repro.scale.features.ShardedFeatureStore`, and ranks in two
+   shard-parallel phases — raw components per shard, a barrier for the
+   pool maxima (scores are pool-normalised, so maxima are global state),
+   then totals and a per-shard top-k heap, merged under the canonical
+   ``(-score, candidate_id)`` tie-break.
+
+Per-query work is proportional to the *retrieved pool*, not the world:
+that is the sub-linear per-query cost EXP-SCALE measures.  The whole
+path is bit-identical at any worker/shard count, and
+:meth:`ScalePlane.brute_force_topk` recomputes it with none of the
+machinery — a full scan over every scholar — as the equality reference.
+
+Because shard-parallel phases are pure-Python and CPU-bound, wall-clock
+under the thread backend is GIL-limited; the plane therefore also
+accounts deterministic **cost units** per shard (postings scanned,
+features built, candidates scored) from which
+:func:`modeled_speedup` derives the makespan speedup an N-worker pool
+achieves over sequential execution — the same virtual-cost idiom the
+serving harness uses for latency.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+
+from repro.concurrency import Executor, SequentialExecutor
+from repro.obs import get_obs
+from repro.scale.features import ShardedFeatureStore
+from repro.scale.sharding import ShardedInvertedIndex, shard_of
+from repro.scholarly.records import (
+    Metrics,
+    SourceName,
+    compute_h_index,
+    compute_i10_index,
+)
+from repro.scoring.features import ScoringContext
+
+#: Scale-plane component weights (relevance, impact, experience,
+#: timeliness).  Fixed — the plane ranks with one canonical formula so
+#: every execution strategy is comparable float-for-float.
+_W_RELEVANCE = 0.45
+_W_IMPACT = 0.25
+_W_EXPERIENCE = 0.20
+_W_TIMELINESS = 0.10
+
+#: Cost units per posting scanned / feature built / candidate scored —
+#: coarse relative weights for the deterministic makespan model.
+_COST_POSTING = 1.0
+_COST_FEATURE = 25.0
+_COST_SCORE = 5.0
+
+
+@dataclass(frozen=True)
+class PoolMember:
+    """One retrieved candidate with its raw retrieval relevance."""
+
+    candidate_id: str
+    relevance: float
+
+
+@dataclass(frozen=True)
+class ScaleVerdict:
+    """COI outcome for one pool member."""
+
+    candidate_id: str
+    has_conflict: bool
+    reasons: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class ScaleHit:
+    """One ranked recommendation."""
+
+    candidate_id: str
+    name: str
+    total_score: float
+    components: dict[str, float]
+
+
+@dataclass
+class QueryStats:
+    """Deterministic accounting of one query's work, per shard."""
+
+    pool_size: int = 0
+    screened_out: int = 0
+    scored: int = 0
+    shard_costs: list[float] = field(default_factory=list)
+
+    @property
+    def sequential_cost(self) -> float:
+        return sum(self.shard_costs)
+
+
+def lpt_makespan(costs: list[float], workers: int) -> float:
+    """Makespan of longest-processing-time-first over ``workers`` slots.
+
+    The deterministic stand-in for "how long do these shard tasks take
+    on an N-worker pool" — LPT is the classic 4/3-approximation and,
+    crucially here, a pure function of the cost list.
+    """
+    if not costs:
+        return 0.0
+    if workers <= 1:
+        return sum(costs)
+    heap = [0.0] * min(workers, len(costs))
+    for cost in sorted(costs, reverse=True):
+        heapq.heappush(heap, heapq.heappop(heap) + cost)
+    return max(heap)
+
+
+def modeled_speedup(costs: list[float], workers: int) -> float:
+    """Sequential cost over the ``workers``-slot LPT makespan."""
+    makespan = lpt_makespan(costs, workers)
+    return sum(costs) / makespan if makespan > 0 else 1.0
+
+
+class ScalePlane:
+    """Sharded reviewer search over one streamed world.
+
+    Example
+    -------
+    >>> from repro.world import StreamingWorld, WorldConfig
+    >>> plane = ScalePlane(StreamingWorld(WorldConfig(author_count=64)), n_shards=4)
+    >>> plane.ingest()["index"]["documents"]
+    64
+    >>> hits, stats = plane.topk(["Name Disambiguation"], [], k=3)
+    >>> len(hits) <= 3
+    True
+    """
+
+    def __init__(
+        self,
+        world,
+        n_shards: int = 1,
+        executor: Executor | None = None,
+        name: str = "scale",
+    ):
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        self.world = world
+        self.n_shards = int(n_shards)
+        self._executor = executor or SequentialExecutor()
+        self._name = name
+        self.index = ShardedInvertedIndex(
+            n_shards, executor=self._executor, name=name
+        )
+        self.features = ShardedFeatureStore(
+            n_shards,
+            epoch_provider=lambda: self.index.epoch,
+            name=name,
+            executor=self._executor,
+        )
+        # COI posting maps, partitioned like the index: shard s holds
+        # only candidates with shard_of(id) == s.
+        self._institutions: list[dict[str, list[tuple[int, int, str]]]] = [
+            {} for __ in range(n_shards)
+        ]
+        self._coauthors: list[dict[str, frozenset[str]]] = [
+            {} for __ in range(n_shards)
+        ]
+        self._ingested = False
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+
+    def ingest(self) -> dict:
+        """Stream the world once into the sharded index structures.
+
+        Blocks are realised transiently (not via the world's LRU), so
+        peak memory during ingest is one block plus the indexes being
+        built.  Returns the post-ingest :meth:`stats` snapshot.
+        """
+        world = self.world
+        obs = get_obs()
+        ontology = world.ontology
+        with obs.span("scale.ingest", shards=self.n_shards):
+            block_count = -(-world.config.author_count // world.block_size)
+            for block_id in range(block_count):
+                block = world._realize_block(block_id)
+                for author in block.authors.values():
+                    interests = {
+                        ontology.topic(topic_id).label: weight
+                        for topic_id, weight in sorted(
+                            author.topic_expertise.items()
+                        )
+                    }
+                    self.index.add(author.author_id, interests)
+                    shard_id = shard_of(author.author_id, self.n_shards)
+                    postings = self._institutions[shard_id]
+                    for aff in author.affiliations:
+                        end = aff.end_year if aff.end_year is not None else 10_000
+                        postings.setdefault(aff.institution, []).append(
+                            (aff.start_year, end, author.author_id)
+                        )
+                    self._coauthors[shard_id][author.author_id] = frozenset(
+                        block.coauthors[author.author_id]
+                    )
+        self._ingested = True
+        return self.stats()
+
+    def refresh(self) -> int:
+        """Plane-level refresh: bump every shard epoch (features follow)."""
+        return self.index.bump_epoch()
+
+    def stats(self) -> dict:
+        index_stats = self.index.stats()
+        return {
+            "shards": self.n_shards,
+            "authors": self.world.config.author_count,
+            "index": index_stats,
+            "features": self.features.stats(),
+            "coi_institution_terms": sum(len(m) for m in self._institutions),
+            "coi_candidates": sum(len(m) for m in self._coauthors),
+        }
+
+    # ------------------------------------------------------------------
+    # Query path
+    # ------------------------------------------------------------------
+
+    def retrieve(
+        self,
+        keywords: dict[str, float] | list[str],
+        limit: int | None = None,
+    ) -> list[PoolMember]:
+        """Shard-parallel ranked retrieval over the interest index."""
+        terms, weights = _normalize_query(keywords)
+        postings = self.index.search(terms, query_weights=weights, limit=limit)
+        return [PoolMember(p.doc_id, p.weight) for p in postings]
+
+    def screen(
+        self, pool: list[PoolMember], submitter_ids: list[str]
+    ) -> list[ScaleVerdict]:
+        """Shard-parallel COI screening of the retrieved pool.
+
+        Per shard: probe the shard's institution postings with every
+        submitter affiliation interval, then test each pool member for
+        co-authorship with (or identity to) a submitter.  Verdicts come
+        back in pool order.
+        """
+        submitters = set(submitter_ids)
+        submitter_affs: list[tuple[str, int, int]] = []
+        for submitter_id in submitter_ids:
+            try:
+                author = self.world.profile(self.world.author_index(submitter_id))
+            except KeyError:
+                continue
+            for aff in author.affiliations:
+                end = aff.end_year if aff.end_year is not None else 10_000
+                submitter_affs.append((aff.institution, aff.start_year, end))
+
+        partitions: dict[int, list[tuple[int, PoolMember]]] = {}
+        for position, member in enumerate(pool):
+            shard_id = shard_of(member.candidate_id, self.n_shards)
+            partitions.setdefault(shard_id, []).append((position, member))
+        obs = get_obs()
+        with obs.span(
+            "scale.coi", shards=len(partitions), pool=len(pool)
+        ):
+            tasks = sorted(partitions.items())
+
+            def screen_shard(task):
+                shard_id, members = task
+                inst_postings = self._institutions[shard_id]
+                coauthors = self._coauthors[shard_id]
+                overlapping: dict[str, set[str]] = {}
+                for institution, start, end in submitter_affs:
+                    for c_start, c_end, candidate_id in inst_postings.get(
+                        institution, ()
+                    ):
+                        if c_start <= end and start <= c_end:
+                            overlapping.setdefault(candidate_id, set()).add(
+                                institution
+                            )
+                verdicts = []
+                for position, member in members:
+                    reasons: list[str] = []
+                    if member.candidate_id in submitters:
+                        reasons.append("submitting-author")
+                    shared = sorted(
+                        coauthors.get(member.candidate_id, frozenset())
+                        & submitters
+                    )
+                    reasons.extend(f"coauthor:{a}" for a in shared)
+                    reasons.extend(
+                        f"institution:{i}"
+                        for i in sorted(
+                            overlapping.get(member.candidate_id, ())
+                        )
+                    )
+                    verdicts.append(
+                        (
+                            position,
+                            ScaleVerdict(
+                                candidate_id=member.candidate_id,
+                                has_conflict=bool(reasons),
+                                reasons=tuple(reasons),
+                            ),
+                        )
+                    )
+                return verdicts
+
+            per_shard = self._executor.map(screen_shard, tasks)
+        ordered: list[ScaleVerdict | None] = [None] * len(pool)
+        for shard_verdicts in per_shard:
+            for position, verdict in shard_verdicts:
+                ordered[position] = verdict
+        return ordered
+
+    def candidate_of(self, candidate_id: str):
+        """A pipeline :class:`~repro.core.models.Candidate` realised
+        from the streamed world (the owning block comes via the LRU)."""
+        from repro.core.models import Candidate
+        from repro.scholarly.records import MergedProfile
+
+        scholar = self.world.scholar(candidate_id)
+        author = scholar.author
+        citations = [p.citation_count for p in scholar.publications]
+        pubs = [
+            {
+                "id": p.pub_id,
+                "title": p.title,
+                "year": p.year,
+                "keywords": list(p.keywords),
+                "venue": self.world.venues[p.venue_id].name,
+            }
+            for p in scholar.publications
+        ]
+        venue_counts: dict[str, int] = {}
+        on_time = 0
+        for review in scholar.reviews:
+            venue = self.world.venues[review.venue_id].name
+            venue_counts[venue] = venue_counts.get(venue, 0) + 1
+            on_time += 1 if review.on_time else 0
+        ontology = self.world.ontology
+        interests = tuple(
+            ontology.topic(t).label for t in sorted(author.topic_expertise)
+        )
+        profile = MergedProfile(
+            canonical_name=author.name,
+            source_ids=((SourceName.DBLP, candidate_id),),
+            affiliations=author.affiliations,
+            interests=interests,
+            metrics=Metrics(
+                citations=sum(citations),
+                h_index=compute_h_index(citations),
+                i10_index=compute_i10_index(citations),
+            ),
+            publication_ids=tuple(p.pub_id for p in scholar.publications),
+            review_ids=tuple(r.review_id for r in scholar.reviews),
+        )
+        return Candidate(
+            candidate_id=candidate_id,
+            name=author.name,
+            profile=profile,
+            scholar_publications=pubs,
+            dblp_publications=pubs,
+            review_count=len(scholar.reviews),
+            on_time_rate=(
+                round(on_time / len(scholar.reviews), 4)
+                if scholar.reviews
+                else None
+            ),
+            venues_reviewed=[
+                {"venue": venue, "count": count}
+                for venue, count in sorted(venue_counts.items())
+            ],
+        )
+
+    def topk(
+        self,
+        keywords: dict[str, float] | list[str],
+        submitter_ids: list[str],
+        k: int = 10,
+        pool_limit: int | None = None,
+    ) -> tuple[list[ScaleHit], QueryStats]:
+        """The full sharded query path: retrieve → screen → score.
+
+        Returns the top-``k`` hits in canonical order plus the
+        deterministic per-shard cost accounting.
+        """
+        stats = QueryStats()
+        terms, __ = _normalize_query(keywords)
+        # Cost: postings scanned per shard during retrieval.
+        shard_posting_cost = [0.0] * self.n_shards
+        for term in dict.fromkeys(terms):
+            for posting in self.index.postings(term):
+                shard_posting_cost[
+                    shard_of(posting.doc_id, self.n_shards)
+                ] += _COST_POSTING
+
+        pool = self.retrieve(keywords, limit=pool_limit)
+        stats.pool_size = len(pool)
+        verdicts = self.screen(pool, submitter_ids)
+        survivors = [
+            member
+            for member, verdict in zip(pool, verdicts)
+            if not verdict.has_conflict
+        ]
+        stats.screened_out = len(pool) - len(survivors)
+        hits, shard_work = self._score(keywords, survivors, k)
+        stats.scored = len(survivors)
+        stats.shard_costs = [
+            posting_cost + work
+            for posting_cost, work in zip(shard_posting_cost, shard_work)
+        ]
+        return hits, stats
+
+    def _score(
+        self,
+        keywords: dict[str, float] | list[str],
+        survivors: list[PoolMember],
+        k: int,
+    ) -> tuple[list[ScaleHit], list[float]]:
+        """Two-phase shard-parallel scoring with a global-maxima barrier.
+
+        Phase A computes each shard's raw components; the barrier takes
+        the pool maxima (normalisation couples every candidate to every
+        other, so this is the one genuinely global step); phase B
+        computes totals and a per-shard top-k heap; the merge folds the
+        per-shard heaps under the canonical tie-break.
+        """
+        if not survivors:
+            return [], [0.0] * self.n_shards
+        obs = get_obs()
+        partitions: dict[int, list[PoolMember]] = {}
+        for member in survivors:
+            partitions.setdefault(
+                shard_of(member.candidate_id, self.n_shards), []
+            ).append(member)
+        tasks = sorted(partitions.items())
+        ctx = ScoringContext(
+            current_year=self.world.config.current_year, half_life_years=3.0
+        )
+        shard_work = [0.0] * self.n_shards
+        with obs.span(
+            "scale.score", shards=len(tasks), candidates=len(survivors)
+        ):
+            # Phase A: raw components per shard (features built here).
+            def raw_components(task):
+                shard_id, members = task
+                candidates = [self.candidate_of(m.candidate_id) for m in members]
+                feats = self.features.features_for_many(candidates, ctx)
+                rows = []
+                for member, candidate, features in zip(
+                    members, candidates, feats
+                ):
+                    rows.append(
+                        (
+                            member.candidate_id,
+                            candidate.name,
+                            member.relevance,
+                            features.log_citations,
+                            features.review_experience,
+                            features.timeliness,
+                        )
+                    )
+                return rows
+
+            per_shard_rows = self._executor.map(raw_components, tasks)
+
+            # Barrier: pool maxima across every shard.
+            max_rel = max(r[2] for rows in per_shard_rows for r in rows)
+            max_imp = max(r[3] for rows in per_shard_rows for r in rows)
+            max_exp = max(r[4] for rows in per_shard_rows for r in rows)
+            max_tml = max(r[5] for rows in per_shard_rows for r in rows)
+
+            # Phase B: totals and per-shard top-k.
+            def score_shard(rows):
+                hits = []
+                for candidate_id, name, rel, imp, exp, tml in rows:
+                    components = {
+                        "relevance": rel / max_rel if max_rel > 0 else 0.0,
+                        "impact": imp / max_imp if max_imp > 0 else 0.0,
+                        "experience": exp / max_exp if max_exp > 0 else 0.0,
+                        "timeliness": tml / max_tml if max_tml > 0 else 0.0,
+                    }
+                    total = round(
+                        _W_RELEVANCE * components["relevance"]
+                        + _W_IMPACT * components["impact"]
+                        + _W_EXPERIENCE * components["experience"]
+                        + _W_TIMELINESS * components["timeliness"],
+                        6,
+                    )
+                    hits.append(
+                        ScaleHit(
+                            candidate_id=candidate_id,
+                            name=name,
+                            total_score=total,
+                            components=components,
+                        )
+                    )
+                return heapq.nsmallest(
+                    k, hits, key=lambda h: (-h.total_score, h.candidate_id)
+                )
+
+            per_shard_topk = self._executor.map(score_shard, per_shard_rows)
+        for (shard_id, members), rows in zip(tasks, per_shard_rows):
+            shard_work[shard_id] += len(rows) * (_COST_FEATURE + _COST_SCORE)
+        merged = heapq.nsmallest(
+            k,
+            (hit for shard_hits in per_shard_topk for hit in shard_hits),
+            key=lambda h: (-h.total_score, h.candidate_id),
+        )
+        return merged, shard_work
+
+    # ------------------------------------------------------------------
+    # Reference path
+    # ------------------------------------------------------------------
+
+    def brute_force_topk(
+        self,
+        keywords: dict[str, float] | list[str],
+        submitter_ids: list[str],
+        k: int = 10,
+    ) -> list[ScaleHit]:
+        """The machinery-free reference: a full scan over every scholar.
+
+        No sharding, no fan-out, no index *structure* — just the same
+        formulas over the whole population.  Only usable on small worlds
+        (it materialises everyone); the equality
+        ``topk(...) == brute_force_topk(...)`` whenever ``pool_limit``
+        is off is the plane's correctness anchor.
+        """
+        terms, weights = _normalize_query(keywords)
+        term_list = list(dict.fromkeys(terms))
+        total_docs = self.world.config.author_count
+        ontology = self.world.ontology
+        submitters = set(submitter_ids)
+
+        df = {term: 0 for term in term_list}
+        all_interests: list[tuple[str, dict[str, float]]] = []
+        for index in range(total_docs):
+            author_id = f"author-{index}"
+            interests = {
+                ontology.topic(t).label: w
+                for t, w in sorted(
+                    self.world.profile(index).topic_expertise.items()
+                )
+            }
+            all_interests.append((author_id, interests))
+            for term in term_list:
+                if term in interests:
+                    df[term] += 1
+
+        from repro.storage.inverted import idf_of
+
+        idf = {
+            term: idf_of(total_docs, count)
+            for term, count in df.items()
+            if count
+        }
+
+        submitter_affs = []
+        for submitter_id in submitter_ids:
+            author = self.world.profile(self.world.author_index(submitter_id))
+            for aff in author.affiliations:
+                end = aff.end_year if aff.end_year is not None else 10_000
+                submitter_affs.append((aff.institution, aff.start_year, end))
+
+        rows = []
+        for author_id, interests in all_interests:
+            relevance = 0.0
+            for term in terms:
+                weight = interests.get(term)
+                if weight is None or term not in idf:
+                    continue
+                relevance += (
+                    float((weights or {}).get(term, 1.0)) * weight * idf[term]
+                )
+            if relevance == 0.0:
+                continue
+            if author_id in submitters:
+                continue
+            scholar = self.world.scholar(author_id)
+            if scholar.coauthor_ids & submitters:
+                continue
+            conflicted = False
+            for aff in scholar.author.affiliations:
+                end = aff.end_year if aff.end_year is not None else 10_000
+                for __, s_start, s_end in (
+                    entry
+                    for entry in submitter_affs
+                    if entry[0] == aff.institution
+                ):
+                    if aff.start_year <= s_end and s_start <= end:
+                        conflicted = True
+                        break
+                if conflicted:
+                    break
+            if conflicted:
+                continue
+            citations = [p.citation_count for p in scholar.publications]
+            on_time = sum(1 for r in scholar.reviews if r.on_time)
+            rows.append(
+                (
+                    author_id,
+                    scholar.author.name,
+                    relevance,
+                    math.log1p(sum(citations)),
+                    float(len(scholar.reviews)),
+                    (
+                        round(on_time / len(scholar.reviews), 4)
+                        if scholar.reviews
+                        else 0.0
+                    ),
+                )
+            )
+        if not rows:
+            return []
+        max_rel = max(r[2] for r in rows)
+        max_imp = max(r[3] for r in rows)
+        max_exp = max(r[4] for r in rows)
+        max_tml = max(r[5] for r in rows)
+        hits = []
+        for candidate_id, name, rel, imp, exp, tml in rows:
+            components = {
+                "relevance": rel / max_rel if max_rel > 0 else 0.0,
+                "impact": imp / max_imp if max_imp > 0 else 0.0,
+                "experience": exp / max_exp if max_exp > 0 else 0.0,
+                "timeliness": tml / max_tml if max_tml > 0 else 0.0,
+            }
+            total = round(
+                _W_RELEVANCE * components["relevance"]
+                + _W_IMPACT * components["impact"]
+                + _W_EXPERIENCE * components["experience"]
+                + _W_TIMELINESS * components["timeliness"],
+                6,
+            )
+            hits.append(
+                ScaleHit(
+                    candidate_id=candidate_id,
+                    name=name,
+                    total_score=total,
+                    components=components,
+                )
+            )
+        return heapq.nsmallest(
+            k, hits, key=lambda h: (-h.total_score, h.candidate_id)
+        )
+
+
+def _normalize_query(
+    keywords: dict[str, float] | list[str],
+) -> tuple[list[str], dict[str, float] | None]:
+    if isinstance(keywords, dict):
+        return list(keywords), dict(keywords)
+    return list(keywords), None

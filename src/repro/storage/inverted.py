@@ -17,6 +17,16 @@ from collections.abc import Iterable, Mapping
 from dataclasses import dataclass
 
 
+def idf_of(document_count: int, document_frequency: int) -> float:
+    """The index's idf formula, exposed for cross-shard scoring.
+
+    Sharded retrieval (:mod:`repro.scale`) must weight every shard's
+    postings with the *global* document statistics to stay bit-identical
+    to a monolithic index; this is the single definition both use.
+    """
+    return math.log(1 + max(document_count, 1) / document_frequency)
+
+
 @dataclass(frozen=True, order=True)
 class Posting:
     """One entry of a posting list: a document id and its term weight."""
@@ -38,8 +48,11 @@ class InvertedIndex:
     """
 
     def __init__(self):
-        self._postings: dict[str, dict[str, float]] = defaultdict(dict)
-        self._document_terms: dict[str, set[str]] = defaultdict(set)
+        # Plain dicts, not defaultdicts: every write path goes through
+        # the helpers below, so a lookup typo can never materialize an
+        # empty posting list that then haunts ``term_count``/``stats``.
+        self._postings: dict[str, dict[str, float]] = {}
+        self._document_terms: dict[str, set[str]] = {}
 
     def __len__(self) -> int:
         """Number of indexed documents."""
@@ -65,8 +78,9 @@ class InvertedIndex:
                 raise ValueError(
                     f"posting weight must be positive, got {weight!r} for {term!r}"
                 )
-            self._postings[term][doc_id] = float(weight)
-            self._document_terms[doc_id].add(term)
+        for term, weight in term_weights.items():
+            self._postings.setdefault(term, {})[doc_id] = float(weight)
+            self._document_terms.setdefault(doc_id, set()).add(term)
 
     def replace_term(self, term: str, doc_weights: Mapping[str, float]) -> None:
         """Atomically replace ``term``'s entire posting list.
@@ -91,14 +105,23 @@ class InvertedIndex:
             self.add_term(term, doc_weights)
 
     def add_term(self, term: str, doc_weights: Mapping[str, float]) -> None:
-        """Index every document in ``doc_weights`` under one ``term``."""
+        """Index every document in ``doc_weights`` under one ``term``.
+
+        An empty ``doc_weights`` is a no-op: no empty posting list is
+        ever created, so the term dictionary only holds terms that can
+        actually match (``stats`` counts stay an honest size measure).
+        """
         for doc_id, weight in doc_weights.items():
             if weight <= 0:
                 raise ValueError(
                     f"posting weight must be positive, got {weight!r} for {doc_id!r}"
                 )
-            self._postings[term][doc_id] = float(weight)
-            self._document_terms[doc_id].add(term)
+        if not doc_weights:
+            return
+        bucket = self._postings.setdefault(term, {})
+        for doc_id, weight in doc_weights.items():
+            bucket[doc_id] = float(weight)
+            self._document_terms.setdefault(doc_id, set()).add(term)
 
     def remove(self, doc_id: str) -> None:
         """Drop every posting of ``doc_id``; silently ignores unknown ids."""
@@ -126,9 +149,50 @@ class InvertedIndex:
         """How many documents contain ``term``."""
         return len(self._postings.get(term, {}))
 
+    def stats(self) -> dict:
+        """Size snapshot: distinct terms, documents and total postings.
+
+        Every term counted here has at least one posting (empty lists
+        are dropped on ``remove``/``replace_term`` and never created by
+        ``add``/``add_term``), so repeated index churn — e.g. the warm
+        plane re-folding interest postings across refresh epochs — must
+        leave these counts bounded by live content, not history.
+        """
+        return {
+            "terms": len(self._postings),
+            "documents": len(self._document_terms),
+            "postings": sum(len(bucket) for bucket in self._postings.values()),
+        }
+
     # ------------------------------------------------------------------
     # Retrieval
     # ------------------------------------------------------------------
+
+    def score_terms(
+        self,
+        terms: Iterable[str],
+        query_weights: Mapping[str, float] | None = None,
+        idf: Mapping[str, float] | None = None,
+    ) -> dict[str, float]:
+        """Raw OR-retrieval scores: ``doc_id → Σ_t qw(t)·weight(t,d)·idf(t)``.
+
+        ``idf=None`` applies no idf (every term weighs 1.0).  Pass a
+        precomputed map to weight with *global* statistics — this is how
+        :class:`repro.scale.ShardedInvertedIndex` keeps per-shard scoring
+        bit-identical to a monolithic index: the accumulation order per
+        document (query-term order) is the same either way.
+        """
+        weights = query_weights or {}
+        scores: dict[str, float] = defaultdict(float)
+        for term in terms:
+            bucket = self._postings.get(term)
+            if not bucket:
+                continue
+            term_idf = 1.0 if idf is None else idf.get(term, 1.0)
+            query_weight = float(weights.get(term, 1.0))
+            for doc_id, term_weight in bucket.items():
+                scores[doc_id] += query_weight * term_weight * term_idf
+        return dict(scores)
 
     def search(
         self,
@@ -147,19 +211,16 @@ class InvertedIndex:
         Returns postings whose ``weight`` field holds the aggregate score,
         sorted by descending score then id; ``limit`` truncates.
         """
-        weights = query_weights or {}
-        scores: dict[str, float] = defaultdict(float)
-        total_docs = max(len(self._document_terms), 1)
-        for term in terms:
-            bucket = self._postings.get(term)
-            if not bucket:
-                continue
-            idf = 1.0
-            if use_idf:
-                idf = math.log(1 + total_docs / len(bucket))
-            query_weight = float(weights.get(term, 1.0))
-            for doc_id, term_weight in bucket.items():
-                scores[doc_id] += query_weight * term_weight * idf
+        term_list = list(terms)
+        idf = None
+        if use_idf:
+            total_docs = len(self._document_terms)
+            idf = {
+                term: idf_of(total_docs, len(bucket))
+                for term in dict.fromkeys(term_list)
+                if (bucket := self._postings.get(term))
+            }
+        scores = self.score_terms(term_list, query_weights, idf=idf)
         results = [Posting(doc_id=d, weight=s) for d, s in scores.items()]
         if limit is not None and 0 <= limit < len(results):
             results = heapq.nsmallest(

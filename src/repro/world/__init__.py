@@ -20,6 +20,7 @@ from repro.world.dynamics import WorldDynamics
 from repro.world.generator import generate_world
 from repro.world.io import load_world, save_world, world_from_dict, world_to_dict
 from repro.world.model import GroundTruthOracle, ScholarlyWorld, WorldAuthor
+from repro.world.streaming import StreamedScholar, StreamingWorld, child_rng
 
 #: Conference-scenario exports resolved lazily: :mod:`repro.world.conference`
 #: depends on :mod:`repro.assignment`, which reaches back through
@@ -53,6 +54,8 @@ __all__ = [
     "ConferenceScenario",
     "GroundTruthOracle",
     "ScholarlyWorld",
+    "StreamedScholar",
+    "StreamingWorld",
     "WorldAuthor",
     "WorldConfig",
     "WorldDynamics",
@@ -63,6 +66,7 @@ __all__ = [
     "planted_recall",
     "precision_at_set",
     "save_world",
+    "child_rng",
     "world_from_dict",
     "world_to_dict",
 ]

@@ -404,10 +404,27 @@ def _generate_reviews(
     return reviews
 
 
+#: Cutover to the large-mean sampler.  Must stay above every mean the
+#: default world family can produce (citation means top out below ~64 at
+#: ``max_career_length=30``) so existing seeds draw exactly as before;
+#: beyond it Knuth's loop costs O(mean) RNG calls and ``exp(-mean)``
+#: eventually underflows to 0.0, turning the termination test into
+#: "until the product underflows" — hundreds of draws per variate.
+_POISSON_KNUTH_MAX = 80.0
+
+
 def _poisson(rng: random.Random, mean: float) -> int:
-    """Sample a Poisson variate (Knuth's method; means here are small)."""
+    """Sample a Poisson variate.
+
+    Knuth's multiplicative method below :data:`_POISSON_KNUTH_MAX`
+    (unchanged draws for every mean the stock worlds use), and the PTRS
+    transformed-rejection sampler of Hörmann (1993) above it — O(1)
+    expected draws for any mean, no ``exp(-mean)`` underflow.
+    """
     if mean <= 0:
         return 0
+    if mean > _POISSON_KNUTH_MAX:
+        return _poisson_ptrs(rng, mean)
     threshold = math.exp(-mean)
     count = 0
     product = rng.random()
@@ -415,3 +432,25 @@ def _poisson(rng: random.Random, mean: float) -> int:
         count += 1
         product *= rng.random()
     return count
+
+
+def _poisson_ptrs(rng: random.Random, mean: float) -> int:
+    """Hörmann's PTRS rejection sampler for large-mean Poisson draws."""
+    log_mean = math.log(mean)
+    b = 0.931 + 2.53 * math.sqrt(mean)
+    a = -0.059 + 0.02483 * b
+    inv_alpha = 1.1239 + 1.1328 / (b - 3.4)
+    v_r = 0.9277 - 3.6224 / (b - 2.0)
+    while True:
+        u = rng.random() - 0.5
+        v = rng.random()
+        us = 0.5 - abs(u)
+        k = math.floor((2.0 * a / us + b) * u + mean + 0.43)
+        if us >= 0.07 and v <= v_r:
+            return int(k)
+        if k < 0 or (us < 0.013 and v > us):
+            continue
+        if math.log(v) + math.log(inv_alpha) - math.log(a / (us * us) + b) <= (
+            k * log_mean - mean - math.lgamma(k + 1.0)
+        ):
+            return int(k)

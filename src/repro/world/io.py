@@ -11,6 +11,7 @@ catalogue) to a JSON document and back.
 from __future__ import annotations
 
 import json
+import sys
 from pathlib import Path
 
 from repro.ontology.data import build_seed_ontology
@@ -90,22 +91,34 @@ def world_to_dict(world: ScholarlyWorld, include_ontology: bool = False) -> dict
     return data
 
 
-def world_from_dict(data: dict) -> ScholarlyWorld:
-    """Rebuild a world from :func:`world_to_dict` output."""
+def world_from_dict(data: dict, intern_strings: bool = True) -> ScholarlyWorld:
+    """Rebuild a world from :func:`world_to_dict` output.
+
+    ``intern_strings`` (default on) routes every repeated identifier —
+    topic ids, keyword labels, venue/author/publication ids, institution
+    and country names — through :func:`sys.intern`.  JSON parsing mints
+    a fresh string object per occurrence, so a large world otherwise
+    carries thousands of copies of the same few hundred labels; EXP-SCALE
+    measures what deduplication saves.  Content is unchanged either way
+    (interning only dedupes equal strings).
+    """
     if data.get("format") != _FORMAT:
         raise ValueError(f"unsupported world format: {data.get('format')!r}")
+    sid = sys.intern if intern_strings else (lambda s: s)
     ontology = (
         ontology_from_dict(data["ontology"])
         if "ontology" in data
         else build_seed_ontology()
     )
     authors = {
-        entry["author_id"]: WorldAuthor(
-            author_id=entry["author_id"],
-            name=entry["name"],
-            topic_expertise=dict(entry["topic_expertise"]),
+        sid(entry["author_id"]): WorldAuthor(
+            author_id=sid(entry["author_id"]),
+            name=sid(entry["name"]),
+            topic_expertise={
+                sid(topic): score for topic, score in entry["topic_expertise"].items()
+            },
             affiliations=tuple(
-                _affiliation_from_dict(x) for x in entry["affiliations"]
+                _affiliation_from_dict(x, sid) for x in entry["affiliations"]
             ),
             career_start=entry["career_start"],
             responsiveness=entry["responsiveness"],
@@ -116,32 +129,32 @@ def world_from_dict(data: dict) -> ScholarlyWorld:
         for entry in data["authors"]
     }
     venues = {
-        entry["venue_id"]: Venue(
-            venue_id=entry["venue_id"],
-            name=entry["name"],
+        sid(entry["venue_id"]): Venue(
+            venue_id=sid(entry["venue_id"]),
+            name=sid(entry["name"]),
             venue_type=VenueType(entry["venue_type"]),
-            topic_ids=tuple(entry["topic_ids"]),
+            topic_ids=tuple(sid(t) for t in entry["topic_ids"]),
         )
         for entry in data["venues"]
     }
     publications = {
-        entry["pub_id"]: Publication(
-            pub_id=entry["pub_id"],
+        sid(entry["pub_id"]): Publication(
+            pub_id=sid(entry["pub_id"]),
             title=entry["title"],
             year=entry["year"],
-            venue_id=entry["venue_id"],
-            author_ids=tuple(entry["author_ids"]),
-            keywords=tuple(entry["keywords"]),
+            venue_id=sid(entry["venue_id"]),
+            author_ids=tuple(sid(a) for a in entry["author_ids"]),
+            keywords=tuple(sid(k) for k in entry["keywords"]),
             citation_count=entry["citation_count"],
             abstract=entry["abstract"],
         )
         for entry in data["publications"]
     }
     reviews = {
-        entry["review_id"]: ReviewRecord(
-            review_id=entry["review_id"],
-            reviewer_id=entry["reviewer_id"],
-            venue_id=entry["venue_id"],
+        sid(entry["review_id"]): ReviewRecord(
+            review_id=sid(entry["review_id"]),
+            reviewer_id=sid(entry["reviewer_id"]),
+            venue_id=sid(entry["venue_id"]),
             year=entry["year"],
             days_to_complete=entry["days_to_complete"],
             on_time=entry["on_time"],
@@ -164,9 +177,9 @@ def save_world(world: ScholarlyWorld, path: str | Path, include_ontology: bool =
     Path(path).write_text(json.dumps(world_to_dict(world, include_ontology)))
 
 
-def load_world(path: str | Path) -> ScholarlyWorld:
+def load_world(path: str | Path, intern_strings: bool = True) -> ScholarlyWorld:
     """Read a world from a JSON file produced by :func:`save_world`."""
-    return world_from_dict(json.loads(Path(path).read_text()))
+    return world_from_dict(json.loads(Path(path).read_text()), intern_strings)
 
 
 def _affiliation_to_dict(affiliation: Affiliation) -> dict:
@@ -178,10 +191,10 @@ def _affiliation_to_dict(affiliation: Affiliation) -> dict:
     }
 
 
-def _affiliation_from_dict(data: dict) -> Affiliation:
+def _affiliation_from_dict(data: dict, sid=lambda s: s) -> Affiliation:
     return Affiliation(
-        institution=data["institution"],
-        country=data["country"],
+        institution=sid(data["institution"]),
+        country=sid(data["country"]),
         start_year=data["start_year"],
         end_year=data["end_year"],
     )

@@ -160,3 +160,55 @@ class TestProperties:
             index.remove(f"{doc}{i}")
         assert len(index) == 0
         assert index.term_count == 0
+
+
+class TestStats:
+    def test_counts_live_content(self, index):
+        stats = index.stats()
+        assert stats["documents"] == len(index)
+        assert stats["terms"] == index.term_count
+        assert stats["postings"] == sum(
+            index.document_frequency(t)
+            for t in {term for d in index._document_terms for term in index.terms_of(d)}
+        )
+
+    def test_empty_index(self):
+        assert InvertedIndex().stats() == {
+            "terms": 0,
+            "documents": 0,
+            "postings": 0,
+        }
+
+    def test_add_term_empty_is_noop(self):
+        index = InvertedIndex()
+        index.add_term("ghost", {})
+        assert index.stats() == {"terms": 0, "documents": 0, "postings": 0}
+
+    def test_replace_term_leaves_no_empty_postings(self):
+        index = InvertedIndex()
+        index.add("a", {"x": 1.0, "y": 2.0})
+        index.add("b", {"x": 1.0})
+        index.replace_term("x", {})
+        assert "x" not in index._postings
+        assert index.stats() == {"terms": 1, "documents": 1, "postings": 1}
+        assert "b" not in index  # b held only x
+
+    def test_warm_refresh_cycles_do_not_grow_terms(self):
+        """Regression for the warm retrieval plane: re-folding interest
+        postings every refresh epoch replaces per-term lists, so index
+        size must track live content, not refresh history."""
+        index = InvertedIndex()
+        terms = [f"topic-{i}" for i in range(12)]
+        for epoch in range(50):
+            for i, term in enumerate(terms):
+                docs = {
+                    f"author-{(epoch + j) % 9}": 1.0 + 0.01 * (epoch % 7)
+                    for j in range(i % 4)
+                }
+                index.replace_term(term, docs)
+        stats = index.stats()
+        assert stats["terms"] <= len(terms)
+        assert stats["documents"] <= 9
+        assert stats["postings"] <= sum(i % 4 for i in range(12))
+        # And every surviving posting list is non-empty.
+        assert all(bucket for bucket in index._postings.values())

@@ -517,3 +517,50 @@ class TestServeBenchCommand:
     def test_bad_burst_spec_errors(self, capsys):
         assert main(["serve-bench", "--burst", "nope"]) == 1
         assert "bad --burst" in capsys.readouterr().err
+
+
+class TestScaleBenchCommand:
+    ARGS = [
+        "scale-bench",
+        "--pool-size",
+        "300",
+        "--pool-size",
+        "900",
+        "--queries",
+        "2",
+        "--shards",
+        "4",
+        "--workers",
+        "2",
+    ]
+
+    def test_table_output(self, capsys):
+        assert main(self.ARGS) == 0
+        output = capsys.readouterr().out
+        assert "scale-bench: shards=4 workers=2" in output
+        assert "300" in output and "900" in output
+        assert "interning" in output
+        assert "scaling:" in output
+
+    def test_json_report_verifies_brute_force(self, capsys):
+        import json
+
+        assert main([*self.ARGS, "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert [entry["authors"] for entry in report["sizes"]] == [300, 900]
+        # Both sizes are under the verification cap: the sharded top-k
+        # must have matched the brute-force reference at each.
+        assert all(
+            entry["topk_matches_brute_force"] is True for entry in report["sizes"]
+        )
+        assert report["interning"]["saved_bytes"] > 0
+
+    def test_out_writes_json_file(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "scale.json"
+        assert main([*self.ARGS, "--out", str(out)]) == 0
+        capsys.readouterr()
+        payload = json.loads(out.read_text())
+        assert payload["name"] == "EXP-SCALE"
+        assert payload["shards"] == 4
