@@ -58,7 +58,10 @@ def config_from_payload(payload: dict) -> PipelineConfig:
     ``coi`` (``check_coauthorship``, ``affiliation_level``,
     ``lookback_years``), ``constraints`` (the six range bounds),
     ``pc_members``, ``max_candidates``, ``workers`` (extraction
-    fan-out; output is identical at any value) and ``shards``
+    fan-out; output is identical at any value), ``executor_backend``
+    (one of :data:`repro.concurrency.EXECUTOR_BACKENDS` — validated
+    here against that same registry, so the API can never accept a
+    backend ``create_executor`` would reject) and ``shards``
     (hash-sharded feature store; likewise output-identical), plus
     ``warm_cache`` /
     ``warm_cache_ttl`` / ``warm_cache_capacity`` (the deployment-shared
@@ -95,6 +98,7 @@ def config_from_payload(payload: dict) -> PipelineConfig:
             impact_metric=ImpactMetric(payload.get("impact_metric", "h_index")),
             max_candidates=int(payload.get("max_candidates", 50)),
             workers=int(payload.get("workers", 1)),
+            executor_backend=str(payload.get("executor_backend", "auto")),
             shards=int(payload.get("shards", 1)),
             warm_cache=bool(payload.get("warm_cache", False)),
             warm_cache_ttl=payload.get("warm_cache_ttl"),

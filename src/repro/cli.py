@@ -53,6 +53,7 @@ import argparse
 import json
 import sys
 
+from repro.concurrency import EXECUTOR_BACKENDS
 from repro.core.config import PipelineConfig
 from repro.core.models import Manuscript, ManuscriptAuthor
 from repro.core.pipeline import Minaret
@@ -367,6 +368,13 @@ def _build_parser() -> argparse.ArgumentParser:
         default=200,
         help="retrieved-pool cap per query (0 disables the cap)",
     )
+    scale.add_argument(
+        "--backend",
+        choices=EXECUTOR_BACKENDS,
+        default=None,
+        help="executor backend for the shard fan-out (default: thread "
+        "above 1 worker; 'process' adds the measured wall-clock section)",
+    )
     scale.add_argument("--seed", type=int, default=42, help="world seed")
     scale.add_argument(
         "--json", action="store_true", help="emit the full report as JSON"
@@ -375,6 +383,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "--out", default=None, metavar="PATH", help="also write the JSON report to PATH"
     )
     for sub in (demo, rec, assign):
+        sub.add_argument(
+            "--backend",
+            choices=EXECUTOR_BACKENDS,
+            default="auto",
+            help="executor backend for worker fan-outs "
+            "(output identical whichever backend runs them)",
+        )
         sub.add_argument(
             "--shards",
             type=int,
@@ -433,7 +448,9 @@ def _run_demo(args) -> int:
     minaret = Minaret(
         hub,
         config=PipelineConfig(
-            warm_cache=args.warm_cache, shards=max(1, args.shards)
+            warm_cache=args.warm_cache,
+            shards=max(1, args.shards),
+            executor_backend=args.backend,
         ),
     )
     _stash_deployment(args, hub, minaret)
@@ -586,6 +603,7 @@ def _run_recommend(args) -> int:
     hub = ScholarlyHub.deploy(world)
     config = PipelineConfig(
         workers=max(1, args.workers),
+        executor_backend=args.backend,
         shards=max(1, args.shards),
         warm_cache=args.warm_cache,
         top_k=args.top_k,
@@ -666,6 +684,7 @@ def _run_assign(args) -> int:
             warm_cache=args.warm_cache,
             shards=max(1, args.shards),
             top_k=args.top_k,
+            executor_backend=args.backend,
         ),
     )
     _stash_deployment(args, hub, minaret)
@@ -947,6 +966,8 @@ def _run_scale_bench(args) -> int:
         k=max(1, args.top),
         pool_limit=args.pool_limit if args.pool_limit > 0 else None,
         seed=args.seed,
+        backend=args.backend,
+        process_probe_size=10_000 if args.backend == "process" else None,
     )
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
@@ -957,7 +978,7 @@ def _run_scale_bench(args) -> int:
         return 0
     print(
         f"scale-bench: shards={report['shards']} workers={report['workers']} "
-        f"k={report['k']}"
+        f"backend={report['backend']} k={report['k']}"
     )
     print(
         f"  {'authors':>9s} {'ingest_s':>9s} {'postings':>9s} "
@@ -985,6 +1006,24 @@ def _run_scale_bench(args) -> int:
             f"  scaling: size x{scaling['size_ratio']:g} -> query cost "
             f"x{scaling['query_cost_ratio']:g} "
             f"({'sub-linear' if scaling['sublinear'] else 'NOT sub-linear'})"
+        )
+    if "process" in report:
+        process = report["process"]
+        print(
+            f"  process backend ({process['size']} authors, "
+            f"{process['workers']} workers, {process['cpus']} cpus): "
+            f"measured x{process['measured_speedup']:g} "
+            f"(modeled x{process['modeled_speedup']:g}), "
+            f"{process['sequential_wall_seconds']:g}s -> "
+            f"{process['process_wall_seconds']:g}s per query, "
+            f"first query {process['first_query_wall_seconds']:g}s "
+            f"(spawn+rehydrate)"
+        )
+        grid_ok = process["grid_identical"] and process["topk_identical"]
+        print(
+            f"  process bit-identity: {len(process['grid'])}-cell "
+            f"processes x shards grid vs brute force -> "
+            f"{'identical' if grid_ok else 'MISMATCH'}"
         )
     return 0
 

@@ -14,8 +14,13 @@ the rest of the codebase parallelizes through:
 - :class:`~repro.concurrency.executor.ThreadExecutor` — a bounded
   thread-pool backend that propagates :mod:`contextvars` (so request
   accounting scopes follow work into the pool);
+- :class:`~repro.concurrency.process.ProcessExecutor` — a persistent
+  spawned process pool for CPU-bound work the GIL would serialize,
+  with seed-rehydrated worker bootstraps, per-batch telemetry deltas
+  shipped back to the parent, and a nested-fan-out downgrade guard;
 - :func:`~repro.concurrency.executor.create_executor` — backend
-  selection from a worker count.
+  selection from a worker count and a backend name drawn from
+  :data:`~repro.concurrency.executor.EXECUTOR_BACKENDS`.
 
 The determinism contract: given the thread-safe simulated web (whose
 latency and fault draws are keyed by request content, not arrival
@@ -27,15 +32,25 @@ exception, so no caller can observe scheduling order.
 """
 
 from repro.concurrency.executor import (
+    EXECUTOR_BACKENDS,
     Executor,
     SequentialExecutor,
     ThreadExecutor,
     create_executor,
 )
+from repro.concurrency.process import (
+    ProcessExecutor,
+    in_process_worker,
+    worker_state,
+)
 
 __all__ = [
+    "EXECUTOR_BACKENDS",
     "Executor",
+    "ProcessExecutor",
     "SequentialExecutor",
     "ThreadExecutor",
     "create_executor",
+    "in_process_worker",
+    "worker_state",
 ]

@@ -1,25 +1,34 @@
 """The worker-pool ``Executor`` abstraction.
 
-Two backends behind one interface: :class:`SequentialExecutor` runs
-tasks inline (no threads, no scheduling — the reference semantics), and
+Three backends behind one interface: :class:`SequentialExecutor` runs
+tasks inline (no threads, no scheduling — the reference semantics),
 :class:`ThreadExecutor` fans tasks out over a bounded
-:class:`concurrent.futures.ThreadPoolExecutor`.
+:class:`concurrent.futures.ThreadPoolExecutor`, and
+:class:`~repro.concurrency.process.ProcessExecutor` (in its own module)
+fans out over spawned worker *processes* that sidestep the GIL for
+pure-Python CPU-bound work.
 
-Both uphold the same observable contract:
+All backends uphold the same observable contract:
 
 - ``map(fn, items)`` returns results **in input order**;
 - if any task raises, the exception of the **lowest-index** failing task
   propagates (after every task has finished), so which worker crashed
   first is never observable;
 - the ambient :mod:`contextvars` context at the ``map`` call site is
-  propagated into every task, so request-accounting scopes (see
-  :mod:`repro.web.accounting`) attribute work done in pool threads to
-  the caller that submitted it.
+  propagated into every task (in-process backends), so request-accounting
+  scopes (see :mod:`repro.web.accounting`) attribute work done in pool
+  threads to the caller that submitted it;
+- an optional ``chunk_size`` groups tiny tasks into chunks that share
+  one span and one queue observation, amortizing per-task telemetry
+  overhead without changing results or error semantics (the
+  lowest-index error still wins, within and across chunks).
 
 ``ThreadExecutor`` deliberately builds a fresh pool per ``map`` call:
 pools are cheap at this scale, nothing leaks when callers forget to
 close anything, and nested fan-out (a batch of manuscripts each running
 parallel extraction) can never deadlock on a shared bounded pool.
+``ProcessExecutor`` keeps one persistent pool instead — spawning and
+rehydrating workers is the expensive step it amortizes.
 """
 
 from __future__ import annotations
@@ -32,9 +41,22 @@ from concurrent.futures import ThreadPoolExecutor
 
 from repro.obs import get_obs
 
+#: The canonical backend registry.  Every surface that enumerates or
+#: validates executor backends — :func:`create_executor`'s error
+#: message, ``PipelineConfig.executor_backend`` validation, the CLI's
+#: ``--backend`` choices, and the API config payload — reads this one
+#: constant, so a new backend cannot drift out of sync between layers.
+EXECUTOR_BACKENDS: tuple[str, ...] = ("auto", "sequential", "thread", "process")
+
 
 class Executor(ABC):
     """Ordered fan-out over a bounded worker pool."""
+
+    #: Whether tasks handed to :meth:`map` must be picklable module-level
+    #: callables (true only for the process backend, whose tasks cross an
+    #: address-space boundary).  Callers with closure-based tasks can
+    #: check this to route through a spawn-safe descriptor layer instead.
+    requires_pickling: bool = False
 
     @property
     @abstractmethod
@@ -42,18 +64,24 @@ class Executor(ABC):
         """Maximum number of tasks in flight at once (>= 1)."""
 
     @abstractmethod
-    def map(self, fn: Callable, items: Iterable) -> list:
+    def map(self, fn: Callable, items: Iterable, chunk_size: int | None = None) -> list:
         """Apply ``fn`` to every item; results come back in input order.
 
         If one or more tasks raise, every task still runs to completion
         and the exception of the lowest-index failing task is re-raised.
+        ``chunk_size`` groups items into chunks of that many tasks which
+        share one telemetry span (results and error semantics are
+        unchanged — chunking only amortizes per-task overhead).
         """
+
+    def close(self) -> None:
+        """Release pooled resources (no-op for poolless backends)."""
 
 
 def _run_task(fn: Callable, item, index: int, backend: str, submitted_at: float):
     """Run one task under a span with queue/run metrics.
 
-    Shared by both backends so the telemetry a caller sees is identical
+    Shared by all backends so the telemetry a caller sees is identical
     whichever pool executed the work.  The span opens in the task's own
     (copied) context, so it parents under whatever span was current at
     the ``map`` call site — a pipeline phase, a batch entry, an API
@@ -78,6 +106,61 @@ def _run_task(fn: Callable, item, index: int, backend: str, submitted_at: float)
     return result
 
 
+def _run_chunk(
+    fn: Callable,
+    chunk: Sequence,
+    start_index: int,
+    backend: str,
+    submitted_at: float,
+) -> tuple[list, list[tuple[int, BaseException]]]:
+    """Run a chunk of tasks inline under **one** span.
+
+    The amortized counterpart of :func:`_run_task`: one queue
+    observation, one span and one duration histogram for the whole
+    chunk, while ``executor_tasks_total`` still counts every task.
+    Errors do not abort the chunk — every task runs, and the caller
+    receives ``(outcomes, errors)`` with absolute indexes so the
+    lowest-index-error contract holds across chunk boundaries.
+    """
+    obs = get_obs()
+    start = time.perf_counter()
+    obs.observe(
+        "executor_queue_seconds", max(0.0, start - submitted_at), backend=backend
+    )
+    obs.gauge_add("executor_inflight", 1.0, backend=backend)
+    outcomes: list = []
+    errors: list[tuple[int, BaseException]] = []
+    try:
+        with obs.span(
+            "executor.chunk", start=start_index, size=len(chunk), backend=backend
+        ):
+            for offset, item in enumerate(chunk):
+                try:
+                    outcomes.append(fn(item))
+                except BaseException as exc:  # noqa: BLE001 — re-raised by caller
+                    outcomes.append(None)
+                    errors.append((start_index + offset, exc))
+                    obs.inc("executor_tasks_total", backend=backend, outcome="error")
+                else:
+                    obs.inc("executor_tasks_total", backend=backend, outcome="ok")
+    finally:
+        obs.observe(
+            "executor_task_seconds", time.perf_counter() - start, backend=backend
+        )
+        obs.gauge_add("executor_inflight", -1.0, backend=backend)
+    return outcomes, errors
+
+
+def _chunked(tasks: Sequence, chunk_size: int) -> list[tuple[int, Sequence]]:
+    """Split ``tasks`` into ``(start_index, chunk)`` slices."""
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1 or None, got {chunk_size}")
+    return [
+        (start, tasks[start : start + chunk_size])
+        for start in range(0, len(tasks), chunk_size)
+    ]
+
+
 class SequentialExecutor(Executor):
     """The no-pool backend: tasks run inline, one after another.
 
@@ -91,11 +174,24 @@ class SequentialExecutor(Executor):
     def workers(self) -> int:
         return 1
 
-    def map(self, fn: Callable, items: Iterable) -> list:
-        return [
-            _run_task(fn, item, index, "sequential", time.perf_counter())
-            for index, item in enumerate(items)
-        ]
+    def map(self, fn: Callable, items: Iterable, chunk_size: int | None = None) -> list:
+        tasks: Sequence = list(items)
+        if chunk_size is None:
+            return [
+                _run_task(fn, item, index, "sequential", time.perf_counter())
+                for index, item in enumerate(tasks)
+            ]
+        outcomes: list = []
+        errors: list[tuple[int, BaseException]] = []
+        for start, chunk in _chunked(tasks, chunk_size):
+            chunk_outcomes, chunk_errors = _run_chunk(
+                fn, chunk, start, "sequential", time.perf_counter()
+            )
+            outcomes.extend(chunk_outcomes)
+            errors.extend(chunk_errors)
+        if errors:
+            raise min(errors)[1]
+        return outcomes
 
 
 class ThreadExecutor(Executor):
@@ -116,10 +212,12 @@ class ThreadExecutor(Executor):
     def workers(self) -> int:
         return self._workers
 
-    def map(self, fn: Callable, items: Iterable) -> list:
+    def map(self, fn: Callable, items: Iterable, chunk_size: int | None = None) -> list:
         tasks: Sequence = list(items)
         if not tasks:
             return []
+        if chunk_size is not None:
+            return self._map_chunked(fn, tasks, chunk_size)
         if len(tasks) == 1:
             # No point spinning a pool up for a single task.
             return [_run_task(fn, tasks[0], 0, "thread", time.perf_counter())]
@@ -149,28 +247,73 @@ class ThreadExecutor(Executor):
             raise min(errors)[1]
         return outcomes
 
+    def _map_chunked(self, fn: Callable, tasks: Sequence, chunk_size: int) -> list:
+        chunks = _chunked(tasks, chunk_size)
+        outcomes: list = []
+        errors: list[tuple[int, BaseException]] = []
+        with ThreadPoolExecutor(max_workers=self._workers) as pool:
+            futures = [
+                pool.submit(
+                    contextvars.copy_context().run,
+                    _run_chunk,
+                    fn,
+                    chunk,
+                    start,
+                    "thread",
+                    time.perf_counter(),
+                )
+                for start, chunk in chunks
+            ]
+            for future in futures:
+                chunk_outcomes, chunk_errors = future.result()
+                outcomes.extend(chunk_outcomes)
+                errors.extend(chunk_errors)
+        if errors:
+            raise min(errors)[1]
+        return outcomes
 
-def create_executor(workers: int | None, backend: str = "auto") -> Executor:
+
+def create_executor(
+    workers: int | None, backend: str = "auto", bootstrap=None
+) -> Executor:
     """Build an executor from a worker count and backend name.
 
-    ``backend``:
+    ``backend`` (see :data:`EXECUTOR_BACKENDS`):
 
     - ``"auto"`` (default): ``SequentialExecutor`` for ``workers`` of
       ``None``/``1``, ``ThreadExecutor`` otherwise;
     - ``"sequential"``: always inline, whatever ``workers`` says;
-    - ``"thread"``: always a thread pool (of at least one worker).
+    - ``"thread"``: always a thread pool (of at least one worker);
+    - ``"process"``: a persistent spawned process pool
+      (:class:`~repro.concurrency.process.ProcessExecutor`).
+      ``bootstrap`` (any picklable object with a ``hydrate()`` method)
+      is shipped to each worker once at pool start so workers can
+      rebuild heavy state — a streamed world, shard indexes — from a
+      seed instead of pickling it per task.  Requested from *inside* a
+      process worker, ``"process"`` downgrades to an in-process backend
+      so nested fan-out cannot fork-bomb.
     """
     count = 1 if workers is None else int(workers)
     if count < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
+    if backend not in EXECUTOR_BACKENDS:
+        known = ", ".join(repr(b) for b in EXECUTOR_BACKENDS)
+        raise ValueError(f"unknown executor backend {backend!r}; use one of {known}")
     if backend == "sequential":
         return SequentialExecutor()
     if backend == "thread":
         return ThreadExecutor(count)
-    if backend == "auto":
-        if count == 1:
-            return SequentialExecutor()
-        return ThreadExecutor(count)
-    raise ValueError(
-        f"unknown executor backend {backend!r}; use 'auto', 'sequential' or 'thread'"
-    )
+    if backend == "process":
+        from repro.concurrency.process import ProcessExecutor, in_process_worker
+
+        if in_process_worker():
+            # Nested process fan-out guard: a worker asking for its own
+            # process pool gets threads instead of grandchildren.
+            get_obs().inc(
+                "executor_nested_downgrades_total", backend="process"
+            )
+            return SequentialExecutor() if count == 1 else ThreadExecutor(count)
+        return ProcessExecutor(count, bootstrap=bootstrap)
+    if count == 1:
+        return SequentialExecutor()
+    return ThreadExecutor(count)

@@ -227,6 +227,14 @@ class PipelineConfig:
         default) runs inline with no pool; any value produces
         bit-identical recommendation output — parallelism only buys
         wall-clock time (see :mod:`repro.concurrency`).
+    executor_backend:
+        Which :data:`~repro.concurrency.EXECUTOR_BACKENDS` member backs
+        the worker pool: ``"auto"`` (default — inline at 1 worker,
+        threads above), ``"sequential"``, ``"thread"``, or ``"process"``
+        (spawned interpreters for CPU-bound fan-outs; pipeline tasks
+        that close over live state transparently fall back to threads,
+        so the setting is always safe).  Bit-identical output whichever
+        backend runs the work.
     warm_cache:
         Route extraction through the shared warm-path retrieval plane
         (:mod:`repro.retrieval`): interest queries, profile assemblies
@@ -276,6 +284,7 @@ class PipelineConfig:
     use_all_sources: bool = False
     current_year: int = 2019
     workers: int = 1
+    executor_backend: str = "auto"
     shards: int = 1
     warm_cache: bool = False
     warm_cache_ttl: float | None = None
@@ -292,6 +301,15 @@ class PipelineConfig:
             raise ValueError("per_keyword_retrieval_limit must be >= 1")
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
+        # One registry for every surface (see repro.concurrency).
+        from repro.concurrency.executor import EXECUTOR_BACKENDS
+
+        if self.executor_backend not in EXECUTOR_BACKENDS:
+            known = ", ".join(repr(b) for b in EXECUTOR_BACKENDS)
+            raise ValueError(
+                f"executor_backend must be one of {known}, "
+                f"got {self.executor_backend!r}"
+            )
         if self.shards < 1:
             raise ValueError(f"shards must be >= 1, got {self.shards}")
         if self.recency_half_life_years <= 0:

@@ -70,7 +70,9 @@ class CandidateExtractor:
     ):
         self._sources = sources
         self._config = config or PipelineConfig()
-        self._executor = executor or create_executor(self._config.workers)
+        self._executor = executor or create_executor(
+            self._config.workers, self._config.executor_backend
+        )
         self._plane = plane
         self._counter_lock = threading.Lock()
         #: Candidates dropped because a source stayed down through every

@@ -86,7 +86,9 @@ class Minaret:
             resolver=resolver,
             use_all_sources=self._config.use_all_sources,
         )
-        self._executor = create_executor(self._config.workers)
+        self._executor = create_executor(
+            self._config.workers, self._config.executor_backend
+        )
         if plane is None and self._config.warm_cache:
             plane = RetrievalPlane.for_sources(
                 sources,

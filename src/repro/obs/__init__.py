@@ -51,7 +51,13 @@ from repro.obs.profile import (
     render_flame_table,
     spans_from_events,
 )
-from repro.obs.runtime import Observability, default_observability, get_obs, use
+from repro.obs.runtime import (
+    Observability,
+    default_observability,
+    get_obs,
+    install,
+    use,
+)
 from repro.obs.slo import (
     BurnAlert,
     SloEngine,
@@ -90,6 +96,7 @@ __all__ = [
     "default_observability",
     "deployment_metrics",
     "get_obs",
+    "install",
     "phase_profile",
     "record_phase",
     "render_flame_table",

@@ -22,12 +22,26 @@ holding O(world) scholars resident.
 from repro.scale.features import ShardedFeatureStore
 from repro.scale.plane import PoolMember, ScalePlane, ScaleVerdict
 from repro.scale.sharding import ShardedInvertedIndex, shard_of
+from repro.scale.worker import (
+    ComponentRowsTask,
+    RetrieveShardTask,
+    ScaleWorkerBootstrap,
+    ScoreRowsTask,
+    ScreenShardTask,
+    run_scale_task,
+)
 
 __all__ = [
+    "ComponentRowsTask",
     "PoolMember",
+    "RetrieveShardTask",
     "ScalePlane",
     "ScaleVerdict",
+    "ScaleWorkerBootstrap",
+    "ScoreRowsTask",
+    "ScreenShardTask",
     "ShardedFeatureStore",
     "ShardedInvertedIndex",
+    "run_scale_task",
     "shard_of",
 ]

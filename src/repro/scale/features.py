@@ -37,9 +37,13 @@ class ShardedFeatureStore:
     Parameters
     ----------
     n_shards:
-        Partition count; ``capacity`` is split evenly across shards (each
-        shard gets at least 1 slot), so total cache memory matches a
-        monolithic store of the same capacity.
+        Partition count; ``capacity`` is split evenly across shards with
+        a floor of 1 slot per shard, so ``capacity < n_shards`` can
+        never produce a zero-capacity store (which ``FeatureStore``
+        rejects).  Total cache memory is therefore bounded by
+        ``max(capacity, n_shards)`` entries — equal to a monolithic
+        store of the same capacity in the normal ``capacity >= n_shards``
+        regime, and one entry per shard in the degenerate one.
     epoch_provider:
         Shared freshness epoch, exactly as for :class:`FeatureStore` —
         all shards consult the same provider, so a plane refresh
@@ -60,6 +64,9 @@ class ShardedFeatureStore:
             raise ValueError(f"n_shards must be >= 1, got {n_shards}")
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
+        # Floor at one slot per shard: every candidate must be cacheable
+        # in its owning shard even when capacity < n_shards (total bound
+        # becomes max(capacity, n_shards) — see class docstring).
         per_shard = max(1, capacity // n_shards)
         self._stores = [
             FeatureStore(

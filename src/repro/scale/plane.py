@@ -29,25 +29,33 @@ path is bit-identical at any worker/shard count, and
 :meth:`ScalePlane.brute_force_topk` recomputes it with none of the
 machinery — a full scan over every scholar — as the equality reference.
 
-Because shard-parallel phases are pure-Python and CPU-bound, wall-clock
-under the thread backend is GIL-limited; the plane therefore also
-accounts deterministic **cost units** per shard (postings scanned,
-features built, candidates scored) from which
-:func:`modeled_speedup` derives the makespan speedup an N-worker pool
-achieves over sequential execution — the same virtual-cost idiom the
-serving harness uses for latency.
+The shard-parallel phases are pure-Python and CPU-bound, so the plane
+supports two execution regimes.  Threads (or inline execution) share
+the parent's live index structures; the deterministic **cost units**
+accounted per shard (postings scanned, features built, candidates
+scored) feed :func:`modeled_speedup`, the LPT makespan model of what an
+N-worker pool *should* achieve.  A
+:class:`~repro.concurrency.process.ProcessExecutor` (detected via
+``requires_pickling``) turns that model into measured wall-clock: the
+plane routes every shard fan-out through small picklable task
+descriptors (:mod:`repro.scale.worker`) executed against worker-local
+plane replicas rehydrated from the world seed, with results — and the
+workers' telemetry deltas — merged by the parent bit-identically to the
+in-process path.  EXP-SCALE reports the measured speedup next to the
+modeled one.
 """
 
 from __future__ import annotations
 
 import heapq
 import math
+from collections.abc import Iterable
 from dataclasses import dataclass, field
 
 from repro.concurrency import Executor, SequentialExecutor
 from repro.obs import get_obs
 from repro.scale.features import ShardedFeatureStore
-from repro.scale.sharding import ShardedInvertedIndex, shard_of
+from repro.scale.sharding import ShardedInvertedIndex, merge_scored, shard_of
 from repro.scholarly.records import (
     Metrics,
     SourceName,
@@ -135,6 +143,45 @@ def modeled_speedup(costs: list[float], workers: int) -> float:
     return sum(costs) / makespan if makespan > 0 else 1.0
 
 
+def score_rows(
+    rows: Iterable[tuple],
+    maxima: tuple[float, float, float, float],
+    k: int,
+) -> list["ScaleHit"]:
+    """Phase B of scoring: normalise, weight, and cut one shard's rows.
+
+    A pure function of ``(rows, pool maxima, k)`` — shared verbatim by
+    the inline scorer, the brute-force reference, and the
+    :class:`~repro.scale.worker.ScoreRowsTask` descriptor, so all three
+    produce the same floats by construction.
+    """
+    max_rel, max_imp, max_exp, max_tml = maxima
+    hits = []
+    for candidate_id, name, rel, imp, exp, tml in rows:
+        components = {
+            "relevance": rel / max_rel if max_rel > 0 else 0.0,
+            "impact": imp / max_imp if max_imp > 0 else 0.0,
+            "experience": exp / max_exp if max_exp > 0 else 0.0,
+            "timeliness": tml / max_tml if max_tml > 0 else 0.0,
+        }
+        total = round(
+            _W_RELEVANCE * components["relevance"]
+            + _W_IMPACT * components["impact"]
+            + _W_EXPERIENCE * components["experience"]
+            + _W_TIMELINESS * components["timeliness"],
+            6,
+        )
+        hits.append(
+            ScaleHit(
+                candidate_id=candidate_id,
+                name=name,
+                total_score=total,
+                components=components,
+            )
+        )
+    return heapq.nsmallest(k, hits, key=lambda h: (-h.total_score, h.candidate_id))
+
+
 class ScalePlane:
     """Sharded reviewer search over one streamed world.
 
@@ -162,14 +209,25 @@ class ScalePlane:
         self.n_shards = int(n_shards)
         self._executor = executor or SequentialExecutor()
         self._name = name
-        self.index = ShardedInvertedIndex(
-            n_shards, executor=self._executor, name=name
-        )
+        # A process executor cannot run the index/feature-store closures
+        # (they capture live shard state); the plane drives the process
+        # fan-out itself through task descriptors, and the inner
+        # components run sequentially inside whichever process owns them.
+        self._remote = bool(getattr(self._executor, "requires_pickling", False))
+        inner = SequentialExecutor() if self._remote else self._executor
+        if self._remote:
+            # If the process pool ever degrades to an in-process
+            # fallback, run_scale_task must still find a plane to run
+            # descriptors against.
+            from repro.scale.worker import register_parent_plane
+
+            register_parent_plane(self)
+        self.index = ShardedInvertedIndex(n_shards, executor=inner, name=name)
         self.features = ShardedFeatureStore(
             n_shards,
             epoch_provider=lambda: self.index.epoch,
             name=name,
-            executor=self._executor,
+            executor=inner,
         )
         # COI posting maps, partitioned like the index: shard s holds
         # only candidates with shard_of(id) == s.
@@ -185,21 +243,30 @@ class ScalePlane:
     # Ingest
     # ------------------------------------------------------------------
 
-    def ingest(self) -> dict:
+    def ingest(self, shard_ids: Iterable[int] | None = None) -> dict:
         """Stream the world once into the sharded index structures.
 
         Blocks are realised transiently (not via the world's LRU), so
         peak memory during ingest is one block plus the indexes being
-        built.  Returns the post-ingest :meth:`stats` snapshot.
+        built.  ``shard_ids`` restricts ingestion to the named shards —
+        the worker-bootstrap hook for pools whose scheduler routes
+        shard tasks to dedicated workers; with the default ``None``
+        every shard is built (required for the stock process pool,
+        which hands any task to any worker).  Returns the post-ingest
+        :meth:`stats` snapshot.
         """
         world = self.world
         obs = get_obs()
         ontology = world.ontology
+        wanted = None if shard_ids is None else set(shard_ids)
         with obs.span("scale.ingest", shards=self.n_shards):
             block_count = -(-world.config.author_count // world.block_size)
             for block_id in range(block_count):
                 block = world._realize_block(block_id)
                 for author in block.authors.values():
+                    shard_id = shard_of(author.author_id, self.n_shards)
+                    if wanted is not None and shard_id not in wanted:
+                        continue
                     interests = {
                         ontology.topic(topic_id).label: weight
                         for topic_id, weight in sorted(
@@ -207,7 +274,6 @@ class ScalePlane:
                         )
                     }
                     self.index.add(author.author_id, interests)
-                    shard_id = shard_of(author.author_id, self.n_shards)
                     postings = self._institutions[shard_id]
                     for aff in author.affiliations:
                         end = aff.end_year if aff.end_year is not None else 10_000
@@ -246,8 +312,42 @@ class ScalePlane:
     ) -> list[PoolMember]:
         """Shard-parallel ranked retrieval over the interest index."""
         terms, weights = _normalize_query(keywords)
-        postings = self.index.search(terms, query_weights=weights, limit=limit)
+        if self._remote:
+            postings = self._retrieve_remote(terms, weights, limit)
+        else:
+            postings = self.index.search(terms, query_weights=weights, limit=limit)
         return [PoolMember(p.doc_id, p.weight) for p in postings]
+
+    def _retrieve_remote(
+        self,
+        terms: list[str],
+        weights: dict[str, float] | None,
+        limit: int | None,
+    ) -> list:
+        """Process-backend retrieval: descriptor fan-out, same merge.
+
+        Global idf is computed **parent-side** (workers only hold their
+        own replica, but idf must reflect the global corpus — it does
+        either way since replicas are full, yet parent-side computation
+        keeps the invariant explicit and the task payload self-contained)
+        and shipped in each :class:`~repro.scale.worker.RetrieveShardTask`.
+        """
+        from repro.scale.worker import RetrieveShardTask, run_scale_task
+
+        obs = get_obs()
+        with obs.span("scale.retrieve", shards=self.n_shards, terms=len(terms)):
+            idf = self.index.global_idf(terms)
+            descriptors = [
+                RetrieveShardTask(
+                    shard_id=shard_id,
+                    terms=tuple(terms),
+                    weights=weights,
+                    idf=idf,
+                )
+                for shard_id in range(self.n_shards)
+            ]
+            score_maps = self._executor.map(run_scale_task, descriptors)
+            return merge_scored(score_maps, limit)
 
     def screen(
         self, pool: list[PoolMember], submitter_ids: list[str]
@@ -279,54 +379,80 @@ class ScalePlane:
             "scale.coi", shards=len(partitions), pool=len(pool)
         ):
             tasks = sorted(partitions.items())
+            if self._remote:
+                from repro.scale.worker import ScreenShardTask, run_scale_task
 
-            def screen_shard(task):
-                shard_id, members = task
-                inst_postings = self._institutions[shard_id]
-                coauthors = self._coauthors[shard_id]
-                overlapping: dict[str, set[str]] = {}
-                for institution, start, end in submitter_affs:
-                    for c_start, c_end, candidate_id in inst_postings.get(
-                        institution, ()
-                    ):
-                        if c_start <= end and start <= c_end:
-                            overlapping.setdefault(candidate_id, set()).add(
-                                institution
-                            )
-                verdicts = []
-                for position, member in members:
-                    reasons: list[str] = []
-                    if member.candidate_id in submitters:
-                        reasons.append("submitting-author")
-                    shared = sorted(
-                        coauthors.get(member.candidate_id, frozenset())
-                        & submitters
-                    )
-                    reasons.extend(f"coauthor:{a}" for a in shared)
-                    reasons.extend(
-                        f"institution:{i}"
-                        for i in sorted(
-                            overlapping.get(member.candidate_id, ())
+                per_shard = self._executor.map(
+                    run_scale_task,
+                    [
+                        ScreenShardTask(
+                            shard_id=shard_id,
+                            members=tuple(members),
+                            submitters=frozenset(submitters),
+                            submitter_affs=tuple(submitter_affs),
                         )
-                    )
-                    verdicts.append(
-                        (
-                            position,
-                            ScaleVerdict(
-                                candidate_id=member.candidate_id,
-                                has_conflict=bool(reasons),
-                                reasons=tuple(reasons),
-                            ),
-                        )
-                    )
-                return verdicts
-
-            per_shard = self._executor.map(screen_shard, tasks)
+                        for shard_id, members in tasks
+                    ],
+                )
+            else:
+                per_shard = self._executor.map(
+                    lambda task: self.screen_shard(
+                        task[0], task[1], submitters, submitter_affs
+                    ),
+                    tasks,
+                )
         ordered: list[ScaleVerdict | None] = [None] * len(pool)
         for shard_verdicts in per_shard:
             for position, verdict in shard_verdicts:
                 ordered[position] = verdict
         return ordered
+
+    def screen_shard(
+        self,
+        shard_id: int,
+        members: list[tuple[int, PoolMember]],
+        submitters: set[str],
+        submitter_affs: list[tuple[str, int, int]],
+    ) -> list[tuple[int, ScaleVerdict]]:
+        """Screen one shard's pool slice (the unit both regimes run).
+
+        Probes this shard's institution postings with the submitters'
+        affiliation intervals, then tests each member for identity with
+        or co-authorship of a submitter.  Takes every query-scoped input
+        explicitly so :class:`~repro.scale.worker.ScreenShardTask` can
+        carry them across a process boundary unchanged.
+        """
+        inst_postings = self._institutions[shard_id]
+        coauthors = self._coauthors[shard_id]
+        overlapping: dict[str, set[str]] = {}
+        for institution, start, end in submitter_affs:
+            for c_start, c_end, candidate_id in inst_postings.get(institution, ()):
+                if c_start <= end and start <= c_end:
+                    overlapping.setdefault(candidate_id, set()).add(institution)
+        verdicts = []
+        for position, member in members:
+            reasons: list[str] = []
+            if member.candidate_id in submitters:
+                reasons.append("submitting-author")
+            shared = sorted(
+                coauthors.get(member.candidate_id, frozenset()) & submitters
+            )
+            reasons.extend(f"coauthor:{a}" for a in shared)
+            reasons.extend(
+                f"institution:{i}"
+                for i in sorted(overlapping.get(member.candidate_id, ()))
+            )
+            verdicts.append(
+                (
+                    position,
+                    ScaleVerdict(
+                        candidate_id=member.candidate_id,
+                        has_conflict=bool(reasons),
+                        reasons=tuple(reasons),
+                    ),
+                )
+            )
+        return verdicts
 
     def candidate_of(self, candidate_id: str):
         """A pipeline :class:`~repro.core.models.Candidate` realised
@@ -427,6 +553,37 @@ class ScalePlane:
         ]
         return hits, stats
 
+    def component_rows(
+        self, shard_id: int, members: list[PoolMember]
+    ) -> list[tuple]:
+        """Phase A of scoring for one shard: realise, featurise, row-ify.
+
+        Returns ``(candidate_id, name, relevance, log_citations,
+        review_experience, timeliness)`` per member — plain tuples, so
+        :class:`~repro.scale.worker.ComponentRowsTask` can ship the
+        result back across a process boundary.  The scoring context is
+        derived from the world config, which both the parent plane and
+        a rehydrated worker replica share by construction.
+        """
+        ctx = ScoringContext(
+            current_year=self.world.config.current_year, half_life_years=3.0
+        )
+        candidates = [self.candidate_of(m.candidate_id) for m in members]
+        feats = self.features.features_for_many(candidates, ctx)
+        rows = []
+        for member, candidate, features in zip(members, candidates, feats):
+            rows.append(
+                (
+                    member.candidate_id,
+                    candidate.name,
+                    member.relevance,
+                    features.log_citations,
+                    features.review_experience,
+                    features.timeliness,
+                )
+            )
+        return rows
+
     def _score(
         self,
         keywords: dict[str, float] | list[str],
@@ -450,72 +607,53 @@ class ScalePlane:
                 shard_of(member.candidate_id, self.n_shards), []
             ).append(member)
         tasks = sorted(partitions.items())
-        ctx = ScoringContext(
-            current_year=self.world.config.current_year, half_life_years=3.0
-        )
         shard_work = [0.0] * self.n_shards
         with obs.span(
             "scale.score", shards=len(tasks), candidates=len(survivors)
         ):
             # Phase A: raw components per shard (features built here).
-            def raw_components(task):
-                shard_id, members = task
-                candidates = [self.candidate_of(m.candidate_id) for m in members]
-                feats = self.features.features_for_many(candidates, ctx)
-                rows = []
-                for member, candidate, features in zip(
-                    members, candidates, feats
-                ):
-                    rows.append(
-                        (
-                            member.candidate_id,
-                            candidate.name,
-                            member.relevance,
-                            features.log_citations,
-                            features.review_experience,
-                            features.timeliness,
-                        )
-                    )
-                return rows
-
-            per_shard_rows = self._executor.map(raw_components, tasks)
-
-            # Barrier: pool maxima across every shard.
-            max_rel = max(r[2] for rows in per_shard_rows for r in rows)
-            max_imp = max(r[3] for rows in per_shard_rows for r in rows)
-            max_exp = max(r[4] for rows in per_shard_rows for r in rows)
-            max_tml = max(r[5] for rows in per_shard_rows for r in rows)
-
-            # Phase B: totals and per-shard top-k.
-            def score_shard(rows):
-                hits = []
-                for candidate_id, name, rel, imp, exp, tml in rows:
-                    components = {
-                        "relevance": rel / max_rel if max_rel > 0 else 0.0,
-                        "impact": imp / max_imp if max_imp > 0 else 0.0,
-                        "experience": exp / max_exp if max_exp > 0 else 0.0,
-                        "timeliness": tml / max_tml if max_tml > 0 else 0.0,
-                    }
-                    total = round(
-                        _W_RELEVANCE * components["relevance"]
-                        + _W_IMPACT * components["impact"]
-                        + _W_EXPERIENCE * components["experience"]
-                        + _W_TIMELINESS * components["timeliness"],
-                        6,
-                    )
-                    hits.append(
-                        ScaleHit(
-                            candidate_id=candidate_id,
-                            name=name,
-                            total_score=total,
-                            components=components,
-                        )
-                    )
-                return heapq.nsmallest(
-                    k, hits, key=lambda h: (-h.total_score, h.candidate_id)
+            if self._remote:
+                from repro.scale.worker import (
+                    ComponentRowsTask,
+                    ScoreRowsTask,
+                    run_scale_task,
                 )
 
-            per_shard_topk = self._executor.map(score_shard, per_shard_rows)
+                per_shard_rows = self._executor.map(
+                    run_scale_task,
+                    [
+                        ComponentRowsTask(
+                            shard_id=shard_id, members=tuple(members)
+                        )
+                        for shard_id, members in tasks
+                    ],
+                )
+            else:
+                per_shard_rows = self._executor.map(
+                    lambda task: self.component_rows(task[0], task[1]), tasks
+                )
+
+            # Barrier: pool maxima across every shard.
+            maxima = (
+                max(r[2] for rows in per_shard_rows for r in rows),
+                max(r[3] for rows in per_shard_rows for r in rows),
+                max(r[4] for rows in per_shard_rows for r in rows),
+                max(r[5] for rows in per_shard_rows for r in rows),
+            )
+
+            # Phase B: totals and per-shard top-k.
+            if self._remote:
+                per_shard_topk = self._executor.map(
+                    run_scale_task,
+                    [
+                        ScoreRowsTask(rows=tuple(rows), maxima=maxima, k=k)
+                        for rows in per_shard_rows
+                    ],
+                )
+            else:
+                per_shard_topk = self._executor.map(
+                    lambda rows: score_rows(rows, maxima, k), per_shard_rows
+                )
         for (shard_id, members), rows in zip(tasks, per_shard_rows):
             shard_work[shard_id] += len(rows) * (_COST_FEATURE + _COST_SCORE)
         merged = heapq.nsmallest(
@@ -629,36 +767,13 @@ class ScalePlane:
             )
         if not rows:
             return []
-        max_rel = max(r[2] for r in rows)
-        max_imp = max(r[3] for r in rows)
-        max_exp = max(r[4] for r in rows)
-        max_tml = max(r[5] for r in rows)
-        hits = []
-        for candidate_id, name, rel, imp, exp, tml in rows:
-            components = {
-                "relevance": rel / max_rel if max_rel > 0 else 0.0,
-                "impact": imp / max_imp if max_imp > 0 else 0.0,
-                "experience": exp / max_exp if max_exp > 0 else 0.0,
-                "timeliness": tml / max_tml if max_tml > 0 else 0.0,
-            }
-            total = round(
-                _W_RELEVANCE * components["relevance"]
-                + _W_IMPACT * components["impact"]
-                + _W_EXPERIENCE * components["experience"]
-                + _W_TIMELINESS * components["timeliness"],
-                6,
-            )
-            hits.append(
-                ScaleHit(
-                    candidate_id=candidate_id,
-                    name=name,
-                    total_score=total,
-                    components=components,
-                )
-            )
-        return heapq.nsmallest(
-            k, hits, key=lambda h: (-h.total_score, h.candidate_id)
+        maxima = (
+            max(r[2] for r in rows),
+            max(r[3] for r in rows),
+            max(r[4] for r in rows),
+            max(r[5] for r in rows),
         )
+        return score_rows(rows, maxima, k)
 
 
 def _normalize_query(

@@ -431,6 +431,59 @@ class TestMetricsEndpoint:
         json.dumps(api.handle("GET", "/api/v1/metrics").body)
 
 
+def _triple(x):
+    """Module-level so the process backend can pickle it by name."""
+    return x * 3
+
+
+class TestExecutorBackendConfig:
+    @pytest.mark.parametrize("backend", ["auto", "sequential", "thread", "process"])
+    def test_registered_backend_accepted(self, api, manuscript, backend):
+        # "process" downgrades inside the pipeline's closure-heavy
+        # fan-outs rather than erroring: config acceptance is what the
+        # registry governs.
+        response = api.handle(
+            "POST",
+            "/api/v1/recommend",
+            {
+                "manuscript": manuscript_payload(manuscript),
+                "config": {"workers": 2, "executor_backend": backend},
+            },
+        )
+        assert response.ok
+        assert response.body["recommendations"]
+
+    def test_unknown_backend_is_400(self, api, manuscript):
+        response = api.handle(
+            "POST",
+            "/api/v1/recommend",
+            {
+                "manuscript": manuscript_payload(manuscript),
+                "config": {"executor_backend": "fork"},
+            },
+        )
+        assert response.status == 400
+        assert "executor_backend" in response.body["error"]
+
+    def test_process_child_metrics_served_by_parent_endpoint(self, api):
+        # The acceptance check: work done in spawned workers must land
+        # in THIS deployment's registry and flow out of /api/v1/metrics.
+        from repro.concurrency import create_executor
+        from repro.obs import use
+
+        executor = create_executor(2, "process")
+        try:
+            with use(api.obs):
+                assert executor.map(_triple, range(4)) == [0, 3, 6, 9]
+        finally:
+            executor.close()
+        metrics = api.handle("GET", "/api/v1/metrics").body["metrics"]
+        series = metrics["counters"]["executor_tasks_total"]
+        process = [s for s in series if s["labels"]["backend"] == "process"]
+        assert sum(s["value"] for s in process) == 4.0
+        assert all(s["labels"]["outcome"] == "ok" for s in process)
+
+
 def _walk(spans):
     for span in spans:
         yield span

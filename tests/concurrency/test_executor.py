@@ -75,6 +75,49 @@ class TestMapContract:
             SequentialExecutor().map(boom_on_odd, range(10))
 
 
+class TestChunking:
+    """``chunk_size`` batches tasks per dispatch without changing results."""
+
+    def test_chunked_results_match_unchunked(self, executor):
+        plain = executor.map(lambda x: x * 3, range(23))
+        for chunk_size in (1, 4, 23, 100):
+            assert executor.map(lambda x: x * 3, range(23), chunk_size=chunk_size) == plain
+
+    def test_chunked_lowest_index_error(self, executor):
+        def boom_on_odd(i):
+            if i % 2 == 1:
+                raise ValueError(str(i))
+            return i
+
+        with pytest.raises(ValueError, match="^1$"):
+            executor.map(boom_on_odd, range(10), chunk_size=4)
+
+    def test_chunked_all_tasks_run_despite_failure(self):
+        executed = set()
+        lock = threading.Lock()
+
+        def record(i):
+            with lock:
+                executed.add(i)
+            if i == 3:
+                raise RuntimeError("boom")
+            return i
+
+        with pytest.raises(RuntimeError):
+            ThreadExecutor(4).map(record, range(12), chunk_size=5)
+        assert executed == set(range(12))
+
+    def test_invalid_chunk_size_rejected(self, executor):
+        with pytest.raises(ValueError):
+            executor.map(lambda x: x, range(3), chunk_size=0)
+
+    def test_chunked_context_propagation(self):
+        var: contextvars.ContextVar[str] = contextvars.ContextVar("who")
+        var.set("caller")
+        seen = ThreadExecutor(4).map(lambda _: var.get(), range(8), chunk_size=3)
+        assert seen == ["caller"] * 8
+
+
 class TestContextPropagation:
     def test_contextvar_visible_in_tasks(self):
         var: contextvars.ContextVar[str] = contextvars.ContextVar("who")

@@ -1,0 +1,173 @@
+"""The process backend: contract parity, fallbacks, telemetry shipping.
+
+Every mapped function here is module-level — the pool pickles tasks by
+qualified name, exactly as production callers must.  One pool is shared
+across the module (spawning interpreters is the expensive part); the
+contract tests are safe to interleave because a failed map leaves the
+pool healthy.
+"""
+
+import pytest
+
+from repro.concurrency import (
+    EXECUTOR_BACKENDS,
+    ProcessExecutor,
+    SequentialExecutor,
+    ThreadExecutor,
+    create_executor,
+)
+from repro.obs import Observability, use
+
+
+def _double(x):
+    return x * 2
+
+
+def _boom_on_odd(i):
+    if i % 2 == 1:
+        raise ValueError(str(i))
+    return i
+
+
+def _nested_process_map(i):
+    """Runs inside a pool worker: asks for another process fan-out."""
+    inner = create_executor(2, backend="process")
+    try:
+        name = type(inner).__name__
+        results = inner.map(_double, range(3))
+    finally:
+        inner.close()
+    return (name, i, results)
+
+
+def _nested_single_worker(i):
+    inner = create_executor(1, backend="process")
+    try:
+        return (type(inner).__name__, inner.map(_double, [i]))
+    finally:
+        inner.close()
+
+
+@pytest.fixture(scope="module")
+def pool():
+    executor = ProcessExecutor(2)
+    yield executor
+    executor.close()
+
+
+class TestMapContract:
+    def test_results_in_input_order(self, pool):
+        assert pool.map(_double, range(8)) == [x * 2 for x in range(8)]
+
+    def test_empty_input(self, pool):
+        assert pool.map(_double, []) == []
+
+    def test_lowest_index_exception_propagates(self, pool):
+        with pytest.raises(ValueError, match="^1$"):
+            pool.map(_boom_on_odd, range(6))
+
+    def test_pool_survives_task_failure(self, pool):
+        with pytest.raises(ValueError):
+            pool.map(_boom_on_odd, [1])
+        assert pool.map(_double, [21]) == [42]
+
+    def test_chunked_map_keeps_order_and_errors(self, pool):
+        assert pool.map(_double, range(10), chunk_size=4) == [
+            x * 2 for x in range(10)
+        ]
+        with pytest.raises(ValueError, match="^1$"):
+            pool.map(_boom_on_odd, range(10), chunk_size=3)
+
+    def test_requires_pickling_flag(self, pool):
+        assert pool.requires_pickling is True
+        assert SequentialExecutor().requires_pickling is False
+        assert ThreadExecutor(2).requires_pickling is False
+
+
+class TestFallbacks:
+    def test_unpicklable_fn_falls_back_in_process(self):
+        obs = Observability()
+        executor = ProcessExecutor(2)
+        try:
+            with use(obs):
+                captured = []  # closure: unpicklable on purpose
+                results = executor.map(lambda x: captured.append(x) or x, range(4))
+        finally:
+            executor.close()
+        assert results == list(range(4))
+        assert captured == list(range(4))  # ran in this interpreter
+        assert (
+            obs.metrics.counter_matching(
+                "executor_fallback_total", {"backend": "process"}
+            )
+            == 1.0
+        )
+
+    def test_nested_process_request_downgrades_to_threads(self, pool):
+        # Satellite regression: a two-level process map must not fork
+        # pools from pool workers — the inner level runs on threads.
+        outer = pool.map(_nested_process_map, range(2))
+        assert outer == [("ThreadExecutor", i, [0, 2, 4]) for i in range(2)]
+
+    def test_nested_single_worker_downgrades_to_sequential(self, pool):
+        assert pool.map(_nested_single_worker, [5]) == [
+            ("SequentialExecutor", [10])
+        ]
+
+    def test_nested_downgrade_counted_in_parent(self, pool):
+        obs = Observability()
+        with use(obs):
+            pool.map(_nested_process_map, range(2))
+        assert (
+            obs.metrics.counter_value(
+                "executor_nested_downgrades_total", backend="process"
+            )
+            == 2.0
+        )
+
+
+class TestTelemetryShipping:
+    def test_child_counters_merge_into_parent(self, pool):
+        obs = Observability()
+        with use(obs):
+            pool.map(_double, range(5))
+        assert (
+            obs.metrics.counter_value(
+                "executor_tasks_total", backend="process", outcome="ok"
+            )
+            == 5.0
+        )
+        histogram = obs.metrics.snapshot()["histograms"][
+            "executor_task_seconds"
+        ]
+        process_series = [
+            s for s in histogram if s["labels"]["backend"] == "process"
+        ]
+        assert sum(s["count"] for s in process_series) == 5
+
+    def test_child_spans_adopted_by_parent_tracer(self, pool):
+        obs = Observability()
+        with use(obs):
+            with obs.span("caller") as caller:
+                pool.map(_double, range(3))
+        chunks = [s for s in obs.tracer.finished() if s.name == "executor.chunk"]
+        assert chunks and all(s.trace_id == caller.trace_id for s in chunks)
+
+
+class TestCreateExecutorRegistry:
+    def test_registry_is_the_single_source_of_backends(self):
+        assert EXECUTOR_BACKENDS == ("auto", "sequential", "thread", "process")
+
+    @pytest.mark.parametrize("backend", EXECUTOR_BACKENDS)
+    def test_every_registered_backend_constructs(self, backend):
+        built = create_executor(2, backend=backend)
+        try:
+            assert isinstance(built, (SequentialExecutor, ThreadExecutor, ProcessExecutor))
+        finally:
+            built.close()
+
+    def test_unknown_backend_error_names_the_registry(self):
+        with pytest.raises(ValueError) as excinfo:
+            create_executor(2, backend="fork")
+        for backend in EXECUTOR_BACKENDS:
+            assert repr(backend) in str(excinfo.value)

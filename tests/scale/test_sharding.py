@@ -201,6 +201,25 @@ class TestShardedFeatureStore:
         sharded.features_for_many(candidates, ctx)
         assert sharded.built == 2 * built  # every entry rebuilt
 
+    def test_capacity_below_shard_count_floors_at_one_slot_each(
+        self, candidates
+    ):
+        # Degenerate regime from the class docstring: capacity=1 over 16
+        # shards must not build any zero-capacity store — each shard
+        # keeps one slot, bounding the cache at max(capacity, n_shards).
+        ctx = ScoringContext(current_year=2024, half_life_years=3.0)
+        sharded = ShardedFeatureStore(16, capacity=1)
+        mono = FeatureStore()
+        assert sharded.features_for_many(candidates, ctx) == (
+            mono.features_for_many(candidates, ctx)
+        )
+        stats = sharded.stats()
+        assert stats["entries"] <= 16
+        assert all(s["entries"] <= 1 for s in stats["per_shard"])
+        repeat = sharded.features_for_many(candidates, ctx)
+        assert repeat == mono.features_for_many(candidates, ctx)
+        assert sharded.reused > 0  # the single slot per shard does cache
+
     def test_stats_and_capacity_split(self, candidates):
         ctx = ScoringContext(current_year=2024, half_life_years=3.0)
         sharded = ShardedFeatureStore(4, capacity=8)
